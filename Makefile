@@ -1,0 +1,41 @@
+# SnapBPF reproduction — convenience targets.
+
+GO ?= go
+
+.PHONY: all build test vet race cover bench repro examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# One testing.B per paper table/figure + ablations; see bench_test.go
+# for the SNAPBPF_BENCH_* environment knobs.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x ./...
+
+# Regenerate every table and figure on the full 15-function suite,
+# verify the paper's claims, and write CSV + a markdown report.
+repro:
+	$(GO) run ./cmd/snapbpf-bench -verify -csv results -report results/report.md
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/capture
+	$(GO) run ./examples/pagecachetrace
+	$(GO) run ./examples/concurrent
+
+clean:
+	rm -rf results test_output.txt bench_output.txt

@@ -1,0 +1,114 @@
+package snapbpf
+
+import (
+	"snapbpf/internal/ebpf"
+	"snapbpf/internal/pagecache"
+	"snapbpf/internal/sim"
+)
+
+// This file exposes the eBPF toolkit: SnapBPF's kernel-space
+// mechanisms are ordinary programs for this environment, and users can
+// attach their own programs to the simulated kernel's hooks (the
+// FetchBPF/P2Cache-style programmable page cache of the related-work
+// section).
+
+type (
+	// BPFBuilder assembles eBPF programs instruction by instruction.
+	BPFBuilder = ebpf.Builder
+
+	// BPFInstruction is one instruction in the eBPF subset ISA.
+	BPFInstruction = ebpf.Instruction
+
+	// BPFProgram is a loaded, verified program.
+	BPFProgram = ebpf.Program
+
+	// BPFMap is a u64->u64 kernel map (hash or array).
+	BPFMap = ebpf.Map
+
+	// BPFRegister is one of R0-R10.
+	BPFRegister = ebpf.Register
+
+	// Proc is a simulated process; prefetcher implementations receive
+	// one for charging virtual time.
+	Proc = sim.Proc
+)
+
+// Register aliases for program authoring.
+const (
+	R0  = ebpf.R0
+	R1  = ebpf.R1
+	R2  = ebpf.R2
+	R3  = ebpf.R3
+	R4  = ebpf.R4
+	R5  = ebpf.R5
+	R6  = ebpf.R6
+	R7  = ebpf.R7
+	R8  = ebpf.R8
+	R9  = ebpf.R9
+	RFP = ebpf.RFP
+)
+
+// Jump condition opcodes for BPFBuilder.JmpImm/JmpReg.
+const (
+	OpJeq  = ebpf.OpJeq
+	OpJne  = ebpf.OpJne
+	OpJgt  = ebpf.OpJgt
+	OpJge  = ebpf.OpJge
+	OpJlt  = ebpf.OpJlt
+	OpJle  = ebpf.OpJle
+	OpJset = ebpf.OpJset
+	OpJsgt = ebpf.OpJsgt
+	OpJsge = ebpf.OpJsge
+	OpJslt = ebpf.OpJslt
+	OpJsle = ebpf.OpJsle
+)
+
+// Standard helper IDs callable from programs.
+const (
+	HelperMapLookupElem = ebpf.HelperMapLookupElem
+	HelperMapUpdateElem = ebpf.HelperMapUpdateElem
+	HelperMapDeleteElem = ebpf.HelperMapDeleteElem
+	HelperKtimeGetNS    = ebpf.HelperKtimeGetNS
+	HelperTracePrintk   = ebpf.HelperTracePrintk
+)
+
+// Map types.
+const (
+	MapTypeHash  = ebpf.MapTypeHash
+	MapTypeArray = ebpf.MapTypeArray
+)
+
+// HookAddToPageCacheLRU is the kprobe fired for every page-cache
+// insertion with arguments (inode id, page offset) — the hook both
+// SnapBPF programs attach to.
+const HookAddToPageCacheLRU = pagecache.HookAddToPageCacheLRU
+
+// NewBPFBuilder returns an empty program builder.
+func NewBPFBuilder() *BPFBuilder { return ebpf.NewBuilder() }
+
+// NewBPFMap creates a map of the given type and capacity.
+func NewBPFMap(typ ebpf.MapType, name string, maxEntries int) (*BPFMap, error) {
+	return ebpf.NewMap(typ, name, maxEntries)
+}
+
+// DisassembleBPF renders a program as readable assembly.
+func DisassembleBPF(insns []BPFInstruction) string { return ebpf.Disassemble(insns) }
+
+// RegisterBPFMap installs a map into the host's BPF subsystem and
+// returns its file descriptor for LdImm64/Mov64Imm references.
+func RegisterBPFMap(h *Host, m *BPFMap) int32 { return h.BPF.RegisterMap(m) }
+
+// LoadBPF verifies and loads a program on the host (BPF_PROG_LOAD).
+func LoadBPF(h *Host, name string, insns []BPFInstruction) (*BPFProgram, error) {
+	return h.BPF.Load(name, insns)
+}
+
+// AttachKprobe attaches a loaded program to a named kernel hook and
+// returns a detach function.
+func AttachKprobe(h *Host, hook string, prog *BPFProgram) (detach func() error, err error) {
+	att, err := h.Probes.Attach(hook, prog)
+	if err != nil {
+		return nil, err
+	}
+	return func() error { return h.Probes.Detach(att) }, nil
+}

@@ -1,0 +1,120 @@
+// Command snapbpf-run executes one (function, scheme, concurrency)
+// cell of the evaluation and prints detailed per-sandbox statistics:
+// E2E latency and its preparation share, nested-fault and host-fault
+// breakdowns, device traffic and memory footprint. It is the
+// inspection companion to snapbpf-bench.
+//
+// Usage:
+//
+//	snapbpf-run -func bert -scheme snapbpf -n 10
+//	snapbpf-run -func image -scheme linux-ra
+//	snapbpf-run -schemes                     # list scheme names
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"snapbpf/internal/blockdev"
+	"snapbpf/internal/experiments"
+	"snapbpf/internal/workload"
+)
+
+func schemes() map[string]experiments.Scheme {
+	return map[string]experiments.Scheme{
+		"linux-nora": experiments.SchemeLinuxNoRA,
+		"linux-ra":   experiments.SchemeLinuxRA,
+		"reap":       experiments.SchemeREAP,
+		"faast":      experiments.SchemeFaast,
+		"faasnap":    experiments.SchemeFaaSnap,
+		"snapbpf":    experiments.SchemeSnapBPF,
+		"pvptes":     experiments.SchemePVOnly,
+	}
+}
+
+func main() {
+	var (
+		fnName   = flag.String("func", "json", "function name from the workload suite")
+		scheme   = flag.String("scheme", "snapbpf", "prefetching scheme")
+		n        = flag.Int("n", 1, "concurrent sandboxes")
+		drift    = flag.Int("drift", 0, "allocator drift between record and invoke")
+		device   = flag.String("device", "ssd", "storage profile: ssd, nvme, hdd")
+		variance = flag.Float64("variance", 0, "input variance in [0,1] across sandboxes")
+		cacheMiB = flag.Int64("cache-limit", 0, "page-cache limit in MiB (0 = unlimited)")
+		listS    = flag.Bool("schemes", false, "list scheme names and exit")
+		listF    = flag.Bool("funcs", false, "list function names and exit")
+	)
+	flag.Parse()
+
+	if *listS {
+		var names []string
+		for k := range schemes() {
+			names = append(names, k)
+		}
+		fmt.Println(strings.Join(names, "\n"))
+		return
+	}
+	if *listF {
+		fmt.Println(strings.Join(workload.Names(), "\n"))
+		return
+	}
+
+	fn, err := workload.ByName(*fnName)
+	if err != nil {
+		fatal(err)
+	}
+	s, ok := schemes()[strings.ToLower(*scheme)]
+	if !ok {
+		fatal(fmt.Errorf("unknown scheme %q (use -schemes)", *scheme))
+	}
+
+	var dev blockdev.Params
+	switch strings.ToLower(*device) {
+	case "ssd", "":
+		dev = blockdev.MicronSATA5300()
+	case "nvme":
+		dev = blockdev.NVMeGen4()
+	case "hdd":
+		dev = blockdev.SpindleHDD()
+	default:
+		fatal(fmt.Errorf("unknown device %q (ssd, nvme, hdd)", *device))
+	}
+
+	res, err := experiments.Run(fn, s, experiments.Config{
+		N:               *n,
+		AllocDrift:      *drift,
+		Device:          dev,
+		InputVariance:   *variance,
+		CacheLimitPages: *cacheMiB << 20 >> 12,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("device     %s\n", dev.Name)
+
+	fmt.Printf("function   %s  (mem=%dMiB state=%dMiB ws=%dMiB alloc=%dMiB compute=%dms)\n",
+		fn.Name, fn.MemMiB, fn.StateMiB, fn.WSMiB, fn.AllocMiB, fn.ComputeMs)
+	fmt.Printf("scheme     %s   sandboxes=%d\n\n", res.Scheme, res.N)
+	for i, e := range res.E2E {
+		fmt.Printf("  vm%-2d E2E %v\n", i, e)
+	}
+	fmt.Printf("\nmean E2E        %v\n", res.MeanE2E)
+	fmt.Printf("max E2E         %v\n", res.MaxE2E)
+	fmt.Printf("mean prepare    %v\n", res.MeanPrepare)
+	if res.OffsetLoad > 0 {
+		fmt.Printf("offset load     %v  (%d groups)\n", res.OffsetLoad, res.WSGroups)
+	}
+	fmt.Printf("system memory   %v\n", res.SystemMemory)
+	fmt.Printf("device read     %.1f MiB in %d requests\n",
+		float64(res.DeviceBytes)/(1<<20), res.DeviceRequests)
+	if res.Evictions > 0 {
+		fmt.Printf("cache evictions %d\n", res.Evictions)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "snapbpf-run:", err)
+	os.Exit(1)
+}

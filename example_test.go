@@ -1,0 +1,69 @@
+package snapbpf_test
+
+import (
+	"fmt"
+
+	"snapbpf"
+)
+
+// The tiny function keeps documentation examples fast; real workloads
+// come from snapbpf.Functions().
+func exampleFunction() snapbpf.Function {
+	return snapbpf.Function{
+		Name: "doc-example", MemMiB: 32, StateMiB: 16, WSMiB: 4, WSRegions: 6,
+		AllocMiB: 2, ComputeMs: 5, WriteFrac: 0.1, Seed: 1,
+	}
+}
+
+// ExampleRun measures one cold start under SnapBPF.
+func ExampleRun() {
+	res, err := snapbpf.Run(exampleFunction(), snapbpf.SchemeSnapBPF, snapbpf.RunConfig{N: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("sandboxes:", res.N)
+	fmt.Println("working-set groups captured:", res.WSGroups > 0)
+	fmt.Println("deterministic E2E:", res.MeanE2E > 0)
+	// Output:
+	// sandboxes: 1
+	// working-set groups captured: true
+	// deterministic E2E: true
+}
+
+// ExampleRun_concurrent shows the deduplication effect: ten sandboxes
+// share one page-cache copy of the working set.
+func ExampleRun_concurrent() {
+	fn := exampleFunction()
+	one, _ := snapbpf.Run(fn, snapbpf.SchemeSnapBPF, snapbpf.RunConfig{N: 1})
+	ten, _ := snapbpf.Run(fn, snapbpf.SchemeSnapBPF, snapbpf.RunConfig{N: 10})
+	// Ten sandboxes read the working set from storage once, not ten times.
+	fmt.Println("storage reads scale sub-linearly:", ten.DeviceBytes < 2*one.DeviceBytes)
+	// Output:
+	// storage reads scale sub-linearly: true
+}
+
+// ExampleSchemeByName resolves baselines by their figure names.
+func ExampleSchemeByName() {
+	s, _ := snapbpf.SchemeByName("REAP")
+	fmt.Println(s.New().Capabilities().Mechanism)
+	// Output:
+	// Userfaultfd (User-space)
+}
+
+// ExampleNewBPFBuilder assembles, verifies and runs a custom eBPF
+// program on a simulated host.
+func ExampleNewBPFBuilder() {
+	host := snapbpf.NewHost(snapbpf.MicronSATA5300())
+	b := snapbpf.NewBPFBuilder()
+	b.Mov64Reg(snapbpf.R0, snapbpf.R1). // return first argument...
+						Mul64Imm(snapbpf.R0, 2). // ...doubled
+						Exit()
+	prog, err := snapbpf.LoadBPF(host, "double", b.MustProgram())
+	if err != nil {
+		panic(err)
+	}
+	out, _ := prog.Run(nil, 21)
+	fmt.Println(out)
+	// Output:
+	// 42
+}

@@ -1,0 +1,3 @@
+module snapbpf
+
+go 1.22

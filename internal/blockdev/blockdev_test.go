@@ -1,0 +1,290 @@
+package blockdev
+
+import (
+	"testing"
+	"time"
+
+	"snapbpf/internal/sim"
+)
+
+func testParams() Params {
+	return Params{
+		Name:            "test",
+		AccessLatency:   100 * time.Microsecond,
+		BytesPerSecond:  1 << 30, // 1 GiB/s => 4KiB in ~3.8us
+		QueueDepth:      2,
+		MaxRequestBytes: 64 << 10,
+	}
+}
+
+func TestSingleReadLatency(t *testing.T) {
+	eng := sim.NewEngine()
+	d := New(eng, testParams())
+	var took time.Duration
+	eng.Go("r", func(p *sim.Proc) {
+		start := p.Now()
+		d.Read(p, 0, 4096)
+		took = p.Now().Sub(start)
+	})
+	eng.Run()
+	transfer := float64(4096) / float64(int64(1)<<30) * float64(time.Second)
+	want := 100*time.Microsecond + time.Duration(transfer)
+	if took != want {
+		t.Fatalf("latency = %v, want %v", took, want)
+	}
+	if st := d.Stats(); st.Requests != 1 || st.BytesRead != 4096 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestQueueDepthContention(t *testing.T) {
+	eng := sim.NewEngine()
+	p := testParams()
+	p.QueueDepth = 1
+	p.BytesPerSecond = 1 << 40 // transfer time negligible
+	d := New(eng, p)
+	var ends []sim.Time
+	for i := 0; i < 3; i++ {
+		i := i
+		eng.Go("r", func(pr *sim.Proc) {
+			d.Read(pr, int64(i)*4096, 4096)
+			ends = append(ends, pr.Now())
+		})
+	}
+	eng.Run()
+	// With QD=1 and ~100us service, completions are serialized.
+	if len(ends) != 3 {
+		t.Fatalf("ends = %v", ends)
+	}
+	for i := 1; i < 3; i++ {
+		gap := ends[i].Sub(ends[i-1])
+		if gap < 99*time.Microsecond {
+			t.Fatalf("completion gap %v too small: QD=1 not enforced (ends=%v)", gap, ends)
+		}
+	}
+}
+
+func TestParallelismWithinQueueDepth(t *testing.T) {
+	eng := sim.NewEngine()
+	p := testParams()
+	p.QueueDepth = 4
+	p.BytesPerSecond = 1 << 40
+	d := New(eng, p)
+	var end sim.Time
+	done := 0
+	for i := 0; i < 4; i++ {
+		eng.Go("r", func(pr *sim.Proc) {
+			d.Read(pr, 0, 4096)
+			done++
+			end = pr.Now()
+		})
+	}
+	eng.Run()
+	if done != 4 {
+		t.Fatalf("done = %d", done)
+	}
+	// All four fit in the queue: total time ~= one service time.
+	if end > sim.Time(110*time.Microsecond) {
+		t.Fatalf("end = %v, want ~100us (parallel service)", end)
+	}
+}
+
+func TestAggregateBandwidthShared(t *testing.T) {
+	// 32 concurrent 1MiB reads on a 1GiB/s device must take ~32ms of
+	// transfer regardless of queue depth: bandwidth is shared.
+	eng := sim.NewEngine()
+	p := testParams()
+	p.QueueDepth = 32
+	p.MaxRequestBytes = 1 << 20
+	d := New(eng, p)
+	var last sim.Time
+	for i := 0; i < 32; i++ {
+		i := i
+		eng.Go("r", func(pr *sim.Proc) {
+			d.Read(pr, int64(i)<<20, 1<<20)
+			if pr.Now() > last {
+				last = pr.Now()
+			}
+		})
+	}
+	eng.Run()
+	perMiB := float64(int64(1)<<20) / float64(int64(1)<<30) * float64(time.Second)
+	transfer := 32 * time.Duration(perMiB)
+	if last < sim.Time(transfer) {
+		t.Fatalf("finished in %v, faster than shared-bandwidth floor %v", last, transfer)
+	}
+	if last > sim.Time(transfer)+sim.Time(2*p.AccessLatency) {
+		t.Fatalf("finished in %v, want ~%v (+latency)", last, transfer)
+	}
+}
+
+func TestCommandOverheadCapsIOPS(t *testing.T) {
+	// 1000 4KiB random reads with 10us command overhead: at least 10ms
+	// of serialized command time even at high queue depth.
+	eng := sim.NewEngine()
+	p := testParams()
+	p.QueueDepth = 32
+	p.CommandOverhead = 10 * time.Microsecond
+	p.BytesPerSecond = 1 << 40 // transfer negligible
+	d := New(eng, p)
+	var end sim.Time
+	for i := 0; i < 1000; i++ {
+		i := i
+		eng.Go("r", func(pr *sim.Proc) {
+			d.Read(pr, int64(i)*1<<20, 4096)
+			if pr.Now() > end {
+				end = pr.Now()
+			}
+		})
+	}
+	eng.Run()
+	if end < sim.Time(10*time.Millisecond) {
+		t.Fatalf("1000 reads finished in %v, below the 10ms IOPS floor", end)
+	}
+}
+
+func TestSyncOvertakesReadahead(t *testing.T) {
+	// Queue a long stream of readahead, then submit one sync read: the
+	// sync read must complete well before the readahead drains.
+	eng := sim.NewEngine()
+	p := testParams()
+	p.QueueDepth = 2
+	d := New(eng, p)
+	var raDone, syncDone sim.Time
+	ra := d.SubmitReadahead(0, 200*64<<10) // 200 x 64KiB parts
+	eng.Go("relay", func(pr *sim.Proc) {
+		pr.Wait(ra)
+		raDone = pr.Now()
+	})
+	eng.GoAfter(time.Microsecond, "sync", func(pr *sim.Proc) {
+		d.Read(pr, 1<<30, 4096)
+		syncDone = pr.Now()
+	})
+	eng.Run()
+	if syncDone >= raDone {
+		t.Fatalf("sync read (%v) did not overtake readahead (%v)", syncDone, raDone)
+	}
+	if syncDone > sim.Time(5*time.Millisecond) {
+		t.Fatalf("sync read waited %v behind readahead", syncDone)
+	}
+}
+
+func TestSeekPenaltyHDD(t *testing.T) {
+	eng := sim.NewEngine()
+	d := New(eng, SpindleHDD())
+	var seqTime, randTime time.Duration
+	eng.Go("seq", func(p *sim.Proc) {
+		start := p.Now()
+		for i := int64(0); i < 8; i++ {
+			d.Read(p, i*4096, 4096) // contiguous after first
+		}
+		seqTime = p.Now().Sub(start)
+	})
+	eng.Run()
+
+	eng2 := sim.NewEngine()
+	d2 := New(eng2, SpindleHDD())
+	eng2.Go("rand", func(p *sim.Proc) {
+		start := p.Now()
+		for i := int64(0); i < 8; i++ {
+			d2.Read(p, i*10<<20, 4096) // scattered
+		}
+		randTime = p.Now().Sub(start)
+	})
+	eng2.Run()
+	if randTime < 2*seqTime {
+		t.Fatalf("random (%v) should be much slower than sequential (%v) on HDD", randTime, seqTime)
+	}
+}
+
+func TestSSDNoSeekPenalty(t *testing.T) {
+	// The paper's key storage insight: random vs sequential is a wash on SSD.
+	run := func(stride int64) time.Duration {
+		eng := sim.NewEngine()
+		d := New(eng, MicronSATA5300())
+		var took time.Duration
+		eng.Go("r", func(p *sim.Proc) {
+			start := p.Now()
+			for i := int64(0); i < 16; i++ {
+				d.Read(p, i*stride, 4096)
+			}
+			took = p.Now().Sub(start)
+		})
+		eng.Run()
+		return took
+	}
+	seq, rnd := run(4096), run(100<<20)
+	if seq != rnd {
+		t.Fatalf("SSD sequential %v != random %v", seq, rnd)
+	}
+}
+
+func TestLargeReadSplit(t *testing.T) {
+	eng := sim.NewEngine()
+	p := testParams()
+	p.MaxRequestBytes = 4096
+	d := New(eng, p)
+	eng.Go("r", func(pr *sim.Proc) {
+		d.Read(pr, 0, 4*4096)
+	})
+	eng.Run()
+	if st := d.Stats(); st.Requests != 4 {
+		t.Fatalf("requests = %d, want 4 (split)", st.Requests)
+	}
+}
+
+func TestSubmitReadAsync(t *testing.T) {
+	eng := sim.NewEngine()
+	d := New(eng, testParams())
+	var issued, completed sim.Time
+	eng.Go("r", func(p *sim.Proc) {
+		w := d.SubmitRead(0, 4096)
+		issued = p.Now()
+		p.Sleep(1 * time.Microsecond) // do other work
+		p.Wait(w)
+		completed = p.Now()
+	})
+	eng.Run()
+	if issued != 0 {
+		t.Fatalf("SubmitRead blocked the caller: issued at %v", issued)
+	}
+	if completed < sim.Time(100*time.Microsecond) {
+		t.Fatalf("completed too early: %v", completed)
+	}
+}
+
+func TestSequentialDetection(t *testing.T) {
+	eng := sim.NewEngine()
+	d := New(eng, testParams())
+	eng.Go("r", func(p *sim.Proc) {
+		d.Read(p, 0, 4096)
+		d.Read(p, 4096, 4096)
+		d.Read(p, 1<<20, 4096)
+	})
+	eng.Run()
+	if st := d.Stats(); st.Sequential != 1 {
+		t.Fatalf("sequential = %d, want 1", st.Sequential)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	eng := sim.NewEngine()
+	d := New(eng, testParams())
+	eng.Go("r", func(p *sim.Proc) { d.Read(p, 0, 4096) })
+	eng.Run()
+	d.ResetStats()
+	if st := d.Stats(); st.Requests != 0 || st.BytesRead != 0 {
+		t.Fatalf("stats not reset: %+v", st)
+	}
+}
+
+func TestZeroLengthReadPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	eng := sim.NewEngine()
+	d := New(eng, testParams())
+	d.SubmitRead(0, 0)
+}

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"fmt"
+
+	"snapbpf/internal/ebpf"
+	"snapbpf/internal/vmm"
+)
+
+// KfuncSnapbpfPrefetchID is the registered kfunc id of
+// snapbpf_prefetch().
+const KfuncSnapbpfPrefetchID = ebpf.KfuncBase
+
+// EnsureKfunc registers the snapbpf_prefetch kfunc on the host's BPF
+// subsystem (idempotent). The kfunc wraps the page cache readahead
+// routine page_cache_ra_unbounded(): it asynchronously fetches npages
+// pages of the given inode starting at pgoff into the OS page cache
+// (§3.1: "we implement an eBPF helper function, more specifically a
+// kfunc (snapbpf_prefetch()), which wraps around the Linux page cache
+// readahead routine").
+//
+// Arguments (R1–R3): inode id, start page offset, page count.
+// Returns the number of pages newly submitted for read.
+func EnsureKfunc(h *vmm.Host) {
+	if _, ok := h.BPF.Helper(KfuncSnapbpfPrefetchID); ok {
+		return
+	}
+	h.BPF.MustRegisterHelper(KfuncSnapbpfPrefetchID, "snapbpf_prefetch",
+		func(ctx *ebpf.CallContext, args [5]uint64) (uint64, error) {
+			host, ok := ctx.Env.(*vmm.Host)
+			if !ok {
+				return 0, fmt.Errorf("snapbpf_prefetch: no host environment")
+			}
+			ino, ok := host.Cache.InodeByID(args[0])
+			if !ok {
+				return 0, fmt.Errorf("snapbpf_prefetch: unknown inode %d", args[0])
+			}
+			start := int64(args[1])
+			n := int64(args[2])
+			if start < 0 || n <= 0 {
+				return 0, fmt.Errorf("snapbpf_prefetch: bad range (%d, %d)", start, n)
+			}
+			return uint64(ino.ReadaheadAsync(start, n)), nil
+		})
+}

@@ -1,0 +1,98 @@
+// Package costmodel centralises the software latency constants used by
+// the simulated kernel and VMM paths.
+//
+// Device time (flash access, transfer) lives in internal/blockdev;
+// this package covers the CPU-side costs: fault handling, userfaultfd
+// round trips, copies, syscalls and eBPF dispatch. Values are
+// order-of-magnitude figures for a ~2.5GHz server core (the paper pins
+// cores of an EPYC 7402 at 2.5GHz), drawn from published
+// microbenchmarks of the respective kernel paths. The figures the
+// harness reports are *relative* (normalized latency, ratios), which
+// is also how the paper presents them, so shapes are insensitive to
+// modest errors in these constants.
+package costmodel
+
+import "time"
+
+// Model is the set of CPU-side latency constants.
+type Model struct {
+	// MinorFault is an EPT violation resolved against a present page
+	// (page-cache hit or already-allocated anon): VM exit + fill.
+	MinorFault time.Duration
+
+	// MajorFaultSW is the software overhead of a fault that misses the
+	// page cache, excluding device time (allocation, cache insertion,
+	// I/O submission).
+	MajorFaultSW time.Duration
+
+	// PageCacheInsert is the per-page cost of add_to_page_cache_lru.
+	PageCacheInsert time.Duration
+
+	// KprobeDispatch is the per-firing overhead of an attached kprobe
+	// plus eBPF program entry/exit.
+	KprobeDispatch time.Duration
+
+	// BPFInsn is the interpreter cost per eBPF instruction executed.
+	BPFInsn time.Duration
+
+	// UffdRoundTrip is the kernel→userspace→kernel latency of a
+	// userfaultfd fault notification and its wakeup.
+	UffdRoundTrip time.Duration
+
+	// UffdCopyPage is a UFFDIO_COPY of one 4KiB page (allocation +
+	// copy + page-table install).
+	UffdCopyPage time.Duration
+
+	// CopyUserPage is copying one 4KiB page between kernel and user
+	// space (buffered read/write path).
+	CopyUserPage time.Duration
+
+	// CoWCopyPage is breaking copy-on-write on one page: allocation +
+	// copy + remap.
+	CoWCopyPage time.Duration
+
+	// ZeroFillPage is allocating and zeroing one anonymous page.
+	ZeroFillPage time.Duration
+
+	// Syscall is the base cost of entering and leaving the kernel.
+	Syscall time.Duration
+
+	// MmapRegion is the cost of creating one VMA (mmap/munmap pair is
+	// twice this); FaaSnap pays it per working-set region.
+	MmapRegion time.Duration
+
+	// BPFMapUpdateUser is a userspace bpf(2) map update of one
+	// element, paid when the VMM loads the offset schedule into the
+	// kernel (the paper's measured ~1–2ms for a whole working set).
+	BPFMapUpdateUser time.Duration
+
+	// EPTMapPage is installing one nested-page-table entry outside the
+	// fault path (e.g. the PV double-mapping of mirror and original
+	// gPFN).
+	EPTMapPage time.Duration
+
+	// VMRestoreBase is the fixed firecracker snapshot-restore cost
+	// (load VM state, configure devices) before first guest execution.
+	VMRestoreBase time.Duration
+}
+
+// Default returns the calibrated model used by all experiments.
+func Default() Model {
+	return Model{
+		MinorFault:       1200 * time.Nanosecond,
+		MajorFaultSW:     2500 * time.Nanosecond,
+		PageCacheInsert:  250 * time.Nanosecond,
+		KprobeDispatch:   150 * time.Nanosecond,
+		BPFInsn:          2 * time.Nanosecond,
+		UffdRoundTrip:    9 * time.Microsecond,
+		UffdCopyPage:     2800 * time.Nanosecond,
+		CopyUserPage:     900 * time.Nanosecond,
+		CoWCopyPage:      2200 * time.Nanosecond,
+		ZeroFillPage:     800 * time.Nanosecond,
+		Syscall:          400 * time.Nanosecond,
+		MmapRegion:       1800 * time.Nanosecond,
+		BPFMapUpdateUser: 450 * time.Nanosecond,
+		EPTMapPage:       350 * time.Nanosecond,
+		VMRestoreBase:    4 * time.Millisecond,
+	}
+}

@@ -1,0 +1,33 @@
+package costmodel
+
+import "testing"
+
+// The cost model is data, but its orderings are load-bearing for every
+// experiment shape: violating them would silently invert results.
+func TestDefaultOrderings(t *testing.T) {
+	m := Default()
+	if m.MinorFault <= 0 {
+		t.Fatal("non-positive minor fault cost")
+	}
+	if m.MajorFaultSW <= m.MinorFault {
+		t.Fatal("major-fault software cost must exceed a minor fault")
+	}
+	if m.UffdRoundTrip <= m.MinorFault {
+		t.Fatal("a userfaultfd round trip must cost more than an in-kernel fault")
+	}
+	if m.UffdCopyPage <= m.CopyUserPage/2 {
+		t.Fatal("UFFDIO_COPY must not be cheaper than half a user copy")
+	}
+	if m.ZeroFillPage >= m.CoWCopyPage {
+		t.Fatal("zero-fill must be cheaper than a CoW copy")
+	}
+	if m.KprobeDispatch >= m.MinorFault {
+		t.Fatal("kprobe dispatch must be cheap relative to a fault")
+	}
+	if m.BPFMapUpdateUser >= m.UffdRoundTrip {
+		t.Fatal("a map update must be cheaper than a uffd round trip")
+	}
+	if m.VMRestoreBase <= 0 {
+		t.Fatal("restore base missing")
+	}
+}

@@ -1,0 +1,239 @@
+package ebpf
+
+import "fmt"
+
+// Builder assembles eBPF programs instruction by instruction, with
+// symbolic labels resolved at Program() time. It is the in-repo
+// equivalent of writing restricted C and compiling with clang -target
+// bpf: the SnapBPF capture and prefetch programs are authored with it.
+type Builder struct {
+	insns  []Instruction
+	labels map[string]int // label -> instruction index
+	fixups map[int]string // instruction index -> target label
+	errs   []error
+}
+
+// NewBuilder returns an empty program builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		labels: make(map[string]int),
+		fixups: make(map[int]string),
+	}
+}
+
+func (b *Builder) emit(in Instruction) *Builder {
+	b.insns = append(b.insns, in)
+	return b
+}
+
+// Label defines a jump target at the next instruction.
+func (b *Builder) Label(name string) *Builder {
+	if _, dup := b.labels[name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("duplicate label %q", name))
+		return b
+	}
+	b.labels[name] = len(b.insns)
+	return b
+}
+
+// Mov64Reg emits dst = src.
+func (b *Builder) Mov64Reg(dst, src Register) *Builder {
+	return b.emit(Instruction{Op: ClassALU64 | OpMov | SrcX, Dst: dst, Src: src})
+}
+
+// Mov64Imm emits dst = imm (sign-extended 32-bit immediate).
+func (b *Builder) Mov64Imm(dst Register, imm int32) *Builder {
+	return b.emit(Instruction{Op: ClassALU64 | OpMov | SrcK, Dst: dst, Imm: imm})
+}
+
+// LdImm64 emits the two-slot load of a full 64-bit constant.
+func (b *Builder) LdImm64(dst Register, v uint64) *Builder {
+	b.emit(Instruction{Op: OpLdImm64, Dst: dst, Imm: int32(uint32(v))})
+	return b.emit(Instruction{Op: 0, Imm: int32(uint32(v >> 32))})
+}
+
+// ALU64 operations with register operand.
+
+func (b *Builder) Add64Reg(dst, src Register) *Builder {
+	return b.emit(Instruction{Op: ClassALU64 | OpAdd | SrcX, Dst: dst, Src: src})
+}
+func (b *Builder) Sub64Reg(dst, src Register) *Builder {
+	return b.emit(Instruction{Op: ClassALU64 | OpSub | SrcX, Dst: dst, Src: src})
+}
+func (b *Builder) Mul64Reg(dst, src Register) *Builder {
+	return b.emit(Instruction{Op: ClassALU64 | OpMul | SrcX, Dst: dst, Src: src})
+}
+func (b *Builder) Div64Reg(dst, src Register) *Builder {
+	return b.emit(Instruction{Op: ClassALU64 | OpDiv | SrcX, Dst: dst, Src: src})
+}
+func (b *Builder) And64Reg(dst, src Register) *Builder {
+	return b.emit(Instruction{Op: ClassALU64 | OpAnd | SrcX, Dst: dst, Src: src})
+}
+func (b *Builder) Or64Reg(dst, src Register) *Builder {
+	return b.emit(Instruction{Op: ClassALU64 | OpOr | SrcX, Dst: dst, Src: src})
+}
+func (b *Builder) Xor64Reg(dst, src Register) *Builder {
+	return b.emit(Instruction{Op: ClassALU64 | OpXor | SrcX, Dst: dst, Src: src})
+}
+
+// ALU64 operations with immediate operand.
+
+func (b *Builder) Add64Imm(dst Register, imm int32) *Builder {
+	return b.emit(Instruction{Op: ClassALU64 | OpAdd | SrcK, Dst: dst, Imm: imm})
+}
+func (b *Builder) Sub64Imm(dst Register, imm int32) *Builder {
+	return b.emit(Instruction{Op: ClassALU64 | OpSub | SrcK, Dst: dst, Imm: imm})
+}
+func (b *Builder) Mul64Imm(dst Register, imm int32) *Builder {
+	return b.emit(Instruction{Op: ClassALU64 | OpMul | SrcK, Dst: dst, Imm: imm})
+}
+func (b *Builder) Div64Imm(dst Register, imm int32) *Builder {
+	return b.emit(Instruction{Op: ClassALU64 | OpDiv | SrcK, Dst: dst, Imm: imm})
+}
+func (b *Builder) Mod64Imm(dst Register, imm int32) *Builder {
+	return b.emit(Instruction{Op: ClassALU64 | OpMod | SrcK, Dst: dst, Imm: imm})
+}
+func (b *Builder) And64Imm(dst Register, imm int32) *Builder {
+	return b.emit(Instruction{Op: ClassALU64 | OpAnd | SrcK, Dst: dst, Imm: imm})
+}
+func (b *Builder) Or64Imm(dst Register, imm int32) *Builder {
+	return b.emit(Instruction{Op: ClassALU64 | OpOr | SrcK, Dst: dst, Imm: imm})
+}
+func (b *Builder) Lsh64Imm(dst Register, imm int32) *Builder {
+	return b.emit(Instruction{Op: ClassALU64 | OpLsh | SrcK, Dst: dst, Imm: imm})
+}
+func (b *Builder) Rsh64Imm(dst Register, imm int32) *Builder {
+	return b.emit(Instruction{Op: ClassALU64 | OpRsh | SrcK, Dst: dst, Imm: imm})
+}
+func (b *Builder) Neg64(dst Register) *Builder {
+	return b.emit(Instruction{Op: ClassALU64 | OpNeg, Dst: dst})
+}
+
+// Memory operations. Loads and stores may only touch the stack
+// ([fp-512, fp)); the verifier enforces this.
+
+// LdxDW emits dst = *(u64 *)(src + off).
+func (b *Builder) LdxDW(dst, src Register, off int16) *Builder {
+	return b.emit(Instruction{Op: ClassLDX | ModeMEM | SizeDW, Dst: dst, Src: src, Off: off})
+}
+
+// StxDW emits *(u64 *)(dst + off) = src.
+func (b *Builder) StxDW(dst Register, off int16, src Register) *Builder {
+	return b.emit(Instruction{Op: ClassSTX | ModeMEM | SizeDW, Dst: dst, Off: off, Src: src})
+}
+
+// StDWImm emits *(u64 *)(dst + off) = imm. (Encoded as ST|DW.)
+func (b *Builder) StDWImm(dst Register, off int16, imm int32) *Builder {
+	return b.emit(Instruction{Op: ClassST | ModeMEM | SizeDW, Dst: dst, Off: off, Imm: imm})
+}
+
+// Control flow.
+
+// Ja emits an unconditional jump to label.
+func (b *Builder) Ja(label string) *Builder {
+	b.fixups[len(b.insns)] = label
+	return b.emit(Instruction{Op: ClassJMP | OpJa})
+}
+
+// JmpImm emits a conditional jump comparing dst against an immediate.
+// op is one of OpJeq, OpJne, OpJgt, OpJge, OpJlt, OpJle, OpJsgt,
+// OpJsge, OpJslt, OpJsle, OpJset.
+func (b *Builder) JmpImm(op uint8, dst Register, imm int32, label string) *Builder {
+	b.fixups[len(b.insns)] = label
+	return b.emit(Instruction{Op: ClassJMP | op | SrcK, Dst: dst, Imm: imm})
+}
+
+// JmpReg emits a conditional jump comparing dst against src.
+func (b *Builder) JmpReg(op uint8, dst, src Register, label string) *Builder {
+	b.fixups[len(b.insns)] = label
+	return b.emit(Instruction{Op: ClassJMP | op | SrcX, Dst: dst, Src: src})
+}
+
+// Jmp32Imm emits a conditional jump comparing the low 32 bits of dst
+// against an immediate (the BPF_JMP32 class).
+func (b *Builder) Jmp32Imm(op uint8, dst Register, imm int32, label string) *Builder {
+	b.fixups[len(b.insns)] = label
+	return b.emit(Instruction{Op: ClassJMP32 | op | SrcK, Dst: dst, Imm: imm})
+}
+
+// Jmp32Reg emits a conditional jump comparing the low 32 bits of dst
+// and src.
+func (b *Builder) Jmp32Reg(op uint8, dst, src Register, label string) *Builder {
+	b.fixups[len(b.insns)] = label
+	return b.emit(Instruction{Op: ClassJMP32 | op | SrcX, Dst: dst, Src: src})
+}
+
+// 32-bit ALU operations (zero the upper half of the destination).
+
+func (b *Builder) Mov32Imm(dst Register, imm int32) *Builder {
+	return b.emit(Instruction{Op: ClassALU | OpMov | SrcK, Dst: dst, Imm: imm})
+}
+func (b *Builder) Mov32Reg(dst, src Register) *Builder {
+	return b.emit(Instruction{Op: ClassALU | OpMov | SrcX, Dst: dst, Src: src})
+}
+func (b *Builder) Add32Imm(dst Register, imm int32) *Builder {
+	return b.emit(Instruction{Op: ClassALU | OpAdd | SrcK, Dst: dst, Imm: imm})
+}
+func (b *Builder) Sub32Imm(dst Register, imm int32) *Builder {
+	return b.emit(Instruction{Op: ClassALU | OpSub | SrcK, Dst: dst, Imm: imm})
+}
+func (b *Builder) And32Imm(dst Register, imm int32) *Builder {
+	return b.emit(Instruction{Op: ClassALU | OpAnd | SrcK, Dst: dst, Imm: imm})
+}
+
+// Call emits a helper or kfunc call by identifier. Arguments are taken
+// from R1–R5 and the result lands in R0; R1–R5 are clobbered.
+func (b *Builder) Call(helper int32) *Builder {
+	return b.emit(Instruction{Op: ClassJMP | OpCall, Imm: helper})
+}
+
+// Exit emits the program-return instruction (return R0).
+func (b *Builder) Exit() *Builder {
+	return b.emit(Instruction{Op: ClassJMP | OpExit})
+}
+
+// Raw appends a pre-encoded instruction.
+func (b *Builder) Raw(in Instruction) *Builder { return b.emit(in) }
+
+// Program resolves labels and returns the instruction stream. It does
+// not verify the program; pass the result to Verify or Load.
+func (b *Builder) Program() ([]Instruction, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	out := make([]Instruction, len(b.insns))
+	copy(out, b.insns)
+	for idx, label := range b.fixups {
+		target, ok := b.labels[label]
+		if !ok {
+			return nil, fmt.Errorf("undefined label %q at insn %d", label, idx)
+		}
+		// Offset is relative to the instruction *after* the jump.
+		rel := target - idx - 1
+		if rel < -32768 || rel > 32767 {
+			return nil, fmt.Errorf("jump to %q out of int16 range (%d)", label, rel)
+		}
+		out[idx].Off = int16(rel)
+	}
+	return out, nil
+}
+
+// MustProgram is Program but panics on error; for static programs whose
+// correctness is covered by tests.
+func (b *Builder) MustProgram() []Instruction {
+	p, err := b.Program()
+	if err != nil {
+		panic("ebpf: " + err.Error())
+	}
+	return p
+}
+
+// Disassemble renders a program as readable assembly, one instruction
+// per line, for debugging and the wsinspect tool.
+func Disassemble(insns []Instruction) string {
+	out := ""
+	for i, in := range insns {
+		out += fmt.Sprintf("%4d: %s\n", i, in.String())
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package ebpf
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Wire-format encoding of programs, using the kernel's fixed 8-byte
+// instruction layout:
+//
+//	byte 0   opcode
+//	byte 1   dst_reg (low nibble) | src_reg (high nibble)
+//	bytes 2-3  offset, little-endian int16
+//	bytes 4-7  immediate, little-endian int32
+//
+// This is the format bpf(BPF_PROG_LOAD) consumes and object files
+// carry, so captured programs can be stored and reloaded as artifacts.
+
+// InstructionSize is the wire size of one instruction slot.
+const InstructionSize = 8
+
+// MarshalInstructions encodes a program into the kernel wire format.
+func MarshalInstructions(insns []Instruction) ([]byte, error) {
+	out := make([]byte, 0, len(insns)*InstructionSize)
+	for i, in := range insns {
+		if in.Dst >= 16 || in.Src >= 16 {
+			return nil, fmt.Errorf("ebpf: insn %d: register out of encoding range", i)
+		}
+		var b [InstructionSize]byte
+		b[0] = in.Op
+		b[1] = uint8(in.Dst) | uint8(in.Src)<<4
+		binary.LittleEndian.PutUint16(b[2:], uint16(in.Off))
+		binary.LittleEndian.PutUint32(b[4:], uint32(in.Imm))
+		out = append(out, b[:]...)
+	}
+	return out, nil
+}
+
+// UnmarshalInstructions decodes a wire-format program.
+func UnmarshalInstructions(data []byte) ([]Instruction, error) {
+	if len(data)%InstructionSize != 0 {
+		return nil, fmt.Errorf("ebpf: program size %d not a multiple of %d", len(data), InstructionSize)
+	}
+	n := len(data) / InstructionSize
+	out := make([]Instruction, n)
+	for i := 0; i < n; i++ {
+		b := data[i*InstructionSize:]
+		out[i] = Instruction{
+			Op:  b[0],
+			Dst: Register(b[1] & 0x0f),
+			Src: Register(b[1] >> 4),
+			Off: int16(binary.LittleEndian.Uint16(b[2:])),
+			Imm: int32(binary.LittleEndian.Uint32(b[4:])),
+		}
+	}
+	return out, nil
+}
+
+// WriteProgram writes a program with a small header (magic, version,
+// instruction count, CRC-free — programs are verified on load anyway).
+func WriteProgram(w io.Writer, insns []Instruction) error {
+	data, err := MarshalInstructions(insns)
+	if err != nil {
+		return err
+	}
+	hdr := []uint32{0x65425046 /* "FPBe" */, 1, uint32(len(insns))}
+	if err := binary.Write(w, binary.LittleEndian, hdr); err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// ReadProgram reads a program written by WriteProgram.
+func ReadProgram(r io.Reader) ([]Instruction, error) {
+	var hdr [3]uint32
+	if err := binary.Read(r, binary.LittleEndian, &hdr); err != nil {
+		return nil, fmt.Errorf("ebpf: reading program header: %w", err)
+	}
+	if hdr[0] != 0x65425046 {
+		return nil, fmt.Errorf("ebpf: bad program magic %#x", hdr[0])
+	}
+	if hdr[1] != 1 {
+		return nil, fmt.Errorf("ebpf: unsupported program version %d", hdr[1])
+	}
+	if hdr[2] > MaxProgramLen {
+		return nil, fmt.Errorf("ebpf: program too long: %d insns", hdr[2])
+	}
+	data := make([]byte, int(hdr[2])*InstructionSize)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return nil, fmt.Errorf("ebpf: truncated program: %w", err)
+	}
+	return UnmarshalInstructions(data)
+}

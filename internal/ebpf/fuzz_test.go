@@ -1,0 +1,157 @@
+package ebpf
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestVerifierSoundness is the contract the kernel's verifier makes:
+// any program it accepts executes without memory-safety violations.
+// We generate random instruction streams; whenever Verify accepts one,
+// running it must only ever fail with the instruction-budget abort
+// (runtime termination is enforced dynamically), never with a stack
+// bounds error, an unknown opcode, a bad helper, or a wild pc.
+func TestVerifierSoundness(t *testing.T) {
+	vm := NewVM()
+	m := MustNewMap(MapTypeHash, "fuzz", 1024)
+	fd := vm.RegisterMap(m)
+
+	const trials = 4000
+	accepted, executed := 0, 0
+	for seed := int64(0); seed < trials; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		insns := randomProgram(rng, fd)
+		if err := Verify(insns, vm); err != nil {
+			continue
+		}
+		accepted++
+		prog := &Program{Name: "fuzz", insns: insns, vm: vm, Enabled: true}
+		_, err := prog.Run(nil, rng.Uint64(), rng.Uint64())
+		if err == nil {
+			executed++
+			continue
+		}
+		if strings.Contains(err.Error(), "instruction budget") {
+			continue // dynamic termination: allowed
+		}
+		t.Fatalf("seed %d: verifier accepted a program that failed at runtime: %v\n%s",
+			seed, err, Disassemble(insns))
+	}
+	if accepted == 0 {
+		t.Fatal("fuzzer generated no verifiable programs; generator too wild")
+	}
+	if executed == 0 {
+		t.Fatal("no accepted program ran to completion")
+	}
+	t.Logf("fuzz: %d/%d accepted, %d ran to exit", accepted, trials, executed)
+}
+
+// randomProgram emits a random but loosely-shaped instruction stream:
+// mostly well-formed instructions over random registers/offsets, with
+// a guaranteed trailing exit so some programs terminate.
+func randomProgram(rng *rand.Rand, mapFD int32) []Instruction {
+	n := 2 + rng.Intn(12)
+	insns := make([]Instruction, 0, n+2)
+	aluOps := []uint8{OpAdd, OpSub, OpMul, OpDiv, OpOr, OpAnd, OpLsh, OpRsh, OpMod, OpXor, OpMov, OpArsh, OpNeg}
+	jmpOps := []uint8{OpJeq, OpJgt, OpJge, OpJset, OpJne, OpJsgt, OpJsge, OpJlt, OpJle, OpJslt, OpJsle}
+	reg := func() Register { return Register(rng.Intn(11)) }
+	for i := 0; i < n; i++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3: // alu
+			op := aluOps[rng.Intn(len(aluOps))]
+			cls := uint8(ClassALU64)
+			if rng.Intn(3) == 0 {
+				cls = ClassALU
+			}
+			src := uint8(SrcK)
+			if rng.Intn(2) == 0 {
+				src = SrcX
+			}
+			insns = append(insns, Instruction{
+				Op: cls | op | src, Dst: reg(), Src: reg(),
+				Imm: int32(rng.Intn(64)) - 8,
+			})
+		case 4: // store
+			insns = append(insns, Instruction{
+				Op:  ClassSTX | ModeMEM | SizeDW,
+				Dst: R10, Src: reg(), Off: int16(-8 * (1 + rng.Intn(64))),
+			})
+		case 5: // load
+			insns = append(insns, Instruction{
+				Op:  ClassLDX | ModeMEM | SizeDW,
+				Dst: reg(), Src: R10, Off: int16(-8 * (1 + rng.Intn(64))),
+			})
+		case 6: // jump
+			op := jmpOps[rng.Intn(len(jmpOps))]
+			cls := uint8(ClassJMP)
+			if rng.Intn(4) == 0 {
+				cls = ClassJMP32
+			}
+			insns = append(insns, Instruction{
+				Op: cls | op | SrcK, Dst: reg(),
+				Imm: int32(rng.Intn(16)),
+				Off: int16(rng.Intn(9) - 4), // forward and backward
+			})
+		case 7: // helper call (map update with pointers to stack)
+			insns = append(insns,
+				Instruction{Op: ClassST | ModeMEM | SizeDW, Dst: R10, Off: -8, Imm: int32(rng.Intn(100))},
+				Instruction{Op: ClassST | ModeMEM | SizeDW, Dst: R10, Off: -16, Imm: int32(rng.Intn(100))},
+				Instruction{Op: ClassALU64 | OpMov | SrcK, Dst: R1, Imm: mapFD},
+				Instruction{Op: ClassALU64 | OpMov | SrcX, Dst: R2, Src: R10},
+				Instruction{Op: ClassALU64 | OpAdd | SrcK, Dst: R2, Imm: -8},
+				Instruction{Op: ClassALU64 | OpMov | SrcX, Dst: R3, Src: R10},
+				Instruction{Op: ClassALU64 | OpAdd | SrcK, Dst: R3, Imm: -16},
+				Instruction{Op: ClassJMP | OpCall, Imm: HelperMapUpdateElem},
+			)
+		case 8: // lddw
+			insns = append(insns,
+				Instruction{Op: OpLdImm64, Dst: reg(), Imm: int32(rng.Uint32())},
+				Instruction{Op: 0, Imm: int32(rng.Uint32())},
+			)
+		case 9: // early exit path
+			insns = append(insns,
+				Instruction{Op: ClassALU64 | OpMov | SrcK, Dst: R0, Imm: 1},
+				Instruction{Op: ClassJMP | OpExit},
+			)
+		}
+	}
+	insns = append(insns,
+		Instruction{Op: ClassALU64 | OpMov | SrcK, Dst: R0, Imm: 0},
+		Instruction{Op: ClassJMP | OpExit},
+	)
+	return insns
+}
+
+// TestVerifierRejectsMutatedValidPrograms mutates a known-good program
+// byte-wise; Verify may accept or reject, but accepted mutants must
+// still run safely (a second soundness angle: bit flips, not
+// generation).
+func TestVerifierRejectsMutatedValidPrograms(t *testing.T) {
+	vm := NewVM()
+	base := benchProgram()
+	data, err := MarshalInstructions(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 2000; trial++ {
+		mut := append([]byte(nil), data...)
+		for flips := 0; flips < 1+rng.Intn(3); flips++ {
+			mut[rng.Intn(len(mut))] ^= byte(1 << rng.Intn(8))
+		}
+		insns, err := UnmarshalInstructions(mut)
+		if err != nil {
+			continue
+		}
+		if err := Verify(insns, vm); err != nil {
+			continue
+		}
+		prog := &Program{Name: "mut", insns: insns, vm: vm, Enabled: true}
+		if _, err := prog.Run(nil, 1, 2); err != nil &&
+			!strings.Contains(err.Error(), "instruction budget") {
+			t.Fatalf("trial %d: accepted mutant failed at runtime: %v\n%s",
+				trial, err, Disassemble(insns))
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package ebpf
+
+import "fmt"
+
+// Standard helper IDs, mirroring the Linux helper numbering where a
+// counterpart exists.
+const (
+	HelperMapLookupElem int32 = 1
+	HelperMapUpdateElem int32 = 2
+	HelperMapDeleteElem int32 = 3
+	HelperKtimeGetNS    int32 = 5
+	HelperTracePrintk   int32 = 6
+
+	// KfuncBase is the first ID available for dynamically registered
+	// kernel functions (kfuncs). SnapBPF registers snapbpf_prefetch
+	// here (§3.1 of the paper).
+	KfuncBase int32 = 0x10000
+)
+
+// Clock provides the time source for bpf_ktime_get_ns. The simulation
+// installs the engine's virtual clock via SetClock.
+type Clock func() uint64
+
+// SetClock installs the ktime source for this VM.
+func (vm *VM) SetClock(c Clock) { vm.clock = c }
+
+// registerStandardHelpers installs the map helpers, ktime and
+// trace_printk.
+//
+// Deviation from the kernel ABI, documented here and in doc.go: map
+// values are u64 and bpf_map_lookup_elem takes (map_fd, key_ptr,
+// value_ptr) and returns 1/0 for hit/miss, writing the value through
+// value_ptr, instead of returning a value pointer. Our VM has no
+// general kernel memory, so pointer-returning helpers have no address
+// space to point into; the hit/miss return preserves the control flow
+// structure of real programs (null-check after lookup).
+func registerStandardHelpers(vm *VM) {
+	vm.MustRegisterHelper(HelperMapLookupElem, "bpf_map_lookup_elem",
+		func(ctx *CallContext, args [5]uint64) (uint64, error) {
+			m, ok := ctx.VM.MapByFD(int32(args[0]))
+			if !ok {
+				return 0, fmt.Errorf("bad map fd %d", int32(args[0]))
+			}
+			key, err := ctx.ReadStackU64(args[1])
+			if err != nil {
+				return 0, err
+			}
+			v, found := m.Lookup(key)
+			if !found {
+				return 0, nil
+			}
+			if err := ctx.WriteStackU64(args[2], v); err != nil {
+				return 0, err
+			}
+			return 1, nil
+		})
+
+	vm.MustRegisterHelper(HelperMapUpdateElem, "bpf_map_update_elem",
+		func(ctx *CallContext, args [5]uint64) (uint64, error) {
+			m, ok := ctx.VM.MapByFD(int32(args[0]))
+			if !ok {
+				return 0, fmt.Errorf("bad map fd %d", int32(args[0]))
+			}
+			key, err := ctx.ReadStackU64(args[1])
+			if err != nil {
+				return 0, err
+			}
+			val, err := ctx.ReadStackU64(args[2])
+			if err != nil {
+				return 0, err
+			}
+			m.ProgUpdates++
+			if err := m.Update(key, val); err != nil {
+				// Full map: return -E2BIG like the kernel rather than
+				// aborting the program.
+				return uint64(^uint64(0) - 6), nil
+			}
+			return 0, nil
+		})
+
+	vm.MustRegisterHelper(HelperMapDeleteElem, "bpf_map_delete_elem",
+		func(ctx *CallContext, args [5]uint64) (uint64, error) {
+			m, ok := ctx.VM.MapByFD(int32(args[0]))
+			if !ok {
+				return 0, fmt.Errorf("bad map fd %d", int32(args[0]))
+			}
+			key, err := ctx.ReadStackU64(args[1])
+			if err != nil {
+				return 0, err
+			}
+			if m.Delete(key) {
+				return 0, nil
+			}
+			return uint64(^uint64(0) - 1), nil // -ENOENT
+		})
+
+	vm.MustRegisterHelper(HelperKtimeGetNS, "bpf_ktime_get_ns",
+		func(ctx *CallContext, args [5]uint64) (uint64, error) {
+			if ctx.VM.clock == nil {
+				return 0, nil
+			}
+			return ctx.VM.clock(), nil
+		})
+
+	vm.MustRegisterHelper(HelperTracePrintk, "bpf_trace_printk",
+		func(ctx *CallContext, args [5]uint64) (uint64, error) {
+			if ctx.VM.TraceLog != nil {
+				ctx.VM.TraceLog(fmt.Sprintf("bpf_trace_printk: %d %d %d %d %d",
+					args[0], args[1], args[2], args[3], args[4]))
+			}
+			return 0, nil
+		})
+}

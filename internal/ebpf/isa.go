@@ -1,0 +1,258 @@
+package ebpf
+
+import "fmt"
+
+// Register is one of the eleven eBPF registers R0–R10.
+type Register uint8
+
+// eBPF registers. Calling convention follows the kernel ABI: R1–R5
+// carry arguments into the program and into helper calls, R0 carries
+// return values, R6–R9 are callee-saved scratch, and R10 is the
+// read-only frame pointer to the top of the 512-byte stack.
+const (
+	R0 Register = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+
+	// RFP is an alias for the frame pointer.
+	RFP = R10
+
+	numRegisters = 11
+)
+
+func (r Register) String() string {
+	if r == R10 {
+		return "fp"
+	}
+	return fmt.Sprintf("r%d", uint8(r))
+}
+
+// Instruction classes (low 3 bits of the opcode), matching the Linux
+// eBPF encoding.
+const (
+	ClassLD    = 0x00
+	ClassLDX   = 0x01
+	ClassST    = 0x02
+	ClassSTX   = 0x03
+	ClassALU   = 0x04
+	ClassJMP   = 0x05
+	ClassJMP32 = 0x06
+	ClassALU64 = 0x07
+)
+
+// Size field for memory instructions.
+const (
+	SizeW  = 0x00 // 4 bytes
+	SizeH  = 0x08 // 2 bytes
+	SizeB  = 0x10 // 1 byte
+	SizeDW = 0x18 // 8 bytes
+)
+
+// Mode field for load/store instructions.
+const (
+	ModeIMM = 0x00
+	ModeMEM = 0x60
+)
+
+// Source field for ALU/JMP instructions.
+const (
+	SrcK = 0x00 // immediate operand
+	SrcX = 0x08 // register operand
+)
+
+// ALU/ALU64 operation field (high 4 bits).
+const (
+	OpAdd  = 0x00
+	OpSub  = 0x10
+	OpMul  = 0x20
+	OpDiv  = 0x30
+	OpOr   = 0x40
+	OpAnd  = 0x50
+	OpLsh  = 0x60
+	OpRsh  = 0x70
+	OpNeg  = 0x80
+	OpMod  = 0x90
+	OpXor  = 0xa0
+	OpMov  = 0xb0
+	OpArsh = 0xc0
+)
+
+// JMP operation field (high 4 bits).
+const (
+	OpJa   = 0x00
+	OpJeq  = 0x10
+	OpJgt  = 0x20
+	OpJge  = 0x30
+	OpJset = 0x40
+	OpJne  = 0x50
+	OpJsgt = 0x60
+	OpJsge = 0x70
+	OpCall = 0x80
+	OpExit = 0x90
+	OpJlt  = 0xa0
+	OpJle  = 0xb0
+	OpJslt = 0xc0
+	OpJsle = 0xd0
+)
+
+// Frequently used full opcodes.
+const (
+	// OpLdImm64 is the two-slot 64-bit immediate load (LD|IMM|DW).
+	OpLdImm64 = ClassLD | ModeIMM | SizeDW
+)
+
+// Instruction is a single eBPF instruction in the fixed 8-byte layout.
+// A 64-bit immediate load occupies two consecutive Instruction slots;
+// the second slot carries the upper 32 bits in Imm with Op==0.
+type Instruction struct {
+	Op  uint8
+	Dst Register
+	Src Register
+	Off int16
+	Imm int32
+}
+
+// Class returns the instruction class bits.
+func (in Instruction) Class() uint8 { return in.Op & 0x07 }
+
+// aluOp returns the operation bits for ALU/JMP classes.
+func (in Instruction) aluOp() uint8 { return in.Op & 0xf0 }
+
+// usesRegSrc reports whether the ALU/JMP operand is a register.
+func (in Instruction) usesRegSrc() bool { return in.Op&0x08 != 0 }
+
+// size returns the memory access width in bytes for LDX/ST/STX.
+func (in Instruction) size() int {
+	switch in.Op & 0x18 {
+	case SizeW:
+		return 4
+	case SizeH:
+		return 2
+	case SizeB:
+		return 1
+	case SizeDW:
+		return 8
+	}
+	return 0
+}
+
+// StackSize is the per-program stack size in bytes, as in Linux.
+const StackSize = 512
+
+// String renders a readable disassembly of the instruction.
+func (in Instruction) String() string {
+	switch in.Class() {
+	case ClassALU64, ClassALU:
+		suffix := ""
+		if in.Class() == ClassALU {
+			suffix = "32"
+		}
+		name := aluName(in.aluOp())
+		if in.aluOp() == OpNeg {
+			return fmt.Sprintf("%s%s %s", name, suffix, in.Dst)
+		}
+		if in.usesRegSrc() {
+			return fmt.Sprintf("%s%s %s, %s", name, suffix, in.Dst, in.Src)
+		}
+		return fmt.Sprintf("%s%s %s, #%d", name, suffix, in.Dst, in.Imm)
+	case ClassJMP, ClassJMP32:
+		suffix := ""
+		if in.Class() == ClassJMP32 {
+			suffix = "32"
+		}
+		switch in.aluOp() {
+		case OpJa:
+			return fmt.Sprintf("ja +%d", in.Off)
+		case OpCall:
+			return fmt.Sprintf("call #%d", in.Imm)
+		case OpExit:
+			return "exit"
+		}
+		if in.usesRegSrc() {
+			return fmt.Sprintf("%s%s %s, %s, +%d", jmpName(in.aluOp()), suffix, in.Dst, in.Src, in.Off)
+		}
+		return fmt.Sprintf("%s%s %s, #%d, +%d", jmpName(in.aluOp()), suffix, in.Dst, in.Imm, in.Off)
+	case ClassLDX:
+		return fmt.Sprintf("ldx%d %s, [%s%+d]", in.size()*8, in.Dst, in.Src, in.Off)
+	case ClassSTX:
+		return fmt.Sprintf("stx%d [%s%+d], %s", in.size()*8, in.Dst, in.Off, in.Src)
+	case ClassST:
+		return fmt.Sprintf("st%d [%s%+d], #%d", in.size()*8, in.Dst, in.Off, in.Imm)
+	case ClassLD:
+		if in.Op == OpLdImm64 {
+			return fmt.Sprintf("lddw %s, #%d(lo)", in.Dst, in.Imm)
+		}
+		if in.Op == 0 {
+			return fmt.Sprintf("lddw-hi #%d", in.Imm)
+		}
+	}
+	return fmt.Sprintf("op=%#02x dst=%s src=%s off=%d imm=%d", in.Op, in.Dst, in.Src, in.Off, in.Imm)
+}
+
+func aluName(op uint8) string {
+	switch op {
+	case OpAdd:
+		return "add"
+	case OpSub:
+		return "sub"
+	case OpMul:
+		return "mul"
+	case OpDiv:
+		return "div"
+	case OpOr:
+		return "or"
+	case OpAnd:
+		return "and"
+	case OpLsh:
+		return "lsh"
+	case OpRsh:
+		return "rsh"
+	case OpNeg:
+		return "neg"
+	case OpMod:
+		return "mod"
+	case OpXor:
+		return "xor"
+	case OpMov:
+		return "mov"
+	case OpArsh:
+		return "arsh"
+	}
+	return fmt.Sprintf("alu%#x", op)
+}
+
+func jmpName(op uint8) string {
+	switch op {
+	case OpJeq:
+		return "jeq"
+	case OpJgt:
+		return "jgt"
+	case OpJge:
+		return "jge"
+	case OpJset:
+		return "jset"
+	case OpJne:
+		return "jne"
+	case OpJsgt:
+		return "jsgt"
+	case OpJsge:
+		return "jsge"
+	case OpJlt:
+		return "jlt"
+	case OpJle:
+		return "jle"
+	case OpJslt:
+		return "jslt"
+	case OpJsle:
+		return "jsle"
+	}
+	return fmt.Sprintf("jmp%#x", op)
+}

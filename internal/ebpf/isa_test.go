@@ -1,0 +1,158 @@
+package ebpf
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDisassembleAllForms(t *testing.T) {
+	cases := []struct {
+		in   Instruction
+		want string
+	}{
+		{Instruction{Op: ClassALU64 | OpMov | SrcK, Dst: R0, Imm: 5}, "mov r0, #5"},
+		{Instruction{Op: ClassALU64 | OpMov | SrcX, Dst: R0, Src: R1}, "mov r0, r1"},
+		{Instruction{Op: ClassALU | OpAdd | SrcK, Dst: R2, Imm: 1}, "add32 r2, #1"},
+		{Instruction{Op: ClassALU64 | OpNeg, Dst: R3}, "neg r3"},
+		{Instruction{Op: ClassALU64 | OpDiv | SrcK, Dst: R1, Imm: 2}, "div r1, #2"},
+		{Instruction{Op: ClassALU64 | OpMod | SrcK, Dst: R1, Imm: 2}, "mod r1, #2"},
+		{Instruction{Op: ClassALU64 | OpXor | SrcX, Dst: R1, Src: R2}, "xor r1, r2"},
+		{Instruction{Op: ClassALU64 | OpArsh | SrcK, Dst: R1, Imm: 3}, "arsh r1, #3"},
+		{Instruction{Op: ClassALU64 | OpLsh | SrcK, Dst: R1, Imm: 3}, "lsh r1, #3"},
+		{Instruction{Op: ClassALU64 | OpRsh | SrcK, Dst: R1, Imm: 3}, "rsh r1, #3"},
+		{Instruction{Op: ClassALU64 | OpAnd | SrcK, Dst: R1, Imm: 3}, "and r1, #3"},
+		{Instruction{Op: ClassALU64 | OpOr | SrcK, Dst: R1, Imm: 3}, "or r1, #3"},
+		{Instruction{Op: ClassALU64 | OpSub | SrcX, Dst: R1, Src: R2}, "sub r1, r2"},
+		{Instruction{Op: ClassALU64 | OpMul | SrcK, Dst: R1, Imm: 3}, "mul r1, #3"},
+		{Instruction{Op: ClassJMP | OpJa, Off: 4}, "ja +4"},
+		{Instruction{Op: ClassJMP | OpCall, Imm: 7}, "call #7"},
+		{Instruction{Op: ClassJMP | OpExit}, "exit"},
+		{Instruction{Op: ClassJMP | OpJeq | SrcK, Dst: R1, Imm: 0, Off: 2}, "jeq r1, #0, +2"},
+		{Instruction{Op: ClassJMP | OpJne | SrcX, Dst: R1, Src: R2, Off: 2}, "jne r1, r2, +2"},
+		{Instruction{Op: ClassJMP32 | OpJgt | SrcK, Dst: R1, Imm: 9, Off: 1}, "jgt32 r1, #9, +1"},
+		{Instruction{Op: ClassJMP | OpJset | SrcK, Dst: R1, Imm: 8, Off: 1}, "jset r1, #8, +1"},
+		{Instruction{Op: ClassJMP | OpJsge | SrcK, Dst: R1, Imm: 8, Off: 1}, "jsge r1, #8, +1"},
+		{Instruction{Op: ClassJMP | OpJslt | SrcK, Dst: R1, Imm: 8, Off: 1}, "jslt r1, #8, +1"},
+		{Instruction{Op: ClassJMP | OpJsle | SrcK, Dst: R1, Imm: 8, Off: 1}, "jsle r1, #8, +1"},
+		{Instruction{Op: ClassJMP | OpJsgt | SrcK, Dst: R1, Imm: 8, Off: 1}, "jsgt r1, #8, +1"},
+		{Instruction{Op: ClassJMP | OpJge | SrcK, Dst: R1, Imm: 8, Off: 1}, "jge r1, #8, +1"},
+		{Instruction{Op: ClassJMP | OpJlt | SrcK, Dst: R1, Imm: 8, Off: 1}, "jlt r1, #8, +1"},
+		{Instruction{Op: ClassJMP | OpJle | SrcK, Dst: R1, Imm: 8, Off: 1}, "jle r1, #8, +1"},
+		{Instruction{Op: ClassLDX | ModeMEM | SizeDW, Dst: R1, Src: R10, Off: -8}, "ldx64 r1, [fp-8]"},
+		{Instruction{Op: ClassLDX | ModeMEM | SizeW, Dst: R1, Src: R10, Off: -8}, "ldx32 r1, [fp-8]"},
+		{Instruction{Op: ClassLDX | ModeMEM | SizeH, Dst: R1, Src: R10, Off: -8}, "ldx16 r1, [fp-8]"},
+		{Instruction{Op: ClassLDX | ModeMEM | SizeB, Dst: R1, Src: R10, Off: -8}, "ldx8 r1, [fp-8]"},
+		{Instruction{Op: ClassSTX | ModeMEM | SizeDW, Dst: R10, Off: -8, Src: R1}, "stx64 [fp-8], r1"},
+		{Instruction{Op: ClassST | ModeMEM | SizeDW, Dst: R10, Off: -8, Imm: 3}, "st64 [fp-8], #3"},
+		{Instruction{Op: OpLdImm64, Dst: R1, Imm: 9}, "lddw r1, #9(lo)"},
+		{Instruction{Op: 0, Imm: 9}, "lddw-hi #9"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String(%#x) = %q, want %q", c.in.Op, got, c.want)
+		}
+	}
+}
+
+func TestRegisterString(t *testing.T) {
+	if R10.String() != "fp" || R3.String() != "r3" {
+		t.Fatal("register names wrong")
+	}
+}
+
+func TestUnknownOpcodeString(t *testing.T) {
+	s := Instruction{Op: ClassLD | 0x40}.String()
+	if !strings.Contains(s, "op=") {
+		t.Fatalf("unknown opcode rendering: %q", s)
+	}
+}
+
+func TestRuntimeErrorPaths(t *testing.T) {
+	vm := NewVM()
+	// Construct raw programs that bypass the verifier to hit the
+	// interpreter's defensive errors (internal test privilege).
+	run := func(insns []Instruction) error {
+		prog := &Program{Name: "raw", insns: insns, vm: vm, Enabled: true}
+		_, err := prog.Run(nil)
+		return err
+	}
+	if err := run([]Instruction{{Op: ClassLD | 0x20}}); err == nil {
+		t.Error("unsupported LD accepted at runtime")
+	}
+	if err := run([]Instruction{{Op: OpLdImm64, Dst: R0, Imm: 1}}); err == nil {
+		t.Error("truncated lddw accepted at runtime")
+	}
+	if err := run([]Instruction{{Op: ClassALU64 | 0xe0, Dst: R0}}); err == nil {
+		t.Error("unknown alu64 op accepted")
+	}
+	if err := run([]Instruction{{Op: ClassALU | 0xe0, Dst: R0}}); err == nil {
+		t.Error("unknown alu32 op accepted")
+	}
+	if err := run([]Instruction{
+		{Op: ClassJMP | 0xe0 | SrcK, Dst: R0, Imm: 0, Off: 0},
+	}); err == nil {
+		t.Error("unknown jmp op accepted")
+	}
+	if err := run([]Instruction{
+		{Op: ClassLDX | ModeMEM | SizeDW, Dst: R0, Src: R1, Off: 0}, // R1=0: out of stack
+	}); err == nil {
+		t.Error("wild load accepted")
+	}
+	if err := run([]Instruction{{Op: ClassJMP | OpCall, Imm: 0x7ffffff}}); err == nil {
+		t.Error("unknown helper accepted at runtime")
+	}
+	if err := run([]Instruction{{Op: ClassALU64 | OpMov | SrcK, Dst: R0}}); err == nil {
+		t.Error("fall-off-end accepted at runtime")
+	}
+}
+
+func TestMapHelperErrorPaths(t *testing.T) {
+	vm := NewVM()
+	spec, _ := vm.Helper(HelperMapUpdateElem)
+	ctx := &CallContext{VM: vm, stack: make([]byte, StackSize)}
+	// Bad fd.
+	if _, err := spec.Fn(ctx, [5]uint64{999, stackAddr(-8), stackAddr(-16)}); err == nil {
+		t.Error("update with bad fd accepted")
+	}
+	del, _ := vm.Helper(HelperMapDeleteElem)
+	if _, err := del.Fn(ctx, [5]uint64{999, stackAddr(-8)}); err == nil {
+		t.Error("delete with bad fd accepted")
+	}
+	look, _ := vm.Helper(HelperMapLookupElem)
+	if _, err := look.Fn(ctx, [5]uint64{999, stackAddr(-8), stackAddr(-16)}); err == nil {
+		t.Error("lookup with bad fd accepted")
+	}
+	// Bad pointer.
+	m := MustNewMap(MapTypeHash, "m", 4)
+	fd := vm.RegisterMap(m)
+	if _, err := look.Fn(ctx, [5]uint64{uint64(fd), 0x10, stackAddr(-16)}); err == nil {
+		t.Error("lookup with wild key pointer accepted")
+	}
+}
+
+// stackAddr computes the virtual address of fp+off for helper tests.
+func stackAddr(off int64) uint64 {
+	return stackTop + uint64(off)
+}
+
+func TestMapDeleteHelperSemantics(t *testing.T) {
+	vm := NewVM()
+	m := MustNewMap(MapTypeHash, "m", 4)
+	fd := vm.RegisterMap(m)
+	if err := m.Update(5, 50); err != nil {
+		t.Fatal(err)
+	}
+	got := runProgOn(t, vm, func(b *Builder) {
+		b.StxDW(R10, -8, R1).
+			Mov64Imm(R1, fd).
+			Mov64Reg(R2, R10).Add64Imm(R2, -8).
+			Call(HelperMapDeleteElem).
+			Exit()
+	}, 5)
+	if got != 0 {
+		t.Fatalf("delete existing returned %d", got)
+	}
+	if _, ok := m.Lookup(5); ok {
+		t.Fatal("key survived delete")
+	}
+}

@@ -1,0 +1,302 @@
+package experiments
+
+import (
+	"fmt"
+
+	"snapbpf/internal/blockdev"
+	"snapbpf/internal/core"
+	"snapbpf/internal/prefetch"
+	"snapbpf/internal/prefetch/faasnap"
+	"snapbpf/internal/prefetch/reap"
+)
+
+// Ablation experiments: design-choice sensitivity studies the paper's
+// text motivates but does not plot.
+
+// AblationGrouping quantifies §3.1's offset grouping: per-page
+// prefetch requests versus contiguous ranges ("we do minimize the
+// number of block requests the kernel issues to storage by grouping
+// the pages into contiguous ranges, to reduce SW overhead").
+func AblationGrouping(o Options) (*Table, error) {
+	grouped := Scheme{"SnapBPF", func() prefetch.Prefetcher { return core.New() }}
+	perPage := Scheme{"SnapBPF-per-page", func() prefetch.Prefetcher {
+		s := core.New()
+		s.DisableGrouping = true
+		s.SetName("SnapBPF-per-page")
+		return s
+	}}
+	t := &Table{
+		ID:      "ablation-grouping",
+		Title:   "Offset grouping: contiguous ranges vs per-page requests",
+		Columns: []string{"Function", "grouped E2E (s)", "per-page E2E (s)", "grouped reqs", "per-page reqs", "load grouped (ms)", "load per-page (ms)"},
+	}
+	for _, fn := range o.functions() {
+		g, err := Run(fn, grouped, Config{N: 1})
+		if err != nil {
+			return nil, err
+		}
+		p, err := Run(fn, perPage, Config{N: 1})
+		if err != nil {
+			return nil, err
+		}
+		o.progress("ablation-grouping %-10s grouped=%v per-page=%v", fn.Name, g.MeanE2E, p.MeanE2E)
+		t.AddRow(fn.Name, secs(g.MeanE2E), secs(p.MeanE2E),
+			fmt.Sprintf("%d", g.DeviceRequests), fmt.Sprintf("%d", p.DeviceRequests),
+			fmt.Sprintf("%.3f", g.OffsetLoad.Seconds()*1000),
+			fmt.Sprintf("%.3f", p.OffsetLoad.Seconds()*1000))
+	}
+	return t, nil
+}
+
+// AblationSort quantifies §3.1's earliest-access group ordering
+// against plain file-offset order.
+func AblationSort(o Options) (*Table, error) {
+	sorted := Scheme{"SnapBPF", func() prefetch.Prefetcher { return core.New() }}
+	offset := Scheme{"SnapBPF-offset-order", func() prefetch.Prefetcher {
+		s := core.New()
+		s.OffsetOrder = true
+		s.SetName("SnapBPF-offset-order")
+		return s
+	}}
+	t := &Table{
+		ID:      "ablation-sort",
+		Title:   "Prefetch issue order: earliest-access vs file-offset",
+		Columns: []string{"Function", "access-order E2E (s)", "offset-order E2E (s)", "delta"},
+	}
+	for _, fn := range o.functions() {
+		a, err := Run(fn, sorted, Config{N: 1})
+		if err != nil {
+			return nil, err
+		}
+		b, err := Run(fn, offset, Config{N: 1})
+		if err != nil {
+			return nil, err
+		}
+		o.progress("ablation-sort %-10s access=%v offset=%v", fn.Name, a.MeanE2E, b.MeanE2E)
+		t.AddRow(fn.Name, secs(a.MeanE2E), secs(b.MeanE2E), ratio(b.MeanE2E, a.MeanE2E)+"x")
+	}
+	return t, nil
+}
+
+// AblationCoW reproduces the §4 Memory paragraph: unpatched KVM
+// forcibly write-maps read nested faults, CoWing page-cache pages and
+// destroying deduplication.
+func AblationCoW(o Options) (*Table, error) {
+	patched := Scheme{"SnapBPF", func() prefetch.Prefetcher { return core.New() }}
+	unpatched := Scheme{"SnapBPF-unpatched-KVM", func() prefetch.Prefetcher {
+		s := core.New()
+		s.UnpatchedKVM = true
+		s.SetName("SnapBPF-unpatched-KVM")
+		return s
+	}}
+	t := &Table{
+		ID:      "ablation-cow",
+		Title:   "KVM CoW patch: memory at 10 concurrent instances (GiB)",
+		Note:    "unpatched KVM write-maps read faults, forcing CoW of shared pages",
+		Columns: []string{"Function", "patched", "unpatched", "inflation"},
+	}
+	gib := func(b int64) string { return fmt.Sprintf("%.2f", float64(b)/(1<<30)) }
+	for _, fn := range o.functions() {
+		a, err := Run(fn, patched, Config{N: 10})
+		if err != nil {
+			return nil, err
+		}
+		b, err := Run(fn, unpatched, Config{N: 10})
+		if err != nil {
+			return nil, err
+		}
+		o.progress("ablation-cow %-10s patched=%v unpatched=%v", fn.Name, a.SystemMemory, b.SystemMemory)
+		t.AddRow(fn.Name, gib(int64(a.SystemMemory)), gib(int64(b.SystemMemory)),
+			fmt.Sprintf("%.1fx", float64(b.SystemMemory)/float64(a.SystemMemory)))
+	}
+	return t, nil
+}
+
+// AblationCoalesce sweeps FaaSnap's region-coalescing gap, exposing
+// the §2.1 trade-off: fewer mmap regions vs working-set file
+// inflation and I/O amplification.
+func AblationCoalesce(o Options) (*Table, error) {
+	gaps := []int64{0, 8, 32, 128, 512}
+	t := &Table{
+		ID:      "ablation-coalesce",
+		Title:   "FaaSnap coalescing gap sweep: regions vs I/O amplification",
+		Columns: []string{"Function/gap", "regions", "WS file (MiB)", "inflation", "E2E (s)"},
+	}
+	for _, fn := range o.functions() {
+		for _, gap := range gaps {
+			gap := gap
+			s := Scheme{"FaaSnap", func() prefetch.Prefetcher {
+				f := faasnap.New()
+				f.CoalesceGap = gap
+				return f
+			}}
+			pf := s.New().(*faasnap.FaaSnap)
+			sOnce := Scheme{s.Name, func() prefetch.Prefetcher { return pf }}
+			res, err := Run(fn, sOnce, Config{N: 1})
+			if err != nil {
+				return nil, err
+			}
+			ws := pf.WorkingSet()
+			o.progress("ablation-coalesce %-10s gap=%-4d regions=%d E2E=%v",
+				fn.Name, gap, len(ws.Regions), res.MeanE2E)
+			t.AddRow(fmt.Sprintf("%s/gap=%d", fn.Name, gap),
+				fmt.Sprintf("%d", len(ws.Regions)),
+				fmt.Sprintf("%.1f", float64(ws.TotalPages())*4096/(1<<20)),
+				fmt.Sprintf("%.2fx", ws.Inflation()),
+				secs(res.MeanE2E))
+		}
+	}
+	return t, nil
+}
+
+// AblationDirectIO compares REAP's direct-I/O working-set reads with
+// buffered reads (§2.1: REAP and Faast "use direct IO when fetching
+// the snapshot from storage, to bypass the page cache and avoid the
+// overhead of intermediate memory copies").
+func AblationDirectIO(o Options) (*Table, error) {
+	direct := Scheme{"REAP", func() prefetch.Prefetcher { return reap.New() }}
+	buffered := Scheme{"REAP-buffered", func() prefetch.Prefetcher {
+		r := reap.New()
+		r.DirectIO = false
+		return r
+	}}
+	t := &Table{
+		ID:      "ablation-directio",
+		Title:   "REAP working-set fetch: direct vs buffered I/O",
+		Columns: []string{"Function", "direct E2E (s)", "buffered E2E (s)", "buffered/direct"},
+	}
+	for _, fn := range o.functions() {
+		a, err := Run(fn, direct, Config{N: 1})
+		if err != nil {
+			return nil, err
+		}
+		b, err := Run(fn, buffered, Config{N: 1})
+		if err != nil {
+			return nil, err
+		}
+		o.progress("ablation-directio %-10s direct=%v buffered=%v", fn.Name, a.MeanE2E, b.MeanE2E)
+		t.AddRow(fn.Name, secs(a.MeanE2E), secs(b.MeanE2E), ratio(b.MeanE2E, a.MeanE2E)+"x")
+	}
+	return t, nil
+}
+
+// AblationRAWindow sweeps the Linux readahead window for the
+// demand-paging baseline (the paper pins it at the 128KiB default).
+func AblationRAWindow(o Options) (*Table, error) {
+	windows := []int64{0, 8, 32, 128, 512}
+	t := &Table{
+		ID:      "ablation-rawindow",
+		Title:   "Linux readahead window sweep (pages)",
+		Columns: []string{"Function/window", "E2E (s)", "device MiB", "requests"},
+	}
+	for _, fn := range o.functions() {
+		for _, w := range windows {
+			w := w
+			s := Scheme{fmt.Sprintf("Linux-RA-%d", w), func() prefetch.Prefetcher {
+				return prefetch.NewLinuxWithWindow(w, fmt.Sprintf("Linux-RA-%d", w))
+			}}
+			res, err := Run(fn, s, Config{N: 1})
+			if err != nil {
+				return nil, err
+			}
+			o.progress("ablation-rawindow %-10s w=%-4d E2E=%v", fn.Name, w, res.MeanE2E)
+			t.AddRow(fmt.Sprintf("%s/w=%d", fn.Name, w), secs(res.MeanE2E),
+				fmt.Sprintf("%.1f", float64(res.DeviceBytes)/(1<<20)),
+				fmt.Sprintf("%d", res.DeviceRequests))
+		}
+	}
+	return t, nil
+}
+
+// AblationDrift perturbs the guest allocator between record and
+// invocation, probing each scheme's sensitivity to working-set drift
+// for ephemeral allocations (§2.2: "the working set pages will differ
+// between invocations").
+func AblationDrift(o Options) (*Table, error) {
+	schemes := []Scheme{SchemeREAP, SchemeFaast, SchemeSnapBPF}
+	t := &Table{
+		ID:      "ablation-drift",
+		Title:   "Allocator drift sensitivity: E2E (s) with drifted free lists",
+		Columns: []string{"Function", "REAP", "REAP+drift", "Faast", "Faast+drift", "SnapBPF", "SnapBPF+drift"},
+	}
+	for _, fn := range o.functions() {
+		row := []string{fn.Name}
+		for _, s := range schemes {
+			base, err := Run(fn, s, Config{N: 1})
+			if err != nil {
+				return nil, err
+			}
+			drift, err := Run(fn, s, Config{N: 1, AllocDrift: 3})
+			if err != nil {
+				return nil, err
+			}
+			o.progress("ablation-drift %-10s %-8s base=%v drift=%v", fn.Name, s.Name, base.MeanE2E, drift.MeanE2E)
+			row = append(row, secs(base.MeanE2E), secs(drift.MeanE2E))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// AblationHDD reruns Fig3a-style comparisons on a spindle disk,
+// probing the paper's premise that modern SSDs make non-sequential
+// working-set reads from the snapshot file affordable (§3.1).
+func AblationHDD(o Options) (*Table, error) {
+	t := &Table{
+		ID:      "ablation-hdd",
+		Title:   "Storage sensitivity: E2E (s) on SSD vs 7200rpm HDD",
+		Note:    "SnapBPF reads the WS non-sequentially from the snapshot; REAP reads a sequential WS file",
+		Columns: []string{"Function", "SnapBPF SSD", "SnapBPF HDD", "REAP SSD", "REAP HDD"},
+	}
+	for _, fn := range o.functions() {
+		cells := []string{fn.Name}
+		for _, s := range []Scheme{SchemeSnapBPF, SchemeREAP} {
+			ssd, err := Run(fn, s, Config{N: 1})
+			if err != nil {
+				return nil, err
+			}
+			hdd, err := Run(fn, s, Config{N: 1, Device: blockdev.SpindleHDD()})
+			if err != nil {
+				return nil, err
+			}
+			o.progress("ablation-hdd %-10s %-8s ssd=%v hdd=%v", fn.Name, s.Name, ssd.MeanE2E, hdd.MeanE2E)
+			cells = append(cells, secs(ssd.MeanE2E), secs(hdd.MeanE2E))
+		}
+		t.AddRow(cells...)
+	}
+	return t, nil
+}
+
+// All returns every experiment keyed by id, in report order.
+func All() []struct {
+	ID  string
+	Run func(Options) (*Table, error)
+} {
+	return []struct {
+		ID  string
+		Run func(Options) (*Table, error)
+	}{
+		{"table1", Table1},
+		{"fig3a", Fig3a},
+		{"fig3b", Fig3b},
+		{"fig3c", Fig3c},
+		{"fig4", Fig4},
+		{"overheads", Overheads},
+		{"ablation-grouping", AblationGrouping},
+		{"ablation-sort", AblationSort},
+		{"ablation-cow", AblationCoW},
+		{"ablation-coalesce", AblationCoalesce},
+		{"ablation-directio", AblationDirectIO},
+		{"ablation-rawindow", AblationRAWindow},
+		{"ablation-drift", AblationDrift},
+		{"ablation-hdd", AblationHDD},
+		{"ext-varying-inputs", ExtVaryingInputs},
+		{"ext-concurrency", ExtConcurrency},
+		{"ext-cost-analysis", ExtCostAnalysis},
+		{"ext-colocation", ExtColocation},
+		{"ext-devices", ExtDevices},
+		{"ext-snapshot-creation", ExtSnapshotCreation},
+		{"ext-cache-pressure", ExtCachePressure},
+		{"ext-steady-state", ExtSteadyState},
+	}
+}

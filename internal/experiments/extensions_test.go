@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"testing"
+
+	"snapbpf/internal/blockdev"
+	"snapbpf/internal/workload"
+)
+
+func TestInputVarianceErodesDedup(t *testing.T) {
+	fn := tinyFn()
+	same, err := Run(fn, SchemeSnapBPF, Config{N: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	varied, err := Run(fn, SchemeSnapBPF, Config{N: 10, InputVariance: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if varied.SystemMemory <= same.SystemMemory {
+		t.Fatalf("varying inputs did not grow memory: %v vs %v",
+			varied.SystemMemory, same.SystemMemory)
+	}
+}
+
+func TestRunWavesWarmsCache(t *testing.T) {
+	fn := tinyFn()
+	res, err := RunWaves(fn, SchemeSnapBPF, 3, 2, 0, blockdev.MicronSATA5300())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.WaveE2E) != 3 {
+		t.Fatalf("waves = %d", len(res.WaveE2E))
+	}
+	// Later waves restore against a warm page cache: strictly faster.
+	if res.WaveE2E[1] >= res.WaveE2E[0] {
+		t.Fatalf("wave 2 (%v) not faster than wave 1 (%v)", res.WaveE2E[1], res.WaveE2E[0])
+	}
+	// Device traffic is ~one working set, not three.
+	ws := fn.WSPages() * 4096
+	if res.DeviceBytes > ws*2 {
+		t.Fatalf("device bytes %d for 3 waves, ws %d: cache not reused", res.DeviceBytes, ws)
+	}
+
+	reap, err := RunWaves(fn, SchemeREAP, 3, 2, 0, blockdev.MicronSATA5300())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// REAP cannot reuse anything across waves.
+	if reap.WaveE2E[1] < reap.WaveE2E[0]*9/10 {
+		t.Fatalf("REAP wave 2 (%v) benefited from cache it bypasses (wave 1 %v)",
+			reap.WaveE2E[1], reap.WaveE2E[0])
+	}
+	if reap.DeviceBytes < res.DeviceBytes*3 {
+		t.Fatalf("REAP device bytes %d should dwarf SnapBPF's %d", reap.DeviceBytes, res.DeviceBytes)
+	}
+}
+
+func TestRunWavesValidation(t *testing.T) {
+	if _, err := RunWaves(tinyFn(), SchemeSnapBPF, 0, 2, 0, blockdev.MicronSATA5300()); err == nil {
+		t.Fatal("zero waves accepted")
+	}
+}
+
+func TestRunMixedColocation(t *testing.T) {
+	fns := []workload.Function{tinyFn(), {
+		Name: "tiny2", MemMiB: 64, StateMiB: 32, WSMiB: 6, WSRegions: 8,
+		AllocMiB: 4, ComputeMs: 8, WriteFrac: 0.1, Seed: 9,
+	}}
+	res, err := RunMixed(fns, SchemeSnapBPF, 2, blockdev.MicronSATA5300())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerFunction) != 2 {
+		t.Fatalf("per-function results = %v", res.PerFunction)
+	}
+	for name, d := range res.PerFunction {
+		if d <= 0 {
+			t.Fatalf("%s: E2E %v", name, d)
+		}
+	}
+	if res.SystemMemory <= 0 || res.DeviceBytes <= 0 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestRunMixedIsolatesWorkingSets(t *testing.T) {
+	// Two different functions colocated under SnapBPF: each sandbox
+	// must only prefetch its own snapshot (inode filters in the eBPF
+	// programs). Device traffic is bounded by the two WS sizes.
+	fnA := tinyFn()
+	fnB := fnA
+	fnB.Name = "tinyB"
+	fnB.Seed = 77
+	res, err := RunMixed([]workload.Function{fnA, fnB}, SchemeSnapBPF, 1, blockdev.MicronSATA5300())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wsBytes := 2 * fnA.WSPages() * 4096
+	if res.DeviceBytes > wsBytes*3/2 {
+		t.Fatalf("device bytes %d exceed 1.5x combined WS %d: cross-function prefetch leak",
+			res.DeviceBytes, wsBytes)
+	}
+}
+
+func TestExtensionExperimentsOnTinySuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extension sweeps are slow")
+	}
+	opts := Options{Functions: []workload.Function{tinyFn()}}
+	for _, exp := range []struct {
+		name string
+		run  func(Options) (*Table, error)
+	}{
+		{"cost", ExtCostAnalysis},
+		{"colocation", ExtColocation},
+	} {
+		tbl, err := exp.run(opts)
+		if err != nil {
+			t.Fatalf("%s: %v", exp.name, err)
+		}
+		if len(tbl.Rows) == 0 {
+			t.Fatalf("%s: empty table", exp.name)
+		}
+	}
+}
+
+func TestEveryExperimentRunsOnTinySuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep is slow")
+	}
+	opts := Options{Functions: []workload.Function{tinyFn()}}
+	for _, exp := range All() {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			tbl, err := exp.Run(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatal("empty table")
+			}
+			if tbl.ID != exp.ID {
+				t.Fatalf("table id %q != experiment id %q", tbl.ID, exp.ID)
+			}
+			if len(tbl.Columns) < 2 {
+				t.Fatalf("columns = %v", tbl.Columns)
+			}
+			for i, row := range tbl.Rows {
+				if len(row) != len(tbl.Columns) {
+					t.Fatalf("row %d has %d cells for %d columns", i, len(row), len(tbl.Columns))
+				}
+			}
+			// Render and CSV must not panic and must mention the ID.
+			if out := tbl.Render(); len(out) == 0 {
+				t.Fatal("empty render")
+			}
+			if out := tbl.CSV(); len(out) == 0 {
+				t.Fatal("empty csv")
+			}
+		})
+	}
+}
+
+func TestFigureExperimentsOnTinySuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure runs are slow")
+	}
+	opts := Options{Functions: []workload.Function{tinyFn()}}
+	for _, exp := range []struct {
+		name string
+		run  func(Options) (*Table, error)
+	}{
+		{"fig3a", Fig3a},
+		{"fig4", Fig4},
+		{"overheads", Overheads},
+	} {
+		tbl, err := exp.run(opts)
+		if err != nil {
+			t.Fatalf("%s: %v", exp.name, err)
+		}
+		if len(tbl.Rows) != 1 {
+			t.Fatalf("%s: rows = %d", exp.name, len(tbl.Rows))
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"snapbpf/internal/workload"
+)
+
+// tinyFn is a scaled-down function for fast integration tests.
+func tinyFn() workload.Function {
+	return workload.Function{
+		Name: "tiny", MemMiB: 64, StateMiB: 32, WSMiB: 8, WSRegions: 12,
+		AllocMiB: 6, ComputeMs: 10, WriteFrac: 0.2, Seed: 7,
+	}
+}
+
+func allSchemes() []Scheme {
+	return []Scheme{SchemeLinuxNoRA, SchemeLinuxRA, SchemeREAP, SchemeFaast, SchemeFaaSnap, SchemeSnapBPF, SchemePVOnly}
+}
+
+func TestAllSchemesSingleInstance(t *testing.T) {
+	fn := tinyFn()
+	for _, s := range allSchemes() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			res, err := Run(fn, s, Config{N: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.MeanE2E <= 0 {
+				t.Fatalf("E2E = %v", res.MeanE2E)
+			}
+			if res.MeanE2E < 10*time.Millisecond {
+				t.Fatalf("E2E %v below compute floor", res.MeanE2E)
+			}
+			if res.SystemMemory <= 0 {
+				t.Fatalf("SystemMemory = %v", res.SystemMemory)
+			}
+			t.Logf("%s: E2E=%v mem=%v devBytes=%d reqs=%d prep=%v",
+				s.Name, res.MeanE2E, res.SystemMemory, res.DeviceBytes, res.DeviceRequests, res.MeanPrepare)
+		})
+	}
+}
+
+func TestAllSchemesConcurrent(t *testing.T) {
+	fn := tinyFn()
+	for _, s := range allSchemes() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			res, err := Run(fn, s, Config{N: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.E2E) != 4 {
+				t.Fatalf("E2E count = %d", len(res.E2E))
+			}
+			t.Logf("%s N=4: mean=%v max=%v mem=%v devBytes=%d",
+				s.Name, res.MeanE2E, res.MaxE2E, res.SystemMemory, res.DeviceBytes)
+		})
+	}
+}
+
+func TestSnapBPFDedupesVsREAP(t *testing.T) {
+	fn := tinyFn()
+	sb, err := Run(fn, SchemeSnapBPF, Config{N: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := Run(fn, SchemeREAP, Config{N: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb.SystemMemory >= rp.SystemMemory {
+		t.Fatalf("SnapBPF memory %v not below REAP %v at N=10", sb.SystemMemory, rp.SystemMemory)
+	}
+	t.Logf("N=10 memory: SnapBPF=%v REAP=%v (%.1fx)", sb.SystemMemory, rp.SystemMemory,
+		float64(rp.SystemMemory)/float64(sb.SystemMemory))
+}
+
+func TestSnapBPFReadsWSOnceAcrossVMs(t *testing.T) {
+	fn := tinyFn()
+	one, err := Run(fn, SchemeSnapBPF, Config{N: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ten, err := Run(fn, SchemeSnapBPF, Config{N: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ten concurrent sandboxes must not read ~10x the bytes.
+	if ten.DeviceBytes > 2*one.DeviceBytes {
+		t.Fatalf("device bytes at N=10 (%d) vs N=1 (%d): dedup broken", ten.DeviceBytes, one.DeviceBytes)
+	}
+}
+
+func TestREAPReadsScaleWithVMs(t *testing.T) {
+	fn := tinyFn()
+	one, err := Run(fn, SchemeREAP, Config{N: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ten, err := Run(fn, SchemeREAP, Config{N: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ten.DeviceBytes < 5*one.DeviceBytes {
+		t.Fatalf("REAP device bytes at N=10 (%d) vs N=1 (%d): expected ~10x", ten.DeviceBytes, one.DeviceBytes)
+	}
+}
+
+func TestSnapBPFOffsetLoadMeasured(t *testing.T) {
+	res, err := Run(tinyFn(), SchemeSnapBPF, Config{N: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OffsetLoad <= 0 {
+		t.Fatal("offset load time not measured")
+	}
+	if res.OffsetLoad > res.MeanE2E/10 {
+		t.Fatalf("offset load %v suspiciously large vs E2E %v", res.OffsetLoad, res.MeanE2E)
+	}
+}
+
+func TestSnapBPFBeatsNoPrefetchBaseline(t *testing.T) {
+	fn := tinyFn()
+	sb, err := Run(fn, SchemeSnapBPF, Config{N: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nora, err := Run(fn, SchemeLinuxNoRA, Config{N: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb.MeanE2E >= nora.MeanE2E {
+		t.Fatalf("SnapBPF E2E %v not below Linux-NoRA %v", sb.MeanE2E, nora.MeanE2E)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	fn := tinyFn()
+	a, err := Run(fn, SchemeSnapBPF, Config{N: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(fn, SchemeSnapBPF, Config{N: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.E2E {
+		if a.E2E[i] != b.E2E[i] {
+			t.Fatalf("nondeterministic: %v vs %v", a.E2E, b.E2E)
+		}
+	}
+	if a.SystemMemory != b.SystemMemory {
+		t.Fatalf("nondeterministic memory: %v vs %v", a.SystemMemory, b.SystemMemory)
+	}
+}

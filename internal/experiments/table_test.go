@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	t := &Table{
+		ID:      "sample",
+		Title:   "A sample",
+		Note:    "a note",
+		Columns: []string{"Function", "A", "B"},
+	}
+	t.AddRow("json", "1.00", "2.00")
+	t.AddRow("bert", "3.00", "4.00")
+	return t
+}
+
+func TestRenderAligned(t *testing.T) {
+	out := sampleTable().Render()
+	for _, want := range []string{"== sample: A sample ==", "a note", "Function", "json", "bert", "2.00"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header/separator/rows have consistent width.
+	if len(lines) < 6 {
+		t.Fatalf("too few lines:\n%s", out)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	out := sampleTable().CSV()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Function,A,B" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "json,1.00,2.00" {
+		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tbl := &Table{ID: "x", Title: "t", Columns: []string{"a", "b"}}
+	tbl.AddRow(`va"l`, "x,y")
+	out := tbl.CSV()
+	if !strings.Contains(out, `"va""l"`) || !strings.Contains(out, `"x,y"`) {
+		t.Fatalf("escaping broken: %q", out)
+	}
+}
+
+func TestAddRowPadsAndTruncates(t *testing.T) {
+	tbl := &Table{Columns: []string{"a", "b"}}
+	tbl.AddRow("only")
+	tbl.AddRow("x", "y", "z-dropped")
+	if len(tbl.Rows[0]) != 2 || tbl.Rows[0][1] != "" {
+		t.Fatalf("pad failed: %v", tbl.Rows[0])
+	}
+	if len(tbl.Rows[1]) != 2 {
+		t.Fatalf("truncate failed: %v", tbl.Rows[1])
+	}
+}
+
+func TestTable1Generated(t *testing.T) {
+	tbl, err := Table1(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// The SnapBPF row must match the paper: kernel-space eBPF, no WS
+	// serialization, dedup yes, stateless filtering yes.
+	var snap []string
+	for _, r := range tbl.Rows {
+		if r[0] == "SnapBPF" {
+			snap = r
+		}
+	}
+	if snap == nil {
+		t.Fatal("no SnapBPF row")
+	}
+	if snap[1] != "eBPF (Kernel-space)" || snap[2] != "No" || snap[3] != "Yes" || snap[4] != "Yes" {
+		t.Fatalf("SnapBPF row = %v", snap)
+	}
+}
+
+func TestAllExperimentIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment id %q", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Run == nil {
+			t.Fatalf("experiment %q has no runner", e.ID)
+		}
+	}
+	for _, want := range []string{"table1", "fig3a", "fig3b", "fig3c", "fig4", "overheads"} {
+		if !seen[want] {
+			t.Fatalf("missing experiment %q", want)
+		}
+	}
+}

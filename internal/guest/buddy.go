@@ -1,0 +1,171 @@
+package guest
+
+import "fmt"
+
+// MaxOrder is the largest buddy allocation order (2^10 pages = 4MiB),
+// matching Linux's MAX_ORDER-1 for 4KiB pages.
+const MaxOrder = 10
+
+// Buddy is a binary buddy page allocator over a contiguous guest page
+// frame range. It reproduces the allocation-reuse behaviour that makes
+// stale snapshot pages land under fresh guest allocations (§2.2 of the
+// paper): freed frames return to the free lists and are handed out
+// again, still carrying their snapshot-time contents on the host side.
+type Buddy struct {
+	base    int64 // first managed PFN
+	nrPages int64
+
+	// freeLists[o] holds the base PFNs of free blocks of order o.
+	freeLists [MaxOrder + 1][]int64
+	// blockOrder tracks, for an allocated block's base PFN, its order.
+	blockOrder map[int64]int
+	// free marks each PFN (relative to base) as free.
+	free []bool
+
+	nrFree int64
+}
+
+// NewBuddy creates an allocator managing [base, base+nrPages), all free.
+func NewBuddy(base, nrPages int64) *Buddy {
+	if nrPages < 0 || base < 0 {
+		panic("guest: negative buddy range")
+	}
+	b := &Buddy{
+		base:       base,
+		nrPages:    nrPages,
+		blockOrder: make(map[int64]int),
+		free:       make([]bool, nrPages),
+	}
+	for i := range b.free {
+		b.free[i] = true
+	}
+	b.nrFree = nrPages
+	// Seed free lists with maximal aligned blocks.
+	pfn := base
+	remaining := nrPages
+	for remaining > 0 {
+		o := MaxOrder
+		for o > 0 && ((pfn-base)&(1<<o-1) != 0 || int64(1)<<o > remaining) {
+			o--
+		}
+		b.freeLists[o] = append(b.freeLists[o], pfn)
+		pfn += 1 << o
+		remaining -= 1 << o
+	}
+	return b
+}
+
+// NrFree returns the number of free pages.
+func (b *Buddy) NrFree() int64 { return b.nrFree }
+
+// IsFree reports whether pfn is currently free.
+func (b *Buddy) IsFree(pfn int64) bool {
+	if pfn < b.base || pfn >= b.base+b.nrPages {
+		return false
+	}
+	return b.free[pfn-b.base]
+}
+
+// FreePFNs returns every free PFN in ascending order — the allocator
+// metadata Faast embeds in snapshots to filter stale pages (§2.2).
+func (b *Buddy) FreePFNs() []int64 {
+	out := make([]int64, 0, b.nrFree)
+	for i, f := range b.free {
+		if f {
+			out = append(out, b.base+int64(i))
+		}
+	}
+	return out
+}
+
+// Rotate moves the first n blocks of each free list to its tail,
+// perturbing allocation order between invocations: the paper's
+// observation that "the working set pages will differ between
+// invocations" for ephemeral allocations comes from exactly this kind
+// of allocator-state drift.
+func (b *Buddy) Rotate(n int) {
+	if n <= 0 {
+		return
+	}
+	for o := range b.freeLists {
+		l := b.freeLists[o]
+		if len(l) < 2 {
+			continue
+		}
+		k := n % len(l)
+		b.freeLists[o] = append(append([]int64{}, l[k:]...), l[:k]...)
+	}
+}
+
+// AllocBlock allocates a 2^order block and returns its base PFN.
+func (b *Buddy) AllocBlock(order int) (int64, error) {
+	if order < 0 || order > MaxOrder {
+		return 0, fmt.Errorf("guest: bad order %d", order)
+	}
+	o := order
+	for o <= MaxOrder && len(b.freeLists[o]) == 0 {
+		o++
+	}
+	if o > MaxOrder {
+		return 0, fmt.Errorf("guest: out of memory (order %d, %d pages free)", order, b.nrFree)
+	}
+	pfn := b.freeLists[o][0]
+	b.freeLists[o] = b.freeLists[o][1:]
+	// Split down to the requested order, returning upper halves.
+	for o > order {
+		o--
+		b.freeLists[o] = append(b.freeLists[o], pfn+int64(1)<<o)
+	}
+	size := int64(1) << order
+	for i := int64(0); i < size; i++ {
+		b.free[pfn-b.base+i] = false
+	}
+	b.nrFree -= size
+	b.blockOrder[pfn] = order
+	return pfn, nil
+}
+
+// FreeBlock frees a block previously returned by AllocBlock,
+// coalescing with its buddy where possible.
+func (b *Buddy) FreeBlock(pfn int64) error {
+	order, ok := b.blockOrder[pfn]
+	if !ok {
+		return fmt.Errorf("guest: free of unallocated block at pfn %d", pfn)
+	}
+	delete(b.blockOrder, pfn)
+	size := int64(1) << order
+	for i := int64(0); i < size; i++ {
+		if b.free[pfn-b.base+i] {
+			return fmt.Errorf("guest: double free of pfn %d", pfn+i)
+		}
+		b.free[pfn-b.base+i] = true
+	}
+	b.nrFree += size
+
+	// Coalesce upward.
+	for order < MaxOrder {
+		buddy := b.base + ((pfn - b.base) ^ (int64(1) << order))
+		if !b.removeFreeBlock(order, buddy) {
+			break
+		}
+		if buddy < pfn {
+			pfn = buddy
+		}
+		order++
+	}
+	b.freeLists[order] = append(b.freeLists[order], pfn)
+	return nil
+}
+
+// removeFreeBlock removes a block from a free list if present.
+func (b *Buddy) removeFreeBlock(order int, pfn int64) bool {
+	l := b.freeLists[order]
+	for i, p := range l {
+		if p == pfn {
+			// Must also be fully inside the managed range and free.
+			b.freeLists[order] = append(l[:i], l[i+1:]...)
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,188 @@
+package guest
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuddyInitAllFree(t *testing.T) {
+	b := NewBuddy(100, 1000)
+	if b.NrFree() != 1000 {
+		t.Fatalf("NrFree = %d", b.NrFree())
+	}
+	if !b.IsFree(100) || !b.IsFree(1099) {
+		t.Fatal("boundary pages not free")
+	}
+	if b.IsFree(99) || b.IsFree(1100) {
+		t.Fatal("out-of-range pages reported free")
+	}
+}
+
+func TestBuddyAllocFree(t *testing.T) {
+	b := NewBuddy(0, 1024)
+	pfn, err := b.AllocBlock(3) // 8 pages
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NrFree() != 1016 {
+		t.Fatalf("NrFree = %d", b.NrFree())
+	}
+	for i := int64(0); i < 8; i++ {
+		if b.IsFree(pfn + i) {
+			t.Fatalf("allocated page %d still free", pfn+i)
+		}
+	}
+	if err := b.FreeBlock(pfn); err != nil {
+		t.Fatal(err)
+	}
+	if b.NrFree() != 1024 {
+		t.Fatalf("NrFree after free = %d", b.NrFree())
+	}
+}
+
+func TestBuddyCoalescing(t *testing.T) {
+	b := NewBuddy(0, 16)
+	// Drain into order-0 blocks, then free all: must coalesce back so
+	// an order-4 alloc succeeds.
+	var pfns []int64
+	for i := 0; i < 16; i++ {
+		p, err := b.AllocBlock(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pfns = append(pfns, p)
+	}
+	if _, err := b.AllocBlock(0); err == nil {
+		t.Fatal("allocation from empty allocator succeeded")
+	}
+	for _, p := range pfns {
+		if err := b.FreeBlock(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := b.AllocBlock(4); err != nil {
+		t.Fatalf("order-4 alloc after coalesce failed: %v", err)
+	}
+}
+
+func TestBuddyDoubleFree(t *testing.T) {
+	b := NewBuddy(0, 16)
+	p, _ := b.AllocBlock(1)
+	if err := b.FreeBlock(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.FreeBlock(p); err == nil {
+		t.Fatal("double free accepted")
+	}
+}
+
+func TestBuddyFreeUnallocated(t *testing.T) {
+	b := NewBuddy(0, 16)
+	if err := b.FreeBlock(3); err == nil {
+		t.Fatal("free of never-allocated block accepted")
+	}
+}
+
+func TestBuddyBadOrder(t *testing.T) {
+	b := NewBuddy(0, 16)
+	if _, err := b.AllocBlock(-1); err == nil {
+		t.Fatal("negative order accepted")
+	}
+	if _, err := b.AllocBlock(MaxOrder + 1); err == nil {
+		t.Fatal("oversized order accepted")
+	}
+}
+
+func TestBuddyFreePFNs(t *testing.T) {
+	b := NewBuddy(10, 8)
+	p, _ := b.AllocBlock(1) // 2 pages
+	free := b.FreePFNs()
+	if len(free) != 6 {
+		t.Fatalf("free pfns = %v", free)
+	}
+	for _, f := range free {
+		if f == p || f == p+1 {
+			t.Fatalf("allocated pfn %d in free list", f)
+		}
+	}
+	for i := 1; i < len(free); i++ {
+		if free[i-1] >= free[i] {
+			t.Fatal("FreePFNs not sorted")
+		}
+	}
+}
+
+func TestBuddyRotateChangesAllocationOrder(t *testing.T) {
+	alloc3 := func(salt int) []int64 {
+		b := NewBuddy(0, 4096)
+		b.Rotate(salt)
+		var out []int64
+		for i := 0; i < 3; i++ {
+			p, err := b.AllocBlock(MaxOrder)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, p)
+		}
+		return out
+	}
+	a, c := alloc3(0), alloc3(1)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("rotation did not perturb allocation order")
+	}
+}
+
+func TestBuddyInvariantConservation(t *testing.T) {
+	// Property: random alloc/free sequences conserve page counts and
+	// never hand out overlapping blocks.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBuddy(0, 2048)
+		type blk struct {
+			pfn   int64
+			order int
+		}
+		var live []blk
+		owned := make(map[int64]bool)
+		for step := 0; step < 200; step++ {
+			if rng.Intn(2) == 0 || len(live) == 0 {
+				order := rng.Intn(MaxOrder + 1)
+				pfn, err := b.AllocBlock(order)
+				if err != nil {
+					continue // OOM is fine
+				}
+				for i := int64(0); i < int64(1)<<order; i++ {
+					if owned[pfn+i] {
+						return false // overlap!
+					}
+					owned[pfn+i] = true
+				}
+				live = append(live, blk{pfn, order})
+			} else {
+				i := rng.Intn(len(live))
+				bl := live[i]
+				live = append(live[:i], live[i+1:]...)
+				if err := b.FreeBlock(bl.pfn); err != nil {
+					return false
+				}
+				for j := int64(0); j < int64(1)<<bl.order; j++ {
+					delete(owned, bl.pfn+j)
+				}
+			}
+			if b.NrFree() != 2048-int64(len(owned)) {
+				return false // accounting drift
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

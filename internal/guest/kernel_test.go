@@ -1,0 +1,154 @@
+package guest
+
+import "testing"
+
+func testCfg(pv bool) Config {
+	return Config{NrPages: 1024, StatePages: 256, PVMarking: pv}
+}
+
+func TestKernelAllocFreeRoundTrip(t *testing.T) {
+	k, err := NewKernel(testCfg(false), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pfns, err := k.Alloc(1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pfns) != 100 {
+		t.Fatalf("got %d pfns", len(pfns))
+	}
+	for _, p := range pfns {
+		if p < 256 || p >= 1024 {
+			t.Fatalf("pfn %d outside free pool", p)
+		}
+	}
+	if k.AllocatedPages() != 100 {
+		t.Fatalf("AllocatedPages = %d", k.AllocatedPages())
+	}
+	if err := k.Free(1); err != nil {
+		t.Fatal(err)
+	}
+	if k.FreedPages() != 100 {
+		t.Fatalf("FreedPages = %d", k.FreedPages())
+	}
+	if k.Buddy().NrFree() != 1024-256 {
+		t.Fatalf("NrFree = %d", k.Buddy().NrFree())
+	}
+}
+
+func TestKernelDuplicateHandle(t *testing.T) {
+	k, _ := NewKernel(testCfg(false), 0)
+	if _, err := k.Alloc(1, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Alloc(1, 4); err == nil {
+		t.Fatal("duplicate handle accepted")
+	}
+}
+
+func TestKernelFreeUnknownHandle(t *testing.T) {
+	k, _ := NewKernel(testCfg(false), 0)
+	if err := k.Free(7); err == nil {
+		t.Fatal("free of unknown handle accepted")
+	}
+}
+
+func TestKernelOOMRollsBack(t *testing.T) {
+	k, _ := NewKernel(Config{NrPages: 64, StatePages: 32}, 0)
+	if _, err := k.Alloc(1, 1000); err == nil {
+		t.Fatal("oversized alloc accepted")
+	}
+	// Roll-back: everything free again.
+	if k.Buddy().NrFree() != 32 {
+		t.Fatalf("NrFree = %d after failed alloc", k.Buddy().NrFree())
+	}
+}
+
+func TestPVMarkingFirstTouchMirrored(t *testing.T) {
+	k, _ := NewKernel(testCfg(true), 0)
+	pfns, _ := k.Alloc(1, 2)
+	g0 := k.TouchPFN(pfns[0])
+	if !IsMirror(g0) {
+		t.Fatalf("first touch not mirrored: %#x", g0)
+	}
+	if Unmirror(g0) != uint64(pfns[0]) {
+		t.Fatalf("unmirror(%#x) = %d, want %d", g0, Unmirror(g0), pfns[0])
+	}
+	// Second touch uses the original PFN.
+	if g := k.TouchPFN(pfns[0]); IsMirror(g) {
+		t.Fatal("second touch still mirrored")
+	}
+}
+
+func TestPVMarkingDisabled(t *testing.T) {
+	k, _ := NewKernel(testCfg(false), 0)
+	pfns, _ := k.Alloc(1, 1)
+	if g := k.TouchPFN(pfns[0]); IsMirror(g) {
+		t.Fatal("mirrored touch with PV disabled")
+	}
+}
+
+func TestPVMarkingOnlyFreshFrames(t *testing.T) {
+	k, _ := NewKernel(testCfg(true), 0)
+	// State pages were never allocated since restore: plain faults.
+	if g := k.TouchPFN(5); IsMirror(g) {
+		t.Fatal("snapshot-state page mirrored")
+	}
+}
+
+func TestPVMarkingResetAcrossRealloc(t *testing.T) {
+	k, _ := NewKernel(testCfg(true), 0)
+	pfns, _ := k.Alloc(1, 4)
+	for _, p := range pfns {
+		k.TouchPFN(p) // consume mirror
+	}
+	if err := k.Free(1); err != nil {
+		t.Fatal(err)
+	}
+	pfns2, _ := k.Alloc(2, 4)
+	// Reallocated frames are fresh again: first touch mirrors.
+	if g := k.TouchPFN(pfns2[0]); !IsMirror(g) {
+		t.Fatal("reallocated frame not mirrored on first touch")
+	}
+}
+
+func TestAllocPFNsLookup(t *testing.T) {
+	k, _ := NewKernel(testCfg(false), 0)
+	pfns, _ := k.Alloc(3, 10)
+	got, ok := k.AllocPFNs(3)
+	if !ok || len(got) != 10 {
+		t.Fatalf("AllocPFNs = %v, %v", got, ok)
+	}
+	for i := range pfns {
+		if got[i] != pfns[i] {
+			t.Fatalf("pfn mismatch at %d", i)
+		}
+	}
+	if _, ok := k.AllocPFNs(99); ok {
+		t.Fatal("lookup of unknown handle succeeded")
+	}
+}
+
+func TestNewKernelValidation(t *testing.T) {
+	if _, err := NewKernel(Config{NrPages: 0}, 0); err == nil {
+		t.Fatal("zero-page kernel accepted")
+	}
+	if _, err := NewKernel(Config{NrPages: 10, StatePages: 11}, 0); err == nil {
+		t.Fatal("state > total accepted")
+	}
+}
+
+func TestSaltChangesAllocation(t *testing.T) {
+	get := func(salt int) int64 {
+		k, _ := NewKernel(Config{NrPages: 1 << 16, StatePages: 1 << 10}, salt)
+		pfns, err := k.Alloc(1, 1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pfns[0]
+	}
+	if get(0) == get(3) {
+		t.Fatal("salt did not change allocation placement")
+	}
+}

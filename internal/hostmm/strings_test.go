@@ -1,0 +1,132 @@
+package hostmm
+
+import (
+	"testing"
+
+	"snapbpf/internal/sim"
+)
+
+func TestFaultKindStrings(t *testing.T) {
+	cases := map[FaultKind]string{
+		FaultMinor:    "minor",
+		FaultFile:     "file",
+		FaultZeroFill: "zero-fill",
+		FaultCoW:      "cow",
+		FaultUffd:     "uffd",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if FaultKind(99).String() == "" {
+		t.Error("unknown kind renders empty")
+	}
+}
+
+func TestVMAKindStrings(t *testing.T) {
+	if VMAFilePrivate.String() != "file-private" || VMAAnon.String() != "anon" {
+		t.Fatal("VMA kind strings wrong")
+	}
+	if VMAKind(9).String() == "" {
+		t.Fatal("unknown kind renders empty")
+	}
+}
+
+func TestCheckRangePanics(t *testing.T) {
+	w := newWorld()
+	as := w.mm.NewAddressSpace("vm", 16)
+	for _, c := range []struct{ start, n int64 }{{-1, 1}, {0, 0}, {10, 10}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("range (%d,%d) accepted", c.start, c.n)
+				}
+			}()
+			as.MMapAnon(nil, c.start, c.n)
+		}()
+	}
+}
+
+func TestDoubleUffdRegisterPanics(t *testing.T) {
+	w := newWorld()
+	as := w.mm.NewAddressSpace("vm", 16)
+	v := as.MMapAnon(nil, 0, 16)
+	as.RegisterUffd(v)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double uffd registration accepted")
+		}
+	}()
+	as.RegisterUffd(v)
+}
+
+func TestUffdCopyOutsideRangePanics(t *testing.T) {
+	w := newWorld()
+	as := w.mm.NewAddressSpace("vm", 32)
+	v := as.MMapAnon(nil, 0, 16)
+	u := as.RegisterUffd(v)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range UFFDIO_COPY accepted")
+		}
+	}()
+	u.Copy(nil, 20)
+}
+
+func TestMMapBeyondEOFPanics(t *testing.T) {
+	w := newWorld()
+	ino := w.cache.NewInode("f", 8)
+	as := w.mm.NewAddressSpace("vm", 32)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mmap beyond file EOF accepted")
+		}
+	}()
+	as.MMapFile(nil, 0, 16, ino, 0)
+}
+
+func TestRmapLifecycle(t *testing.T) {
+	// Mapping a file page takes an rmap reference; CoW, remap and
+	// release drop it, leaving the cache page reclaimable.
+	w := newWorld()
+	ino := w.cache.NewInode("snap", 64)
+	a := w.mm.NewAddressSpace("vmA", 64)
+	b := w.mm.NewAddressSpace("vmB", 64)
+	w.eng.Go("f", func(p *sim.Proc) {
+		a.MMapFile(p, 0, 64, ino, 0)
+		b.MMapFile(p, 0, 64, ino, 0)
+		a.HandleFault(p, 5, false)
+		b.HandleFault(p, 5, false)
+		if got := ino.MapCount(5); got != 2 {
+			t.Errorf("mapcount = %d after two mappers, want 2", got)
+		}
+		a.HandleFault(p, 5, true) // CoW in A drops its reference
+		if got := ino.MapCount(5); got != 1 {
+			t.Errorf("mapcount = %d after CoW, want 1", got)
+		}
+		b.MMapAnon(p, 0, 64) // remap over B's mapping
+		if got := ino.MapCount(5); got != 0 {
+			t.Errorf("mapcount = %d after remap, want 0", got)
+		}
+	})
+	w.eng.Run()
+}
+
+func TestReleaseDropsRmap(t *testing.T) {
+	w := newWorld()
+	ino := w.cache.NewInode("snap", 64)
+	as := w.mm.NewAddressSpace("vm", 64)
+	w.eng.Go("f", func(p *sim.Proc) {
+		as.MMapFile(p, 0, 64, ino, 0)
+		as.HandleFault(p, 3, false)
+	})
+	w.eng.Run()
+	if ino.MapCount(3) != 1 {
+		t.Fatalf("mapcount = %d", ino.MapCount(3))
+	}
+	as.Release()
+	if ino.MapCount(3) != 0 {
+		t.Fatalf("mapcount = %d after release", ino.MapCount(3))
+	}
+}

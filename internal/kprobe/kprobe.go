@@ -1,0 +1,142 @@
+// Package kprobe implements dynamic kernel probes for the simulated
+// kernel: named hook points to which eBPF programs can be attached.
+//
+// Simulated kernel subsystems declare probe sites by calling Fire at
+// the equivalent of the probed function's entry — the page cache fires
+// "add_to_page_cache_lru" for every page inserted, which is the hook
+// both SnapBPF programs attach to (§3.1).
+package kprobe
+
+import (
+	"fmt"
+
+	"snapbpf/internal/ebpf"
+)
+
+// Registry holds the kprobes of one simulated kernel.
+type Registry struct {
+	probes map[string]*Probe
+
+	// active implements the kernel's bpf_prog_active recursion guard:
+	// a program whose execution causes further probe firings (e.g. the
+	// SnapBPF prefetch program inserting pages into the page cache,
+	// which fires add_to_page_cache_lru) must not be re-entered.
+	active bool
+
+	// Missed counts firings suppressed by the recursion guard, like
+	// the kprobe "missed" counter.
+	Missed int64
+
+	// OnError receives errors from program executions; hook firing is
+	// best-effort, as in the kernel (a crashing BPF program does not
+	// crash the probed path). If nil, errors panic, which surfaces
+	// program bugs loudly in tests.
+	OnError func(probe string, prog *ebpf.Program, err error)
+
+	// Env is passed to programs as the helper CallContext environment,
+	// giving kfuncs access to the simulated kernel.
+	Env any
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{probes: make(map[string]*Probe)}
+}
+
+// Probe is one named hook point.
+type Probe struct {
+	name     string
+	attached []*ebpf.Program
+	fires    int64
+}
+
+// Attachment identifies an attached program for later detachment.
+type Attachment struct {
+	probe *Probe
+	prog  *ebpf.Program
+}
+
+// Probe returns the probe with the given name, creating it on first
+// use (kprobes are created dynamically on attach, as in Linux).
+func (r *Registry) Probe(name string) *Probe {
+	p, ok := r.probes[name]
+	if !ok {
+		p = &Probe{name: name}
+		r.probes[name] = p
+	}
+	return p
+}
+
+// Attach hooks prog to the named probe. The same program may be
+// attached to multiple probes, but only once per probe.
+func (r *Registry) Attach(name string, prog *ebpf.Program) (*Attachment, error) {
+	p := r.Probe(name)
+	for _, q := range p.attached {
+		if q == prog {
+			return nil, fmt.Errorf("kprobe: program %q already attached to %q", prog.Name, name)
+		}
+	}
+	p.attached = append(p.attached, prog)
+	return &Attachment{probe: p, prog: prog}, nil
+}
+
+// Detach removes the attachment. Detaching twice is an error.
+func (r *Registry) Detach(a *Attachment) error {
+	for i, q := range a.probe.attached {
+		if q == a.prog {
+			a.probe.attached = append(a.probe.attached[:i], a.probe.attached[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("kprobe: program %q not attached to %q", a.prog.Name, a.probe.name)
+}
+
+// Fire runs every enabled program attached to the named probe with the
+// given arguments. Unknown probes are a no-op: subsystems fire their
+// hooks unconditionally whether or not anything listens.
+func (r *Registry) Fire(name string, args ...uint64) {
+	p, ok := r.probes[name]
+	if !ok {
+		return
+	}
+	p.fires++
+	if len(p.attached) == 0 {
+		return
+	}
+	if r.active {
+		r.Missed++
+		return
+	}
+	r.active = true
+	defer func() { r.active = false }()
+	// Copy: a program may detach or disable itself while running.
+	progs := append([]*ebpf.Program(nil), p.attached...)
+	for _, prog := range progs {
+		if !prog.Enabled {
+			continue
+		}
+		if _, err := prog.Run(r.Env, args...); err != nil {
+			if r.OnError != nil {
+				r.OnError(name, prog, err)
+				continue
+			}
+			panic(fmt.Sprintf("kprobe %s: program %s: %v", name, prog.Name, err))
+		}
+	}
+}
+
+// Fires returns how many times the named probe has fired.
+func (r *Registry) Fires(name string) int64 {
+	if p, ok := r.probes[name]; ok {
+		return p.fires
+	}
+	return 0
+}
+
+// AttachedCount returns the number of programs attached to the probe.
+func (r *Registry) AttachedCount(name string) int {
+	if p, ok := r.probes[name]; ok {
+		return len(p.attached)
+	}
+	return 0
+}

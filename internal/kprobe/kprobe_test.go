@@ -1,0 +1,211 @@
+package kprobe
+
+import (
+	"fmt"
+	"testing"
+
+	"snapbpf/internal/ebpf"
+)
+
+// countingProg builds a program that increments map[arg1] on each run.
+func countingProg(t *testing.T, vm *ebpf.VM, fd int32) *ebpf.Program {
+	t.Helper()
+	b := ebpf.NewBuilder()
+	b.StxDW(ebpf.R10, -8, ebpf.R1). // key = arg1
+					Mov64Imm(ebpf.R1, fd).
+					Mov64Reg(ebpf.R2, ebpf.R10).Add64Imm(ebpf.R2, -8).
+					Mov64Reg(ebpf.R3, ebpf.R10).Add64Imm(ebpf.R3, -16).
+					Call(ebpf.HelperMapLookupElem).
+					JmpImm(ebpf.OpJeq, ebpf.R0, 1, "found").
+					StDWImm(ebpf.R10, -16, 0).
+					Label("found").
+					LdxDW(ebpf.R6, ebpf.R10, -16).
+					Add64Imm(ebpf.R6, 1).
+					StxDW(ebpf.R10, -16, ebpf.R6).
+					Mov64Imm(ebpf.R1, fd).
+					Mov64Reg(ebpf.R2, ebpf.R10).Add64Imm(ebpf.R2, -8).
+					Mov64Reg(ebpf.R3, ebpf.R10).Add64Imm(ebpf.R3, -16).
+					Call(ebpf.HelperMapUpdateElem).
+					Mov64Imm(ebpf.R0, 0).
+					Exit()
+	return vm.MustLoad("count", b.MustProgram())
+}
+
+func TestAttachFireDetach(t *testing.T) {
+	vm := ebpf.NewVM()
+	m := ebpf.MustNewMap(ebpf.MapTypeHash, "cnt", 64)
+	fd := vm.RegisterMap(m)
+	prog := countingProg(t, vm, fd)
+
+	r := NewRegistry()
+	att, err := r.Attach("add_to_page_cache_lru", prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Fire("add_to_page_cache_lru", 7)
+	r.Fire("add_to_page_cache_lru", 7)
+	r.Fire("add_to_page_cache_lru", 9)
+	if v, _ := m.Lookup(7); v != 2 {
+		t.Fatalf("count[7] = %d, want 2", v)
+	}
+	if v, _ := m.Lookup(9); v != 1 {
+		t.Fatalf("count[9] = %d, want 1", v)
+	}
+	if err := r.Detach(att); err != nil {
+		t.Fatal(err)
+	}
+	r.Fire("add_to_page_cache_lru", 7)
+	if v, _ := m.Lookup(7); v != 2 {
+		t.Fatalf("fired after detach: count[7] = %d", v)
+	}
+}
+
+func TestFireUnknownProbeNoop(t *testing.T) {
+	r := NewRegistry()
+	r.Fire("nonexistent", 1, 2, 3) // must not panic
+	if r.Fires("nonexistent") != 0 {
+		t.Fatal("unknown probe counted a fire")
+	}
+}
+
+func TestDisabledProgramSkipped(t *testing.T) {
+	vm := ebpf.NewVM()
+	m := ebpf.MustNewMap(ebpf.MapTypeHash, "cnt", 64)
+	fd := vm.RegisterMap(m)
+	prog := countingProg(t, vm, fd)
+	r := NewRegistry()
+	if _, err := r.Attach("hook", prog); err != nil {
+		t.Fatal(err)
+	}
+	prog.Enabled = false
+	r.Fire("hook", 1)
+	if m.Len() != 0 {
+		t.Fatal("disabled program ran")
+	}
+	prog.Enabled = true
+	r.Fire("hook", 1)
+	if v, _ := m.Lookup(1); v != 1 {
+		t.Fatal("re-enabled program did not run")
+	}
+}
+
+func TestDoubleAttachRejected(t *testing.T) {
+	vm := ebpf.NewVM()
+	prog := vm.MustLoad("p", ebpf.NewBuilder().Mov64Imm(ebpf.R0, 0).Exit().MustProgram())
+	r := NewRegistry()
+	if _, err := r.Attach("h", prog); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Attach("h", prog); err == nil {
+		t.Fatal("double attach accepted")
+	}
+}
+
+func TestDetachTwiceErrors(t *testing.T) {
+	vm := ebpf.NewVM()
+	prog := vm.MustLoad("p", ebpf.NewBuilder().Mov64Imm(ebpf.R0, 0).Exit().MustProgram())
+	r := NewRegistry()
+	att, _ := r.Attach("h", prog)
+	if err := r.Detach(att); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Detach(att); err == nil {
+		t.Fatal("double detach accepted")
+	}
+}
+
+func TestFiresCounter(t *testing.T) {
+	r := NewRegistry()
+	r.Probe("h") // create
+	r.Fire("h")
+	r.Fire("h")
+	if r.Fires("h") != 2 {
+		t.Fatalf("Fires = %d, want 2", r.Fires("h"))
+	}
+}
+
+func TestMultipleProgramsOnOneProbe(t *testing.T) {
+	vm := ebpf.NewVM()
+	m1 := ebpf.MustNewMap(ebpf.MapTypeHash, "a", 8)
+	m2 := ebpf.MustNewMap(ebpf.MapTypeHash, "b", 8)
+	fd1, fd2 := vm.RegisterMap(m1), vm.RegisterMap(m2)
+	p1 := countingProg(t, vm, fd1)
+	p2 := countingProg(t, vm, fd2)
+	r := NewRegistry()
+	if _, err := r.Attach("h", p1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Attach("h", p2); err != nil {
+		t.Fatal(err)
+	}
+	r.Fire("h", 5)
+	if v, _ := m1.Lookup(5); v != 1 {
+		t.Fatal("first program did not run")
+	}
+	if v, _ := m2.Lookup(5); v != 1 {
+		t.Fatal("second program did not run")
+	}
+	if r.AttachedCount("h") != 2 {
+		t.Fatalf("AttachedCount = %d", r.AttachedCount("h"))
+	}
+}
+
+func TestRecursionGuard(t *testing.T) {
+	vm := ebpf.NewVM()
+	m := ebpf.MustNewMap(ebpf.MapTypeHash, "cnt", 64)
+	fd := vm.RegisterMap(m)
+	prog := countingProg(t, vm, fd)
+	r := NewRegistry()
+	if _, err := r.Attach("h", prog); err != nil {
+		t.Fatal(err)
+	}
+	// A kfunc whose execution re-fires the probe (as snapbpf_prefetch
+	// does when inserting pages): the nested firing must be suppressed.
+	vm.MustRegisterHelper(ebpf.KfuncBase+7, "refire",
+		func(ctx *ebpf.CallContext, args [5]uint64) (uint64, error) {
+			r.Fire("h", 99)
+			return 0, nil
+		})
+	b := ebpf.NewBuilder()
+	b.Call(ebpf.KfuncBase + 7).Exit()
+	refirer := vm.MustLoad("refirer", b.MustProgram())
+	if _, err := r.Attach("h", refirer); err != nil {
+		t.Fatal(err)
+	}
+	r.Fire("h", 1)
+	if v, _ := m.Lookup(99); v != 0 {
+		t.Fatalf("nested firing ran programs: count[99] = %d", v)
+	}
+	if r.Missed != 1 {
+		t.Fatalf("Missed = %d, want 1", r.Missed)
+	}
+	// The probe's fire counter still registers the nested hit.
+	if r.Fires("h") != 2 {
+		t.Fatalf("Fires = %d, want 2", r.Fires("h"))
+	}
+}
+
+func TestOnErrorHandler(t *testing.T) {
+	vm := ebpf.NewVM()
+	// Program passes verification but fails at runtime via an
+	// erroring kfunc (kernel functions may fail dynamically).
+	vm.MustRegisterHelper(ebpf.KfuncBase+9, "faulty",
+		func(ctx *ebpf.CallContext, args [5]uint64) (uint64, error) {
+			return 0, fmt.Errorf("kfunc exploded")
+		})
+	b := ebpf.NewBuilder()
+	b.Call(ebpf.KfuncBase+9).
+		Mov64Imm(ebpf.R0, 0).
+		Exit()
+	prog := vm.MustLoad("bad", b.MustProgram())
+	r := NewRegistry()
+	var gotErr error
+	r.OnError = func(probe string, p *ebpf.Program, err error) { gotErr = err }
+	if _, err := r.Attach("h", prog); err != nil {
+		t.Fatal(err)
+	}
+	r.Fire("h")
+	if gotErr == nil {
+		t.Fatal("OnError not invoked")
+	}
+}

@@ -1,0 +1,412 @@
+// Package pagecache models the Linux page cache for the simulated
+// host kernel: per-inode resident pages, demand faulting with a
+// readahead window, asynchronous readahead
+// (page_cache_ra_unbounded), buffered and direct reads, and mincore.
+//
+// Every page insertion fires the "add_to_page_cache_lru" kprobe with
+// (inode id, page index) — the hook both SnapBPF eBPF programs attach
+// to (§3.1 of the paper). Pages inserted here are shared by every
+// process that maps the backing file, which is the deduplication
+// property SnapBPF exploits for concurrent VM sandboxes.
+package pagecache
+
+import (
+	"container/list"
+	"fmt"
+
+	"snapbpf/internal/blockdev"
+	"snapbpf/internal/costmodel"
+	"snapbpf/internal/kprobe"
+	"snapbpf/internal/sim"
+)
+
+// HookAddToPageCacheLRU is the kprobe name fired on every insertion.
+const HookAddToPageCacheLRU = "add_to_page_cache_lru"
+
+// DefaultRAPages is the default Linux readahead window: 128KiB = 32
+// pages, the value the paper uses for its Linux-RA baseline.
+const DefaultRAPages = 32
+
+// Page is one resident (or in-flight) page-cache page.
+type Page struct {
+	inode  *Inode
+	index  int64
+	ioDone *sim.Waiter // non-nil while the backing read is in flight
+
+	// lruElem is the page's position in the cache's reclaim list;
+	// mapCount is the rmap reference count (address spaces currently
+	// mapping this page), which exempts it from reclaim.
+	lruElem  *list.Element
+	mapCount int
+}
+
+// Uptodate reports whether the page content has arrived from storage.
+func (pg *Page) Uptodate() bool { return pg.ioDone == nil || pg.ioDone.Fired() }
+
+// Stats holds cache-wide counters.
+type Stats struct {
+	Hits        int64 // faults served by an uptodate page
+	WaitHits    int64 // faults that waited on an in-flight page
+	Misses      int64 // faults that had to start a read
+	Inserted    int64 // pages added to the cache (any path)
+	RAInserted  int64 // pages added by ReadaheadAsync
+	DirectReads int64 // direct-I/O requests (bypass)
+	Evicted     int64 // pages reclaimed under memory pressure
+}
+
+// Cache is the host page cache.
+type Cache struct {
+	eng    *sim.Engine
+	dev    *blockdev.Device
+	probes *kprobe.Registry
+	cm     costmodel.Model
+
+	// RAPages is the demand-fault readahead window in pages; 0
+	// disables readahead (the Linux-NoRA baseline).
+	RAPages int64
+
+	nextInode uint64
+	inodes    map[uint64]*Inode
+	nrCached  int64
+	lru       *list.List
+	memLimit  int64 // 0 = unlimited
+
+	// cur is the task currently executing inside a synchronous kernel
+	// dispatch chain (page insertion -> kprobe -> eBPF -> kfunc). It
+	// is only valid for the duration of that chain: insert sets it
+	// before firing the probe and restores it after, so a kfunc such
+	// as snapbpf_prefetch can charge CPU time to the task whose fault
+	// triggered the program. It is never read across a sleep.
+	cur *sim.Proc
+
+	stats Stats
+}
+
+// New creates a page cache backed by dev, firing probes on insertions.
+func New(eng *sim.Engine, dev *blockdev.Device, probes *kprobe.Registry, cm costmodel.Model) *Cache {
+	return &Cache{
+		eng:     eng,
+		dev:     dev,
+		probes:  probes,
+		cm:      cm,
+		RAPages: DefaultRAPages,
+		inodes:  make(map[uint64]*Inode),
+		lru:     list.New(),
+	}
+}
+
+// Engine returns the simulation engine.
+func (c *Cache) Engine() *sim.Engine { return c.eng }
+
+// Device returns the backing block device.
+func (c *Cache) Device() *blockdev.Device { return c.dev }
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// InodeByID resolves an inode number, as kernel code (the SnapBPF
+// prefetch kfunc) must when it receives an inode id from a BPF map.
+func (c *Cache) InodeByID(id uint64) (*Inode, bool) {
+	ino, ok := c.inodes[id]
+	return ino, ok
+}
+
+// NrCachedPages returns the number of pages currently in the cache
+// (resident or in flight) across all inodes — the page-cache share of
+// system memory in the Fig. 3c accounting.
+func (c *Cache) NrCachedPages() int64 { return c.nrCached }
+
+// charge sleeps task p for d; a nil p (background or asynchronous
+// context) drops the cost, as kernel work off the fault path does not
+// extend the faulting task's latency.
+func charge(p *sim.Proc, d sim.Duration) {
+	if p != nil && d > 0 {
+		p.Sleep(d)
+	}
+}
+
+// DropCaches evicts every page from every inode (echo 3 >
+// drop_caches), used to cold-start record phases. In-flight pages are
+// kept, as the kernel does. The caller must ensure no address space
+// still maps the dropped pages (the harness drops between phases,
+// after sandbox teardown).
+func (c *Cache) DropCaches() {
+	for _, ino := range c.inodes {
+		for idx, pg := range ino.pages {
+			if pg.Uptodate() {
+				c.dropLRU(pg)
+				delete(ino.pages, idx)
+				c.nrCached--
+			}
+		}
+	}
+}
+
+// Inode is one cached file.
+type Inode struct {
+	c       *Cache
+	id      uint64
+	name    string
+	nrPages int64
+	pages   map[int64]*Page
+
+	// raPages overrides the cache default when >= 0; the SnapBPF
+	// capture phase disables readahead on the snapshot inode so only
+	// true working-set pages are fetched and recorded (§3.1).
+	raPages int64
+}
+
+// NewInode registers a file of nrPages pages with the cache.
+func (c *Cache) NewInode(name string, nrPages int64) *Inode {
+	c.nextInode++
+	ino := &Inode{
+		c:       c,
+		id:      c.nextInode,
+		name:    name,
+		nrPages: nrPages,
+		pages:   make(map[int64]*Page),
+		raPages: -1,
+	}
+	c.inodes[ino.id] = ino
+	return ino
+}
+
+// ID returns the inode number, the value SnapBPF programs filter on.
+func (i *Inode) ID() uint64 { return i.id }
+
+// Name returns the file name.
+func (i *Inode) Name() string { return i.name }
+
+// NrPages returns the file size in pages.
+func (i *Inode) NrPages() int64 { return i.nrPages }
+
+// SetReadahead overrides the readahead window for this inode;
+// pass -1 to inherit the cache default, 0 to disable.
+func (i *Inode) SetReadahead(pages int64) { i.raPages = pages }
+
+func (i *Inode) raWindow() int64 {
+	if i.raPages >= 0 {
+		return i.raPages
+	}
+	return i.c.RAPages
+}
+
+// Present reports whether the page is in the cache (even in-flight).
+func (i *Inode) Present(idx int64) bool {
+	_, ok := i.pages[idx]
+	return ok
+}
+
+// Resident reports whether the page is in the cache and uptodate.
+func (i *Inode) Resident(idx int64) bool {
+	pg, ok := i.pages[idx]
+	return ok && pg.Uptodate()
+}
+
+// ResidentPages returns the number of uptodate pages of this inode.
+func (i *Inode) ResidentPages() int64 {
+	var n int64
+	for _, pg := range i.pages {
+		if pg.Uptodate() {
+			n++
+		}
+	}
+	return n
+}
+
+// insert adds one absent page in in-flight state bound to done,
+// firing the insertion kprobe and charging insertion cost to p. The
+// caller guarantees the page is absent. The cache's current-task
+// pointer is set for the duration of the probe dispatch so kfuncs can
+// charge the same task.
+func (i *Inode) insert(p *sim.Proc, idx int64, done *sim.Waiter) *Page {
+	pg := &Page{inode: i, index: idx, ioDone: done}
+	i.pages[idx] = pg
+	i.c.nrCached++
+	i.c.stats.Inserted++
+	i.c.touchLRU(pg)
+	i.c.reclaim()
+	charge(p, i.c.cm.PageCacheInsert)
+	if i.c.probes != nil {
+		if i.c.probes.AttachedCount(HookAddToPageCacheLRU) > 0 {
+			charge(p, i.c.cm.KprobeDispatch)
+		}
+		prev := i.c.cur
+		i.c.cur = p
+		i.c.probes.Fire(HookAddToPageCacheLRU, i.id, uint64(idx))
+		i.c.cur = prev
+	}
+	return pg
+}
+
+// submitRuns groups the given sorted absent indices into contiguous
+// runs, inserts their pages, and submits one device read per run. All
+// inserted pages bound to a run share its completion waiter. Demand
+// faults submit synchronous-class reads; readahead submits
+// REQ_RAHEAD-class reads that yield to them.
+func (i *Inode) submitRuns(p *sim.Proc, indices []int64, readahead bool) {
+	for n := 0; n < len(indices); {
+		start := indices[n]
+		end := n + 1
+		for end < len(indices) && indices[end] == indices[end-1]+1 {
+			end++
+		}
+		runLen := int64(end - n)
+		done := i.c.eng.NewWaiter()
+		for k := int64(0); k < runLen; k++ {
+			// Re-check: a kprobe program fired by an earlier insert in
+			// this run may itself have inserted pages of this inode.
+			if !i.Present(start + k) {
+				i.insert(p, start+k, done)
+			}
+		}
+		var w *sim.Waiter
+		if readahead {
+			w = i.c.dev.SubmitReadahead(start*4096, runLen*4096)
+		} else {
+			w = i.c.dev.SubmitRead(start*4096, runLen*4096)
+		}
+		// Relay device completion to the shared page waiter. Reclaim
+		// runs again once pages become uptodate: in-flight pages are
+		// not evictable, so an insertion burst can overshoot the
+		// limit until its reads land (as direct reclaim does while
+		// waiting out in-flight folios).
+		i.c.eng.Go("io-complete", func(proc *sim.Proc) {
+			proc.Wait(w)
+			done.Fire()
+			i.c.reclaim()
+		})
+		n = end
+	}
+}
+
+// FaultPage is the demand-fault read path: it returns once page idx is
+// resident, starting a read (with the readahead window) if needed.
+// The process is charged fault-handling CPU time: a minor-fault cost
+// on hits, major-fault software overhead plus device wait on misses.
+func (i *Inode) FaultPage(p *sim.Proc, idx int64) {
+	if idx < 0 || idx >= i.nrPages {
+		panic(fmt.Sprintf("pagecache: fault beyond EOF: %s page %d of %d", i.name, idx, i.nrPages))
+	}
+	if pg, ok := i.pages[idx]; ok {
+		if pg.Uptodate() {
+			i.c.stats.Hits++
+			i.c.touchLRU(pg)
+			return
+		}
+		i.c.stats.WaitHits++
+		p.Wait(pg.ioDone)
+		return
+	}
+
+	p.Sleep(i.c.cm.MajorFaultSW)
+
+	// The sleep above is a scheduling point: another task may have
+	// started the read meanwhile. Re-check before submitting.
+	if pg, ok := i.pages[idx]; ok {
+		if pg.Uptodate() {
+			i.c.stats.Hits++
+			return
+		}
+		i.c.stats.WaitHits++
+		p.Wait(pg.ioDone)
+		return
+	}
+	i.c.stats.Misses++
+
+	// Collect the absent pages of the readahead window (at least the
+	// faulting page itself).
+	window := i.raWindow()
+	if window < 1 {
+		window = 1
+	}
+	hi := idx + window
+	if hi > i.nrPages {
+		hi = i.nrPages
+	}
+	var toRead []int64
+	for j := idx; j < hi; j++ {
+		if !i.Present(j) {
+			toRead = append(toRead, j)
+		}
+	}
+	i.submitRuns(p, toRead, false)
+
+	pg := i.pages[idx]
+	if !pg.Uptodate() {
+		p.Wait(pg.ioDone)
+	}
+}
+
+// ReadaheadAsync is page_cache_ra_unbounded: it inserts the absent
+// pages of [start, start+n) and submits their reads without waiting
+// for completion. It returns the number of pages newly inserted.
+// When called from inside a probe dispatch (the SnapBPF prefetch
+// kfunc), CPU cost is charged to the task whose fault triggered the
+// program; from other contexts it is free of CPU cost.
+func (i *Inode) ReadaheadAsync(start, n int64) int64 {
+	if start < 0 {
+		start = 0
+	}
+	hi := start + n
+	if hi > i.nrPages {
+		hi = i.nrPages
+	}
+	var toRead []int64
+	for j := start; j < hi; j++ {
+		if !i.Present(j) {
+			toRead = append(toRead, j)
+		}
+	}
+	i.submitRuns(i.c.cur, toRead, true)
+	i.c.stats.RAInserted += int64(len(toRead))
+	return int64(len(toRead))
+}
+
+// BufferedRead models a read(2) of nPages pages starting at startPage:
+// it faults each page through the cache (demand path, honouring the
+// inode readahead setting) and charges the per-page copy_to_user cost.
+// FaaSnap's userspace prefetch thread issues these.
+func (i *Inode) BufferedRead(p *sim.Proc, startPage, nPages int64) {
+	p.Sleep(i.c.cm.Syscall)
+	hi := startPage + nPages
+	if hi > i.nrPages {
+		hi = i.nrPages
+	}
+	for j := startPage; j < hi; j++ {
+		i.FaultPage(p, j)
+		p.Sleep(i.c.cm.CopyUserPage)
+	}
+}
+
+// DirectRead models an O_DIRECT read: it goes straight to the device,
+// bypassing the cache entirely — no insertion, no kprobe firing, no
+// sharing. REAP and Faast fetch working sets this way (§2.1).
+func (i *Inode) DirectRead(p *sim.Proc, startPage, nPages int64) {
+	p.Sleep(i.c.cm.Syscall)
+	i.c.stats.DirectReads++
+	i.c.dev.Read(p, startPage*4096, nPages*4096)
+}
+
+// Mincore returns the residency bitmap for [start, start+n): true for
+// pages that are resident in the cache, mirroring mincore(2) on a
+// file-backed mapping. FaaSnap captures working sets with this.
+func (i *Inode) Mincore(start, n int64) []bool {
+	out := make([]bool, n)
+	for j := int64(0); j < n; j++ {
+		out[j] = i.Resident(start + j)
+	}
+	return out
+}
+
+// Invalidate drops resident pages of [start, start+n), used by tests
+// and the drop-caches path.
+func (i *Inode) Invalidate(start, n int64) {
+	for j := start; j < start+n; j++ {
+		if pg, ok := i.pages[j]; ok && pg.Uptodate() {
+			i.c.dropLRU(pg)
+			delete(i.pages, j)
+			i.c.nrCached--
+		}
+	}
+}

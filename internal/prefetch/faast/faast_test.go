@@ -1,0 +1,118 @@
+package faast
+
+import (
+	"testing"
+
+	"snapbpf/internal/blockdev"
+	"snapbpf/internal/prefetch"
+	"snapbpf/internal/sim"
+	"snapbpf/internal/vmm"
+	"snapbpf/internal/workload"
+)
+
+func tinyFn() workload.Function {
+	return workload.Function{
+		Name: "tiny", MemMiB: 64, StateMiB: 32, WSMiB: 8, WSRegions: 10,
+		AllocMiB: 4, ComputeMs: 5, WriteFrac: 0.15, Seed: 3,
+	}
+}
+
+func newEnv(fn workload.Function) *prefetch.Env {
+	h := vmm.NewHost(blockdev.MicronSATA5300())
+	img := vmm.BuildImage(fn, false)
+	return &prefetch.Env{
+		Host:        h,
+		Fn:          fn,
+		Image:       img,
+		SnapInode:   h.RegisterSnapshot(fn.Name+".snapmem", img),
+		RecordTrace: fn.GenTrace(),
+		InvokeTrace: fn.GenTrace(),
+	}
+}
+
+func record(t *testing.T, f *Faast, env *prefetch.Env) {
+	t.Helper()
+	var err error
+	env.Host.Eng.Go("rec", func(p *sim.Proc) { err = f.Record(p, env) })
+	env.Host.Eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMetadataFiltersAllocationsFromWS(t *testing.T) {
+	fn := tinyFn()
+	env := newEnv(fn)
+	f := New()
+	record(t, f, env)
+	ws := f.WorkingSet()
+	if ws == nil || len(ws.Pages) == 0 {
+		t.Fatal("no working set")
+	}
+	// Unlike REAP, allocator-metadata filtering keeps free-pool pages
+	// out of the working set.
+	for _, pg := range ws.Pages {
+		if pg >= fn.StatePages() {
+			t.Fatalf("free-at-snapshot page %d in Faast working set", pg)
+		}
+	}
+}
+
+func TestZeroPageFaultsAvoidDisk(t *testing.T) {
+	fn := tinyFn()
+	env := newEnv(fn)
+	f := New()
+	record(t, f, env)
+	env.Host.Dev.ResetStats()
+
+	var err error
+	env.Host.Eng.Go("vm", func(p *sim.Proc) {
+		vm, rerr := env.Host.Restore(p, "vm0", fn, env.Image, env.SnapInode, f.RestoreConfig(0))
+		if rerr != nil {
+			err = rerr
+			return
+		}
+		if perr := f.PrepareVM(p, env, vm); perr != nil {
+			err = perr
+			return
+		}
+		if _, ierr := vm.Invoke(p, env.InvokeTrace); ierr != nil {
+			err = ierr
+		}
+	})
+	env.Host.Eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Invocation traffic = working set only; allocation faults were
+	// served with UFFDIO_ZEROPAGE, not snapshot reads.
+	wsBytes := f.WorkingSet().TotalPages() * 4096
+	if got := env.Host.Dev.Stats().BytesRead; got != wsBytes {
+		t.Fatalf("device bytes = %d, want %d (ws only)", got, wsBytes)
+	}
+}
+
+func TestCapabilities(t *testing.T) {
+	c := New().Capabilities()
+	if !c.OnDiskWSSerialization || c.InMemoryWSDedup || c.StatelessAllocFiltering {
+		t.Fatalf("capabilities = %+v", c)
+	}
+	if !c.NeedsSnapshotScan {
+		t.Fatal("Faast must report its metadata pre-scan")
+	}
+}
+
+func TestPrepareBeforeRecordFails(t *testing.T) {
+	fn := tinyFn()
+	env := newEnv(fn)
+	f := New()
+	var err error
+	env.Host.Eng.Go("vm", func(p *sim.Proc) {
+		vm, _ := env.Host.Restore(p, "vm0", fn, env.Image, env.SnapInode, f.RestoreConfig(0))
+		err = f.PrepareVM(p, env, vm)
+	})
+	env.Host.Eng.Run()
+	if err == nil {
+		t.Fatal("PrepareVM before Record accepted")
+	}
+}

@@ -1,0 +1,64 @@
+package prefetch
+
+import (
+	"snapbpf/internal/pagecache"
+	"snapbpf/internal/sim"
+	"snapbpf/internal/vmm"
+)
+
+// Linux is the vanilla-firecracker baseline: the snapshot memory file
+// is privately mapped and pages fault in on demand, with the kernel's
+// readahead either at its default 128KiB window (Linux-RA) or
+// disabled (Linux-NoRA). No record phase, no prefetching.
+type Linux struct {
+	// Readahead is the readahead window in pages; 0 disables
+	// (Linux-NoRA), DefaultRAPages is the paper's Linux-RA setting.
+	Readahead int64
+	name      string
+}
+
+// NewLinuxRA returns the Linux-RA baseline (default readahead).
+func NewLinuxRA() *Linux {
+	return &Linux{Readahead: pagecache.DefaultRAPages, name: "Linux-RA"}
+}
+
+// NewLinuxNoRA returns the Linux-NoRA baseline (readahead disabled).
+func NewLinuxNoRA() *Linux {
+	return &Linux{Readahead: 0, name: "Linux-NoRA"}
+}
+
+// NewLinuxWithWindow returns a baseline with an explicit readahead
+// window, used by the readahead-sweep ablation.
+func NewLinuxWithWindow(pages int64, name string) *Linux {
+	return &Linux{Readahead: pages, name: name}
+}
+
+// Name implements Prefetcher.
+func (l *Linux) Name() string { return l.name }
+
+// Capabilities implements Prefetcher.
+func (l *Linux) Capabilities() Capabilities {
+	return Capabilities{
+		Mechanism:       "demand paging (readahead)",
+		InMemoryWSDedup: true, // page cache mappings are shared
+	}
+}
+
+// RestoreConfig implements Prefetcher: stock guest, patched KVM.
+func (l *Linux) RestoreConfig(salt int) vmm.RestoreConfig {
+	return vmm.RestoreConfig{AllocSalt: salt}
+}
+
+// Record implements Prefetcher: no record phase.
+func (l *Linux) Record(p *sim.Proc, env *Env) error { return nil }
+
+// PrepareVM implements Prefetcher: map the snapshot file privately and
+// set the readahead window.
+func (l *Linux) PrepareVM(p *sim.Proc, env *Env, vm *vmm.MicroVM) error {
+	env.SnapInode.SetReadahead(l.Readahead)
+	vm.MapSnapshotDefault(p)
+	return nil
+}
+
+// FinishVM implements Prefetcher.
+func (l *Linux) FinishVM(env *Env, vm *vmm.MicroVM) {}

@@ -1,0 +1,109 @@
+package prefetch
+
+import (
+	"testing"
+
+	"snapbpf/internal/blockdev"
+	"snapbpf/internal/sim"
+	"snapbpf/internal/vmm"
+	"snapbpf/internal/workload"
+)
+
+func tinyFn() workload.Function {
+	return workload.Function{
+		Name: "tiny", MemMiB: 64, StateMiB: 32, WSMiB: 8, WSRegions: 10,
+		AllocMiB: 4, ComputeMs: 5, WriteFrac: 0.15, Seed: 3,
+	}
+}
+
+func newEnv(fn workload.Function) *Env {
+	h := vmm.NewHost(blockdev.MicronSATA5300())
+	img := vmm.BuildImage(fn, false)
+	return &Env{
+		Host:        h,
+		Fn:          fn,
+		Image:       img,
+		SnapInode:   h.RegisterSnapshot(fn.Name+".snapmem", img),
+		RecordTrace: fn.GenTrace(),
+		InvokeTrace: fn.GenTrace(),
+	}
+}
+
+func invoke(t *testing.T, l *Linux, env *Env) vmm.InvokeStats {
+	t.Helper()
+	var stats vmm.InvokeStats
+	var err error
+	env.Host.Eng.Go("vm", func(p *sim.Proc) {
+		if rerr := l.Record(p, env); rerr != nil {
+			err = rerr
+			return
+		}
+		vm, rerr := env.Host.Restore(p, "vm0", env.Fn, env.Image, env.SnapInode, l.RestoreConfig(0))
+		if rerr != nil {
+			err = rerr
+			return
+		}
+		if perr := l.PrepareVM(p, env, vm); perr != nil {
+			err = perr
+			return
+		}
+		vm.MarkPrepared(p)
+		stats, err = vm.Invoke(p, env.InvokeTrace)
+		l.FinishVM(env, vm)
+	})
+	env.Host.Eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats
+}
+
+func TestLinuxRAFasterThanNoRA(t *testing.T) {
+	fn := tinyFn()
+	ra := invoke(t, NewLinuxRA(), newEnv(fn))
+	nora := invoke(t, NewLinuxNoRA(), newEnv(fn))
+	if ra.E2E >= nora.E2E {
+		t.Fatalf("RA (%v) not faster than NoRA (%v) on a locality-heavy trace", ra.E2E, nora.E2E)
+	}
+}
+
+func TestLinuxRAOverfetches(t *testing.T) {
+	fn := tinyFn()
+	envRA := newEnv(fn)
+	invoke(t, NewLinuxRA(), envRA)
+	envNo := newEnv(fn)
+	invoke(t, NewLinuxNoRA(), envNo)
+	if envRA.Host.Dev.Stats().BytesRead <= envNo.Host.Dev.Stats().BytesRead {
+		t.Fatal("RA window did not overfetch relative to NoRA")
+	}
+	if envRA.Host.Dev.Stats().Requests >= envNo.Host.Dev.Stats().Requests {
+		t.Fatal("RA did not reduce request count")
+	}
+}
+
+func TestLinuxWithWindowName(t *testing.T) {
+	l := NewLinuxWithWindow(64, "Linux-RA-64")
+	if l.Name() != "Linux-RA-64" || l.Readahead != 64 {
+		t.Fatalf("window baseline misconfigured: %s %d", l.Name(), l.Readahead)
+	}
+}
+
+func TestLinuxCapabilities(t *testing.T) {
+	c := NewLinuxRA().Capabilities()
+	if c.OnDiskWSSerialization || !c.InMemoryWSDedup || c.StatelessAllocFiltering {
+		t.Fatalf("capabilities = %+v", c)
+	}
+}
+
+func TestLinuxNoRecordPhase(t *testing.T) {
+	env := newEnv(tinyFn())
+	var err error
+	env.Host.Eng.Go("r", func(p *sim.Proc) { err = NewLinuxRA().Record(p, env) })
+	env.Host.Eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Host.Dev.Stats().Requests != 0 {
+		t.Fatal("Linux baseline record phase did I/O")
+	}
+}

@@ -1,0 +1,84 @@
+// Package prefetch defines the snapshot-prefetching interface shared
+// by SnapBPF and the state-of-the-art baselines the paper compares
+// against (REAP, Faast, FaaSnap, vanilla Linux demand paging), plus
+// the two Linux baselines themselves.
+//
+// A Prefetcher participates in the two phases of §2.1:
+//
+//   - Record: one instrumented invocation that captures the function's
+//     working set and persists whatever artifact the scheme needs
+//     (offsets for SnapBPF, page data for the others).
+//   - Invocation: for each new sandbox, PrepareVM installs the
+//     sandbox's guest-memory backend (mmap, userfaultfd, overlays,
+//     eBPF programs) and kicks off prefetching; the harness then
+//     replays the function trace.
+package prefetch
+
+import (
+	"snapbpf/internal/pagecache"
+	"snapbpf/internal/sim"
+	"snapbpf/internal/snapshot"
+	"snapbpf/internal/trace"
+	"snapbpf/internal/vmm"
+	"snapbpf/internal/workload"
+)
+
+// Capabilities is a row of the paper's Table 1 feature matrix.
+type Capabilities struct {
+	// Mechanism names the capture/prefetch mechanism as in Table 1.
+	Mechanism string
+	// KernelSpace is true when capture and prefetch run in the kernel.
+	KernelSpace bool
+	// OnDiskWSSerialization is true when the working set's page
+	// contents are serialized to a separate file on disk.
+	OnDiskWSSerialization bool
+	// InMemoryWSDedup is true when concurrent sandboxes share one
+	// in-memory copy of the working set.
+	InMemoryWSDedup bool
+	// StatelessAllocFiltering is true when VM-sandbox memory
+	// allocations are filtered without snapshot scanning or
+	// pre-processing.
+	StatelessAllocFiltering bool
+	// NeedsSnapshotScan is true when the scheme pre-scans or
+	// pre-processes the snapshot (zero pages, allocator metadata).
+	NeedsSnapshotScan bool
+}
+
+// Env is the per-function experiment context.
+type Env struct {
+	Host      *vmm.Host
+	Fn        workload.Function
+	Image     *snapshot.MemoryImage
+	SnapInode *pagecache.Inode
+
+	// RecordTrace drives the record invocation; InvokeTrace drives
+	// the measured invocations (identical inputs across concurrent
+	// sandboxes, as in the paper's methodology).
+	RecordTrace *trace.Trace
+	InvokeTrace *trace.Trace
+}
+
+// Prefetcher is one snapshot-prefetching scheme.
+type Prefetcher interface {
+	// Name is the scheme's display name ("SnapBPF", "REAP", ...).
+	Name() string
+
+	// Capabilities reports the Table 1 feature matrix row.
+	Capabilities() Capabilities
+
+	// RestoreConfig returns the guest patches and KVM knobs the
+	// scheme requires for an invocation-phase sandbox. salt perturbs
+	// the guest allocator per sandbox.
+	RestoreConfig(salt int) vmm.RestoreConfig
+
+	// Record captures the function working set (§2.1 record phase).
+	// Schemes without a record phase return nil immediately.
+	Record(p *sim.Proc, env *Env) error
+
+	// PrepareVM installs the sandbox's memory backend and starts
+	// prefetching. Called after vmm.Host.Restore, before Invoke.
+	PrepareVM(p *sim.Proc, env *Env, vm *vmm.MicroVM) error
+
+	// FinishVM releases per-sandbox resources after the invocation.
+	FinishVM(env *Env, vm *vmm.MicroVM)
+}

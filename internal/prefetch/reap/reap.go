@@ -1,0 +1,177 @@
+// Package reap implements the REAP baseline (Ustiugov et al., ASPLOS
+// '21) as characterized in §2.1 of the SnapBPF paper: working sets are
+// captured through userspace page-fault handling (userfaultfd),
+// serialized to a separate file *with page contents*, and prefetched
+// with direct I/O into per-sandbox anonymous memory installed via
+// UFFDIO_COPY. Because every installed page is private anonymous
+// memory, concurrent sandboxes of the same function cannot share
+// working-set pages.
+package reap
+
+import (
+	"fmt"
+
+	"snapbpf/internal/pagecache"
+	"snapbpf/internal/prefetch"
+	"snapbpf/internal/sim"
+	"snapbpf/internal/snapshot"
+	"snapbpf/internal/vmm"
+)
+
+// DefaultChunkPages is the prefetch read granularity (512KiB).
+const DefaultChunkPages = 128
+
+// REAP is the userfaultfd record-and-prefetch baseline.
+type REAP struct {
+	// DirectIO selects O_DIRECT for working-set and snapshot reads
+	// (the paper: REAP uses direct I/O "to bypass the page cache and
+	// avoid the overhead of intermediate memory copies"). The
+	// buffered alternative exists for the ablation bench.
+	DirectIO bool
+
+	// ChunkPages is the working-set prefetch read size in pages.
+	ChunkPages int64
+
+	ws      *snapshot.PagedWS
+	wsInode *pagecache.Inode
+}
+
+// New returns REAP with the paper's configuration.
+func New() *REAP {
+	return &REAP{DirectIO: true, ChunkPages: DefaultChunkPages}
+}
+
+// Name implements prefetch.Prefetcher.
+func (r *REAP) Name() string { return "REAP" }
+
+// Capabilities implements prefetch.Prefetcher (Table 1 row).
+func (r *REAP) Capabilities() prefetch.Capabilities {
+	return prefetch.Capabilities{
+		Mechanism:             "Userfaultfd (User-space)",
+		OnDiskWSSerialization: true,
+	}
+}
+
+// RestoreConfig implements prefetch.Prefetcher: stock guest.
+func (r *REAP) RestoreConfig(salt int) vmm.RestoreConfig {
+	return vmm.RestoreConfig{AllocSalt: salt}
+}
+
+// WorkingSet exposes the recorded artifact (tests, wsinspect).
+func (r *REAP) WorkingSet() *snapshot.PagedWS { return r.ws }
+
+// Record implements prefetch.Prefetcher: one invocation behind a
+// userfaultfd handler that fetches every faulting page from the
+// snapshot with direct I/O and logs it; the working set (offsets AND
+// contents) is then serialized to its own file.
+func (r *REAP) Record(p *sim.Proc, env *prefetch.Env) error {
+	vm, err := env.Host.Restore(p, env.Fn.Name+"-reap-record", env.Fn, env.Image, env.SnapInode,
+		vmm.RestoreConfig{AllocSalt: 0})
+	if err != nil {
+		return err
+	}
+	vma := vm.AS.MMapAnon(p, 0, env.Image.NrPages)
+	u := vm.AS.RegisterUffd(vma)
+
+	var order []int64
+	u.Handler = func(hp *sim.Proc, page int64) {
+		r.readSnapshotPage(hp, env, page)
+		u.Copy(hp, page)
+		order = append(order, page)
+	}
+	vm.MarkPrepared(p)
+	if _, err := vm.Invoke(p, env.RecordTrace); err != nil {
+		return err
+	}
+	vm.Shutdown()
+
+	ws := &snapshot.PagedWS{Pages: order, Tags: make([]uint64, len(order))}
+	for i, pg := range order {
+		ws.Tags[i] = env.Image.PageTags[pg]
+	}
+	if err := ws.Validate(env.Image.NrPages); err != nil {
+		return fmt.Errorf("reap: recorded invalid working set: %w", err)
+	}
+	r.ws = ws
+	// Serialize the working set (with contents) to its own file.
+	r.wsInode = env.Host.Cache.NewInode(env.Fn.Name+".reap-ws", ws.TotalPages())
+	return nil
+}
+
+// readSnapshotPage fetches one page of the snapshot during fault
+// handling, honouring the DirectIO setting.
+func (r *REAP) readSnapshotPage(p *sim.Proc, env *prefetch.Env, page int64) {
+	if r.DirectIO {
+		env.SnapInode.DirectRead(p, page, 1)
+	} else {
+		env.SnapInode.BufferedRead(p, page, 1)
+	}
+}
+
+// vmState is the per-sandbox prefetch coordination state.
+type vmState struct {
+	pending map[int64]*sim.Waiter // ws page -> install completion
+}
+
+// PrepareVM implements prefetch.Prefetcher: guest memory becomes an
+// anonymous uffd-registered region; a prefetch thread streams the
+// working-set file (direct I/O) and installs each page with
+// UFFDIO_COPY while the vCPU runs. Faults on working-set pages wait
+// for the installer; faults on other pages fetch from the snapshot on
+// demand.
+func (r *REAP) PrepareVM(p *sim.Proc, env *prefetch.Env, vm *vmm.MicroVM) error {
+	if r.ws == nil {
+		return fmt.Errorf("reap: PrepareVM before Record")
+	}
+	vma := vm.AS.MMapAnon(p, 0, env.Image.NrPages)
+	u := vm.AS.RegisterUffd(vma)
+
+	st := &vmState{pending: make(map[int64]*sim.Waiter, len(r.ws.Pages))}
+	for _, pg := range r.ws.Pages {
+		st.pending[pg] = env.Host.Eng.NewWaiter()
+	}
+
+	u.Handler = func(hp *sim.Proc, page int64) {
+		if w, ok := st.pending[page]; ok {
+			hp.Wait(w)
+			if !vm.AS.Mapped(page) {
+				// Extremely late fault raced the installer's map scan;
+				// install directly.
+				u.Copy(hp, page)
+			}
+			return
+		}
+		r.readSnapshotPage(hp, env, page)
+		u.Copy(hp, page)
+	}
+
+	// Prefetch thread: stream the WS file and install pages eagerly.
+	ws, wsInode, chunk := r.ws, r.wsInode, r.ChunkPages
+	if chunk <= 0 {
+		chunk = DefaultChunkPages
+	}
+	env.Host.Eng.Go(vm.Name+"-reap-prefetch", func(pp *sim.Proc) {
+		n := int64(len(ws.Pages))
+		for base := int64(0); base < n; base += chunk {
+			len_ := chunk
+			if base+len_ > n {
+				len_ = n - base
+			}
+			// The WS file is read sequentially by file offset.
+			if r.DirectIO {
+				wsInode.DirectRead(pp, base, len_)
+			} else {
+				wsInode.BufferedRead(pp, base, len_)
+			}
+			for i := base; i < base+len_; i++ {
+				page := ws.Pages[i]
+				u.Copy(pp, page)
+				st.pending[page].Fire()
+			}
+		}
+	})
+	return nil
+}
+
+// FinishVM implements prefetch.Prefetcher.
+func (r *REAP) FinishVM(env *prefetch.Env, vm *vmm.MicroVM) {}

@@ -1,0 +1,297 @@
+// Package sim implements a deterministic discrete-event simulation
+// kernel with goroutine-backed sequential processes.
+//
+// The engine advances a virtual clock (nanosecond resolution) through a
+// priority queue of events. Simulated activities — a VMM restoring a
+// snapshot, a function faulting on guest memory, an SSD completing a
+// read — are modelled either as plain scheduled callbacks or as
+// Processes: goroutines that run one at a time under the engine's
+// control and can block on virtual time (Sleep) or on conditions
+// (Waiter). Exactly one goroutine (the engine or a single process) is
+// runnable at any instant, so simulations are fully deterministic:
+// events at equal timestamps fire in scheduling order.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds. It converts
+// directly from time.Duration.
+type Duration = time.Duration
+
+// String formats the time as a duration since simulation start.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+type event struct {
+	at  Time
+	seq uint64 // tie-breaker: FIFO among equal timestamps
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation engine. The zero value is not
+// usable; create engines with NewEngine.
+type Engine struct {
+	now    Time
+	queue  eventQueue
+	seq    uint64
+	nprocs int // live (not yet finished) processes
+
+	// running is closed-loop control for process handoff: the engine
+	// resumes a process by sending on its resume channel and waits on
+	// yield until the process blocks or finishes.
+	yield chan struct{}
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	e := &Engine{yield: make(chan struct{})}
+	heap.Init(&e.queue)
+	return e
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule runs fn at the current time plus delay. A negative delay is
+// treated as zero. Scheduling is FIFO among events with equal times.
+func (e *Engine) Schedule(delay Duration, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: e.now.Add(delay), seq: e.seq, fn: fn})
+}
+
+// ScheduleAt runs fn at absolute time at (clamped to now).
+func (e *Engine) ScheduleAt(at Time, fn func()) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: at, seq: e.seq, fn: fn})
+}
+
+// Run processes events until the queue is empty. It returns the final
+// virtual time. Run panics if a process is still blocked when the
+// queue drains (a deadlock in the simulated system).
+func (e *Engine) Run() Time {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		e.now = ev.at
+		ev.fn()
+	}
+	if e.nprocs > 0 {
+		panic(fmt.Sprintf("sim: deadlock: %d process(es) blocked with no pending events at t=%v", e.nprocs, e.now))
+	}
+	return e.now
+}
+
+// RunUntil processes events with timestamps <= deadline and then stops,
+// setting the clock to deadline. Blocked processes are left blocked.
+func (e *Engine) RunUntil(deadline Time) Time {
+	for len(e.queue) > 0 && e.queue[0].at <= deadline {
+		ev := heap.Pop(&e.queue).(*event)
+		e.now = ev.at
+		ev.fn()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// Proc is a sequential simulated process backed by a goroutine. All
+// Proc methods must be called from the process's own goroutine (inside
+// the function passed to Go).
+type Proc struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+	done   bool
+}
+
+// Engine returns the engine this process runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Name returns the process name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Go starts fn as a simulated process at the current virtual time.
+// The process runs when the engine dispatches its start event.
+func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
+	return e.GoAfter(0, name, fn)
+}
+
+// GoAfter starts fn as a simulated process after delay.
+func (e *Engine) GoAfter(delay Duration, name string, fn func(p *Proc)) *Proc {
+	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
+	e.nprocs++
+	e.Schedule(delay, func() {
+		go func() {
+			<-p.resume
+			fn(p)
+			p.done = true
+			e.nprocs--
+			e.yield <- struct{}{}
+		}()
+		p.run()
+	})
+	return p
+}
+
+// run hands control to the process goroutine and waits for it to block
+// (Sleep/Wait) or finish.
+func (p *Proc) run() {
+	p.resume <- struct{}{}
+	<-p.eng.yield
+}
+
+// block suspends the process goroutine and returns control to the
+// engine; the process resumes when something sends on p.resume.
+func (p *Proc) block() {
+	p.eng.yield <- struct{}{}
+	<-p.resume
+}
+
+// Sleep advances the process by d of virtual time.
+func (p *Proc) Sleep(d Duration) {
+	if d <= 0 {
+		// Even a zero sleep is a scheduling point (FIFO fairness).
+		d = 0
+	}
+	p.eng.Schedule(d, p.run)
+	p.block()
+}
+
+// Waiter is a single-use completion signal that processes can block on
+// and callbacks can fire. Fire may be called before or after Wait;
+// multiple processes may wait on the same Waiter.
+type Waiter struct {
+	eng     *Engine
+	fired   bool
+	waiters []*Proc
+	at      Time // time of Fire, valid once fired
+}
+
+// NewWaiter returns an unfired Waiter.
+func (e *Engine) NewWaiter() *Waiter { return &Waiter{eng: e} }
+
+// Fired reports whether Fire has been called.
+func (w *Waiter) Fired() bool { return w.fired }
+
+// FiredAt returns the virtual time at which the waiter fired.
+// It is only meaningful once Fired reports true.
+func (w *Waiter) FiredAt() Time { return w.at }
+
+// Fire completes the waiter, waking all current and future waiters.
+// Firing twice is a no-op.
+func (w *Waiter) Fire() {
+	if w.fired {
+		return
+	}
+	w.fired = true
+	w.at = w.eng.now
+	ws := w.waiters
+	w.waiters = nil
+	for _, p := range ws {
+		proc := p
+		w.eng.Schedule(0, proc.run)
+	}
+}
+
+// Wait blocks the process until the waiter fires. If it already fired,
+// Wait returns immediately without yielding.
+func (p *Proc) Wait(w *Waiter) {
+	if w.fired {
+		return
+	}
+	w.waiters = append(w.waiters, p)
+	p.block()
+}
+
+// WaitAll blocks until every waiter in ws has fired.
+func (p *Proc) WaitAll(ws ...*Waiter) {
+	for _, w := range ws {
+		p.Wait(w)
+	}
+}
+
+// Semaphore is a counting semaphore over virtual time, used to model
+// bounded resources such as device queue slots.
+type Semaphore struct {
+	eng   *Engine
+	avail int
+	queue []*Proc
+}
+
+// NewSemaphore returns a semaphore with n initial permits.
+func (e *Engine) NewSemaphore(n int) *Semaphore {
+	if n < 0 {
+		panic("sim: negative semaphore capacity")
+	}
+	return &Semaphore{eng: e, avail: n}
+}
+
+// Acquire takes one permit, blocking the process until one is free.
+// Wakeups are FIFO.
+func (p *Proc) Acquire(s *Semaphore) {
+	if s.avail > 0 {
+		s.avail--
+		return
+	}
+	s.queue = append(s.queue, p)
+	p.block()
+}
+
+// Release returns one permit, waking the oldest blocked process if any.
+// It may be called from any context (process or callback).
+func (s *Semaphore) Release() {
+	if len(s.queue) > 0 {
+		p := s.queue[0]
+		s.queue = s.queue[1:]
+		s.eng.Schedule(0, p.run)
+		return
+	}
+	s.avail++
+}
+
+// Available returns the number of free permits.
+func (s *Semaphore) Available() int { return s.avail }
+
+// QueueLen returns the number of processes blocked in Acquire.
+func (s *Semaphore) QueueLen() int { return len(s.queue) }

@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestScheduleAtClampsToNow(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.Schedule(100, func() {
+		e.ScheduleAt(50, func() { at = e.Now() }) // in the past
+	})
+	e.Run()
+	if at != 100 {
+		t.Fatalf("past-scheduled event ran at %v, want clamped to 100", at)
+	}
+}
+
+func TestSemaphoreAccessors(t *testing.T) {
+	e := NewEngine()
+	s := e.NewSemaphore(2)
+	if s.Available() != 2 || s.QueueLen() != 0 {
+		t.Fatalf("fresh semaphore: avail=%d queue=%d", s.Available(), s.QueueLen())
+	}
+	for i := 0; i < 3; i++ {
+		e.Go("w", func(p *Proc) {
+			p.Acquire(s)
+			p.Sleep(10)
+			s.Release()
+		})
+	}
+	e.RunUntil(5)
+	if s.Available() != 0 {
+		t.Fatalf("avail = %d mid-run", s.Available())
+	}
+	if s.QueueLen() != 1 {
+		t.Fatalf("queue = %d mid-run", s.QueueLen())
+	}
+	e.Run()
+	if s.Available() != 2 {
+		t.Fatalf("avail = %d after drain", s.Available())
+	}
+}
+
+func TestNegativeSemaphorePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewEngine().NewSemaphore(-1)
+}
+
+func TestProcNameAndEngineAccessors(t *testing.T) {
+	e := NewEngine()
+	e.Go("worker", func(p *Proc) {
+		if p.Name() != "worker" {
+			t.Errorf("Name = %q", p.Name())
+		}
+		if p.Engine() != e {
+			t.Error("Engine accessor broken")
+		}
+		if p.Now() != e.Now() {
+			t.Error("Now mismatch")
+		}
+	})
+	e.Run()
+}
+
+func TestZeroSleepIsSchedulingPoint(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Go("a", func(p *Proc) {
+		order = append(order, "a1")
+		p.Sleep(0)
+		order = append(order, "a2")
+	})
+	e.Go("b", func(p *Proc) {
+		order = append(order, "b1")
+	})
+	e.Run()
+	// b1 must interleave between a1 and a2 (zero sleep yields).
+	if len(order) != 3 || order[1] != "b1" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestManyProcsStress(t *testing.T) {
+	e := NewEngine()
+	done := 0
+	for i := 0; i < 2000; i++ {
+		i := i
+		e.Go("p", func(p *Proc) {
+			p.Sleep(Duration(i % 97))
+			done++
+		})
+	}
+	e.Run()
+	if done != 2000 {
+		t.Fatalf("done = %d", done)
+	}
+}
+
+func TestRunUntilThenResume(t *testing.T) {
+	e := NewEngine()
+	var marks []Time
+	e.Go("p", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(100 * time.Nanosecond)
+			marks = append(marks, p.Now())
+		}
+	})
+	e.RunUntil(150)
+	if len(marks) != 1 {
+		t.Fatalf("marks after RunUntil = %v", marks)
+	}
+	e.Run()
+	if len(marks) != 3 {
+		t.Fatalf("marks after Run = %v", marks)
+	}
+}

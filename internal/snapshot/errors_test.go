@@ -1,0 +1,126 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// failWriter fails after n bytes, exercising write error paths.
+type failWriter struct {
+	n    int
+	seen int
+}
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.seen+len(p) > f.n {
+		return 0, errors.New("disk full")
+	}
+	f.seen += len(p)
+	return len(p), nil
+}
+
+func TestWriteErrorsPropagate(t *testing.T) {
+	img := testImage()
+	// Sweep failure points through the header and body.
+	for _, limit := range []int{0, 4, 10, 30, 200} {
+		if err := WriteMemoryImage(&failWriter{n: limit}, img); err == nil {
+			t.Fatalf("write with %d-byte budget succeeded", limit)
+		}
+	}
+	ows := &OffsetsWS{Groups: []Group{{Start: 1, NPages: 2}}}
+	for _, limit := range []int{0, 4, 10} {
+		if err := WriteOffsetsWS(&failWriter{n: limit}, ows); err == nil {
+			t.Fatalf("offsets write with %d-byte budget succeeded", limit)
+		}
+	}
+	pws := &PagedWS{Pages: []int64{1}, Tags: []uint64{2}}
+	for _, limit := range []int{0, 4, 12} {
+		if err := WritePagedWS(&failWriter{n: limit}, pws); err == nil {
+			t.Fatalf("paged write with %d-byte budget succeeded", limit)
+		}
+	}
+	rws := &RegionWS{Regions: []Group{{Start: 1, NPages: 2}}, WSPages: 2}
+	for _, limit := range []int{0, 4, 12} {
+		if err := WriteRegionWS(&failWriter{n: limit}, rws); err == nil {
+			t.Fatalf("region write with %d-byte budget succeeded", limit)
+		}
+	}
+}
+
+func TestWriteInvalidImageRejected(t *testing.T) {
+	bad := &MemoryImage{NrPages: 4, StatePages: 2, PageTags: make([]uint64, 3)}
+	var buf bytes.Buffer
+	if err := WriteMemoryImage(&buf, bad); err == nil {
+		t.Fatal("invalid image serialized")
+	}
+}
+
+func TestReadImplausibleHeaders(t *testing.T) {
+	// Craft a header with an absurd page count: must be rejected
+	// before allocating.
+	var buf bytes.Buffer
+	img := testImage()
+	if err := WriteMemoryImage(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	// NrPages is the first int64 after the 8-byte header.
+	for i := 8; i < 16; i++ {
+		b[i] = 0xff
+	}
+	if _, err := ReadMemoryImage(bytes.NewReader(b)); err == nil {
+		t.Fatal("absurd page count accepted")
+	}
+}
+
+func TestSaveFileToBadPath(t *testing.T) {
+	img := testImage()
+	if err := img.SaveFile("/nonexistent-dir-xyz/f.snapmem"); err == nil {
+		t.Fatal("save to bad path succeeded")
+	}
+	ows := &OffsetsWS{}
+	if err := ows.SaveFile("/nonexistent-dir-xyz/f.ws"); err == nil {
+		t.Fatal("ws save to bad path succeeded")
+	}
+}
+
+func TestLoadMissingFiles(t *testing.T) {
+	if _, err := LoadMemoryImage("/no/such/file"); err == nil {
+		t.Fatal("missing image loaded")
+	}
+	if _, err := LoadOffsetsWS("/no/such/file"); err == nil {
+		t.Fatal("missing offsets ws loaded")
+	}
+	if _, err := LoadPagedWS("/no/such/file"); err == nil {
+		t.Fatal("missing paged ws loaded")
+	}
+	if _, err := LoadRegionWS("/no/such/file"); err == nil {
+		t.Fatal("missing region ws loaded")
+	}
+}
+
+func TestOffsetsValidate(t *testing.T) {
+	ws := &OffsetsWS{Groups: []Group{{Start: 100, NPages: 10}}}
+	if err := ws.Validate(105); err == nil {
+		t.Fatal("group beyond EOF accepted")
+	}
+	if err := ws.Validate(110); err != nil {
+		t.Fatal(err)
+	}
+	neg := &OffsetsWS{Groups: []Group{{Start: -1, NPages: 1}}}
+	if err := neg.Validate(10); err == nil {
+		t.Fatal("negative start accepted")
+	}
+}
+
+func TestPagedValidate(t *testing.T) {
+	ws := &PagedWS{Pages: []int64{5}, Tags: []uint64{1, 2}}
+	if err := ws.Validate(10); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	oob := &PagedWS{Pages: []int64{50}, Tags: []uint64{1}}
+	if err := oob.Validate(10); err == nil {
+		t.Fatal("out-of-range page accepted")
+	}
+}

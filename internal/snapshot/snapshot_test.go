@@ -1,0 +1,347 @@
+package snapshot
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func testImage() *MemoryImage {
+	m := &MemoryImage{
+		NrPages:    1024,
+		StatePages: 256,
+		PageTags:   make([]uint64, 1024),
+		FreePFNs:   []int64{300, 301, 500},
+	}
+	for i := range m.PageTags {
+		if i%3 != 0 {
+			m.PageTags[i] = uint64(i) * 7
+		}
+	}
+	return m
+}
+
+func TestMemoryImageRoundTrip(t *testing.T) {
+	m := testImage()
+	var buf bytes.Buffer
+	if err := WriteMemoryImage(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMemoryImage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NrPages != m.NrPages || got.StatePages != m.StatePages {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	for i := range m.PageTags {
+		if got.PageTags[i] != m.PageTags[i] {
+			t.Fatalf("tag %d mismatch", i)
+		}
+	}
+	if len(got.FreePFNs) != 3 || got.FreePFNs[2] != 500 {
+		t.Fatalf("free pfns = %v", got.FreePFNs)
+	}
+}
+
+func TestMemoryImageCorruptionDetected(t *testing.T) {
+	m := testImage()
+	var buf bytes.Buffer
+	if err := WriteMemoryImage(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[100] ^= 0xff
+	if _, err := ReadMemoryImage(bytes.NewReader(b)); err == nil {
+		t.Fatal("corrupted image accepted")
+	}
+}
+
+func TestMemoryImageBadMagic(t *testing.T) {
+	if _, err := ReadMemoryImage(bytes.NewReader(make([]byte, 64))); err == nil {
+		t.Fatal("zero bytes accepted as image")
+	}
+}
+
+func TestMemoryImageTruncated(t *testing.T) {
+	m := testImage()
+	var buf bytes.Buffer
+	if err := WriteMemoryImage(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadMemoryImage(bytes.NewReader(buf.Bytes()[:buf.Len()/2])); err == nil {
+		t.Fatal("truncated image accepted")
+	}
+}
+
+func TestMemoryImageValidate(t *testing.T) {
+	bad := []*MemoryImage{
+		{NrPages: 0},
+		{NrPages: 10, StatePages: 11, PageTags: make([]uint64, 10)},
+		{NrPages: 10, StatePages: 5, PageTags: make([]uint64, 9)},
+		{NrPages: 10, StatePages: 5, PageTags: make([]uint64, 10), FreePFNs: []int64{10}},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("bad image %d accepted", i)
+		}
+	}
+}
+
+func TestMemoryImageFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.snapmem")
+	m := testImage()
+	if err := m.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadMemoryImage(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NrPages != m.NrPages {
+		t.Fatal("file round trip mismatch")
+	}
+}
+
+func TestZeroPages(t *testing.T) {
+	m := &MemoryImage{NrPages: 4, StatePages: 2, PageTags: []uint64{0, 5, 0, 9}}
+	if m.ZeroPages() != 2 {
+		t.Fatalf("ZeroPages = %d", m.ZeroPages())
+	}
+}
+
+func TestGroupPages(t *testing.T) {
+	got := GroupPages([]int64{5, 1, 2, 3, 9, 10, 3})
+	want := []Group{{1, 3}, {5, 1}, {9, 2}}
+	if len(got) != len(want) {
+		t.Fatalf("groups = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("groups = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestGroupPagesEmpty(t *testing.T) {
+	if got := GroupPages(nil); got != nil {
+		t.Fatalf("GroupPages(nil) = %v", got)
+	}
+}
+
+func TestGroupPagesProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		pages := make([]int64, len(raw))
+		uniq := make(map[int64]bool)
+		for i, v := range raw {
+			pages[i] = int64(v)
+			uniq[int64(v)] = true
+		}
+		groups := GroupPages(pages)
+		// Coverage: total group pages == unique inputs; sorted; disjoint.
+		var total int64
+		for i, g := range groups {
+			total += g.NPages
+			if g.NPages <= 0 {
+				return false
+			}
+			if i > 0 && g.Start <= groups[i-1].End() {
+				return false // must be disjoint with a real gap
+			}
+			for pg := g.Start; pg < g.End(); pg++ {
+				if !uniq[pg] {
+					return false // group covers a non-member page
+				}
+			}
+		}
+		return total == int64(len(uniq))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoalesceGroups(t *testing.T) {
+	in := []Group{{0, 2}, {4, 2}, {10, 1}, {30, 5}}
+	got := CoalesceGroups(in, 2)
+	// gap 2..4 = 2 <= 2: merge {0,2}+{4,2} -> {0,6}; gap 6..10 = 4 > 2.
+	want := []Group{{0, 6}, {10, 1}, {30, 5}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCoalesceGroupsZeroGapIsIdentity(t *testing.T) {
+	in := []Group{{0, 2}, {4, 2}}
+	got := CoalesceGroups(in, 0)
+	if len(got) != 2 {
+		t.Fatalf("maxGap=0 merged disjoint groups: %v", got)
+	}
+}
+
+func TestCoalesceInflation(t *testing.T) {
+	groups := []Group{{0, 1}, {2, 1}, {4, 1}}
+	merged := CoalesceGroups(groups, 1)
+	ws := &RegionWS{Regions: merged, WSPages: 3}
+	if ws.TotalPages() != 5 {
+		t.Fatalf("TotalPages = %d, want 5 (2 gap pages absorbed)", ws.TotalPages())
+	}
+	if inf := ws.Inflation(); inf <= 1.0 {
+		t.Fatalf("Inflation = %v, want > 1", inf)
+	}
+}
+
+func TestOffsetsWSRoundTrip(t *testing.T) {
+	ws := &OffsetsWS{Groups: []Group{{10, 5}, {100, 1}, {7, 2}}} // access order, not sorted
+	var buf bytes.Buffer
+	if err := WriteOffsetsWS(&buf, ws); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadOffsetsWS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Groups) != 3 || got.Groups[2] != (Group{7, 2}) {
+		t.Fatalf("groups = %v", got.Groups)
+	}
+	if got.TotalPages() != 8 {
+		t.Fatalf("TotalPages = %d", got.TotalPages())
+	}
+}
+
+func TestOffsetsWSChecksum(t *testing.T) {
+	ws := &OffsetsWS{Groups: []Group{{10, 5}}}
+	var buf bytes.Buffer
+	if err := WriteOffsetsWS(&buf, ws); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[12] ^= 1
+	if _, err := ReadOffsetsWS(bytes.NewReader(b)); err == nil {
+		t.Fatal("corrupted offsets ws accepted")
+	}
+}
+
+func TestPagedWSRoundTrip(t *testing.T) {
+	ws := &PagedWS{Pages: []int64{9, 2, 5}, Tags: []uint64{90, 20, 50}}
+	var buf bytes.Buffer
+	if err := WritePagedWS(&buf, ws); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPagedWS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalPages() != 3 || got.Pages[0] != 9 || got.Tags[2] != 50 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestPagedWSLengthMismatchRejected(t *testing.T) {
+	ws := &PagedWS{Pages: []int64{1}, Tags: nil}
+	var buf bytes.Buffer
+	if err := WritePagedWS(&buf, ws); err == nil {
+		t.Fatal("mismatched paged ws accepted")
+	}
+}
+
+func TestRegionWSRoundTrip(t *testing.T) {
+	ws := &RegionWS{Regions: []Group{{0, 64}, {100, 32}}, WSPages: 80}
+	var buf bytes.Buffer
+	if err := WriteRegionWS(&buf, ws); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRegionWS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.WSPages != 80 || got.TotalPages() != 96 {
+		t.Fatalf("got %+v", got)
+	}
+	if err := got.Validate(1024); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegionWSValidateOverlap(t *testing.T) {
+	ws := &RegionWS{Regions: []Group{{0, 10}, {5, 10}}}
+	if err := ws.Validate(1024); err == nil {
+		t.Fatal("overlapping regions accepted")
+	}
+}
+
+func TestWSFileRoundTrips(t *testing.T) {
+	dir := t.TempDir()
+	ows := &OffsetsWS{Groups: []Group{{1, 2}}}
+	if err := ows.SaveFile(filepath.Join(dir, "o.ws")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadOffsetsWS(filepath.Join(dir, "o.ws")); err != nil {
+		t.Fatal(err)
+	}
+	pws := &PagedWS{Pages: []int64{1}, Tags: []uint64{11}}
+	if err := pws.SaveFile(filepath.Join(dir, "p.ws")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadPagedWS(filepath.Join(dir, "p.ws")); err != nil {
+		t.Fatal(err)
+	}
+	rws := &RegionWS{Regions: []Group{{1, 2}}, WSPages: 2}
+	if err := rws.SaveFile(filepath.Join(dir, "r.ws")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadRegionWS(filepath.Join(dir, "r.ws")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatsRejectEachOther(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteOffsetsWS(&buf, &OffsetsWS{Groups: []Group{{1, 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadPagedWS(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("paged reader accepted offsets format")
+	}
+	if _, err := ReadRegionWS(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("region reader accepted offsets format")
+	}
+}
+
+func TestRoundTripPropertyOffsets(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(50)
+		ws := &OffsetsWS{}
+		for i := 0; i < n; i++ {
+			ws.Groups = append(ws.Groups, Group{Start: rng.Int63n(1 << 20), NPages: 1 + rng.Int63n(100)})
+		}
+		var buf bytes.Buffer
+		if err := WriteOffsetsWS(&buf, ws); err != nil {
+			return false
+		}
+		got, err := ReadOffsetsWS(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got.Groups) != len(ws.Groups) {
+			return false
+		}
+		for i := range ws.Groups {
+			if got.Groups[i] != ws.Groups[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"time"
+)
+
+// On-disk trace format (.trace): header (magic, version, op count),
+// fixed 24-byte op records, CRC32 trailer. Traces are shareable
+// workload artifacts: a recorded production invocation can be replayed
+// against any prefetching scheme.
+
+const (
+	traceMagic   = 0x54524345 // "TRCE"
+	traceVersion = 1
+	opRecordSize = 24
+)
+
+// Write serializes the trace to w.
+func (t *Trace) Write(w io.Writer) error {
+	if err := t.Validate(); err != nil {
+		return fmt.Errorf("trace: refusing to write invalid trace: %w", err)
+	}
+	crc := crc32.NewIEEE()
+	mw := io.MultiWriter(w, crc)
+	hdr := []uint32{traceMagic, traceVersion, uint32(len(t.Ops))}
+	if err := binary.Write(mw, binary.LittleEndian, hdr); err != nil {
+		return err
+	}
+	var rec [opRecordSize]byte
+	for i := range t.Ops {
+		op := &t.Ops[i]
+		rec[0] = byte(op.Kind)
+		if op.Write {
+			rec[1] = 1
+		} else {
+			rec[1] = 0
+		}
+		binary.LittleEndian.PutUint16(rec[2:], 0) // reserved
+		binary.LittleEndian.PutUint32(rec[4:], uint32(op.Handle))
+		binary.LittleEndian.PutUint64(rec[8:], uint64(op.Page))
+		binary.LittleEndian.PutUint32(rec[16:], uint32(op.NPages))
+		// Offset and Gap share the final word: Gap only appears on
+		// compute ops, Offset only on touches.
+		if op.Kind == OpCompute {
+			binary.LittleEndian.PutUint32(rec[20:], uint32(op.Gap/time.Microsecond))
+		} else {
+			binary.LittleEndian.PutUint32(rec[20:], uint32(op.Offset))
+		}
+		if _, err := mw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return binary.Write(w, binary.LittleEndian, crc.Sum32())
+}
+
+// Read parses a trace written by Write.
+func Read(r io.Reader) (*Trace, error) {
+	crc := crc32.NewIEEE()
+	tr := io.TeeReader(r, crc)
+	var hdr [3]uint32
+	if err := binary.Read(tr, binary.LittleEndian, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if hdr[0] != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %#x", hdr[0])
+	}
+	if hdr[1] != traceVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", hdr[1])
+	}
+	n := int(hdr[2])
+	if n < 0 || n > 1<<28 {
+		return nil, fmt.Errorf("trace: implausible op count %d", n)
+	}
+	t := &Trace{Ops: make([]Op, n)}
+	var rec [opRecordSize]byte
+	for i := 0; i < n; i++ {
+		if _, err := io.ReadFull(tr, rec[:]); err != nil {
+			return nil, fmt.Errorf("trace: truncated at op %d: %w", i, err)
+		}
+		op := &t.Ops[i]
+		op.Kind = OpKind(rec[0])
+		op.Write = rec[1] != 0
+		op.Handle = int32(binary.LittleEndian.Uint32(rec[4:]))
+		op.Page = int64(binary.LittleEndian.Uint64(rec[8:]))
+		op.NPages = int32(binary.LittleEndian.Uint32(rec[16:]))
+		last := binary.LittleEndian.Uint32(rec[20:])
+		if op.Kind == OpCompute {
+			op.Gap = time.Duration(last) * time.Microsecond
+		} else {
+			op.Offset = int32(last)
+		}
+	}
+	sum := crc.Sum32()
+	var want uint32
+	if err := binary.Read(r, binary.LittleEndian, &want); err != nil {
+		return nil, fmt.Errorf("trace: missing checksum: %w", err)
+	}
+	if sum != want {
+		return nil, fmt.Errorf("trace: checksum mismatch")
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: decoded trace invalid: %w", err)
+	}
+	return t, nil
+}
+
+// SaveFile writes the trace to path.
+func (t *Trace) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := t.Write(bw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a trace from path.
+func LoadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(bufio.NewReader(f))
+}

@@ -1,0 +1,157 @@
+// Package trace defines the guest-side memory access traces that
+// drive function invocations. A trace is the behavioural model of one
+// serverless function: which snapshot-state pages it touches in what
+// order, where it allocates and frees ephemeral memory, and how much
+// computation happens in between. The VMM replays traces through the
+// simulated KVM nested-paging path.
+package trace
+
+import (
+	"fmt"
+	"time"
+)
+
+// OpKind enumerates trace operations.
+type OpKind uint8
+
+// Trace operations.
+const (
+	// OpAccess touches a snapshot-state guest frame (Page).
+	OpAccess OpKind = iota
+	// OpAlloc allocates NPages ephemeral frames under Handle via the
+	// guest buddy allocator.
+	OpAlloc
+	// OpTouch accesses page Offset of allocation Handle.
+	OpTouch
+	// OpFree releases allocation Handle.
+	OpFree
+	// OpCompute spends Gap of pure CPU time.
+	OpCompute
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpAccess:
+		return "access"
+	case OpAlloc:
+		return "alloc"
+	case OpTouch:
+		return "touch"
+	case OpFree:
+		return "free"
+	case OpCompute:
+		return "compute"
+	}
+	return fmt.Sprintf("op(%d)", uint8(k))
+}
+
+// Op is one trace operation.
+type Op struct {
+	Kind   OpKind
+	Page   int64         // OpAccess: guest frame number
+	Handle int32         // OpAlloc / OpTouch / OpFree
+	NPages int32         // OpAlloc: allocation size in pages
+	Offset int32         // OpTouch: page offset within the allocation
+	Write  bool          // OpAccess / OpTouch: write access
+	Gap    time.Duration // OpCompute: compute time
+}
+
+// Trace is an ordered operation list.
+type Trace struct {
+	Ops []Op
+}
+
+// Summary aggregates trace properties for tests and reporting.
+type Summary struct {
+	Accesses     int64
+	UniquePages  int64 // distinct state pages accessed
+	Writes       int64
+	AllocPages   int64
+	FreedAllocs  int64
+	TotalCompute time.Duration
+}
+
+// Summarize computes aggregate statistics.
+func (t *Trace) Summarize() Summary {
+	var s Summary
+	uniq := make(map[int64]bool)
+	for _, op := range t.Ops {
+		switch op.Kind {
+		case OpAccess:
+			s.Accesses++
+			uniq[op.Page] = true
+			if op.Write {
+				s.Writes++
+			}
+		case OpTouch:
+			s.Accesses++
+			if op.Write {
+				s.Writes++
+			}
+		case OpAlloc:
+			s.AllocPages += int64(op.NPages)
+		case OpFree:
+			s.FreedAllocs++
+		case OpCompute:
+			s.TotalCompute += op.Gap
+		}
+	}
+	s.UniquePages = int64(len(uniq))
+	return s
+}
+
+// StatePages returns the distinct snapshot-state pages the trace
+// accesses, in first-access order — the ground-truth working set.
+func (t *Trace) StatePages() []int64 {
+	seen := make(map[int64]bool)
+	var out []int64
+	for _, op := range t.Ops {
+		if op.Kind == OpAccess && !seen[op.Page] {
+			seen[op.Page] = true
+			out = append(out, op.Page)
+		}
+	}
+	return out
+}
+
+// Validate checks structural invariants: handles are allocated before
+// use, not double-allocated, offsets in range, frees match allocs.
+func (t *Trace) Validate() error {
+	live := make(map[int32]int32) // handle -> npages
+	for i, op := range t.Ops {
+		switch op.Kind {
+		case OpAccess:
+			if op.Page < 0 {
+				return fmt.Errorf("trace: op %d: negative page", i)
+			}
+		case OpAlloc:
+			if op.NPages <= 0 {
+				return fmt.Errorf("trace: op %d: non-positive alloc", i)
+			}
+			if _, dup := live[op.Handle]; dup {
+				return fmt.Errorf("trace: op %d: handle %d reallocated", i, op.Handle)
+			}
+			live[op.Handle] = op.NPages
+		case OpTouch:
+			n, ok := live[op.Handle]
+			if !ok {
+				return fmt.Errorf("trace: op %d: touch of dead handle %d", i, op.Handle)
+			}
+			if op.Offset < 0 || op.Offset >= n {
+				return fmt.Errorf("trace: op %d: offset %d outside allocation of %d pages", i, op.Offset, n)
+			}
+		case OpFree:
+			if _, ok := live[op.Handle]; !ok {
+				return fmt.Errorf("trace: op %d: free of dead handle %d", i, op.Handle)
+			}
+			delete(live, op.Handle)
+		case OpCompute:
+			if op.Gap < 0 {
+				return fmt.Errorf("trace: op %d: negative gap", i)
+			}
+		default:
+			return fmt.Errorf("trace: op %d: unknown kind %d", i, op.Kind)
+		}
+	}
+	return nil
+}

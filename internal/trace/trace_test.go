@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSummarize(t *testing.T) {
+	tr := &Trace{Ops: []Op{
+		{Kind: OpAccess, Page: 1},
+		{Kind: OpAccess, Page: 1, Write: true},
+		{Kind: OpAccess, Page: 2},
+		{Kind: OpAlloc, Handle: 1, NPages: 4},
+		{Kind: OpTouch, Handle: 1, Offset: 0, Write: true},
+		{Kind: OpFree, Handle: 1},
+		{Kind: OpCompute, Gap: 5 * time.Millisecond},
+	}}
+	s := tr.Summarize()
+	if s.Accesses != 4 {
+		t.Errorf("Accesses = %d", s.Accesses)
+	}
+	if s.UniquePages != 2 {
+		t.Errorf("UniquePages = %d", s.UniquePages)
+	}
+	if s.Writes != 2 {
+		t.Errorf("Writes = %d", s.Writes)
+	}
+	if s.AllocPages != 4 {
+		t.Errorf("AllocPages = %d", s.AllocPages)
+	}
+	if s.FreedAllocs != 1 {
+		t.Errorf("FreedAllocs = %d", s.FreedAllocs)
+	}
+	if s.TotalCompute != 5*time.Millisecond {
+		t.Errorf("TotalCompute = %v", s.TotalCompute)
+	}
+}
+
+func TestStatePagesFirstAccessOrder(t *testing.T) {
+	tr := &Trace{Ops: []Op{
+		{Kind: OpAccess, Page: 9},
+		{Kind: OpAccess, Page: 2},
+		{Kind: OpAccess, Page: 9},
+		{Kind: OpAccess, Page: 5},
+	}}
+	got := tr.StatePages()
+	want := []int64{9, 2, 5}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	bad := []Trace{
+		{Ops: []Op{{Kind: OpTouch, Handle: 1}}},                                                   // touch before alloc
+		{Ops: []Op{{Kind: OpAlloc, Handle: 1, NPages: 2}, {Kind: OpAlloc, Handle: 1, NPages: 2}}}, // realloc
+		{Ops: []Op{{Kind: OpFree, Handle: 1}}},                                                    // free dead
+		{Ops: []Op{{Kind: OpAlloc, Handle: 1, NPages: 2}, {Kind: OpTouch, Handle: 1, Offset: 2}}}, // offset OOB
+		{Ops: []Op{{Kind: OpAlloc, Handle: 1}}},                                                   // zero alloc
+		{Ops: []Op{{Kind: OpAccess, Page: -1}}},                                                   // negative page
+		{Ops: []Op{{Kind: OpCompute, Gap: -time.Second}}},                                         // negative gap
+		{Ops: []Op{{Kind: OpKind(99)}}},                                                           // unknown
+	}
+	for i := range bad {
+		if err := bad[i].Validate(); err == nil {
+			t.Errorf("bad trace %d accepted", i)
+		}
+	}
+}
+
+func TestValidateAcceptsWellFormed(t *testing.T) {
+	tr := &Trace{Ops: []Op{
+		{Kind: OpAlloc, Handle: 3, NPages: 8},
+		{Kind: OpTouch, Handle: 3, Offset: 7, Write: true},
+		{Kind: OpFree, Handle: 3},
+		{Kind: OpAlloc, Handle: 3, NPages: 2}, // reuse after free is fine
+		{Kind: OpAccess, Page: 0},
+	}}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

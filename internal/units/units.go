@@ -1,0 +1,80 @@
+// Package units provides byte-size and page arithmetic used across the
+// simulated memory and storage subsystems.
+//
+// Throughout the repository a "page" is the x86-64 base page of 4KiB,
+// matching the granularity at which the Linux page cache, KVM nested
+// paging and the SnapBPF working-set capture all operate.
+package units
+
+import "fmt"
+
+// ByteSize is a size in bytes with human-readable formatting.
+type ByteSize int64
+
+// Binary size units.
+const (
+	KiB ByteSize = 1 << 10
+	MiB ByteSize = 1 << 20
+	GiB ByteSize = 1 << 30
+	TiB ByteSize = 1 << 40
+)
+
+// PageSize is the base page size used by every subsystem (4KiB).
+const PageSize ByteSize = 4 * KiB
+
+// PageShift is log2(PageSize).
+const PageShift = 12
+
+// String formats the size with the largest fitting binary unit.
+func (b ByteSize) String() string {
+	neg := ""
+	v := b
+	if v < 0 {
+		neg = "-"
+		v = -v
+	}
+	switch {
+	case v >= TiB:
+		return fmt.Sprintf("%s%.2fTiB", neg, float64(v)/float64(TiB))
+	case v >= GiB:
+		return fmt.Sprintf("%s%.2fGiB", neg, float64(v)/float64(GiB))
+	case v >= MiB:
+		return fmt.Sprintf("%s%.2fMiB", neg, float64(v)/float64(MiB))
+	case v >= KiB:
+		return fmt.Sprintf("%s%.2fKiB", neg, float64(v)/float64(KiB))
+	}
+	return fmt.Sprintf("%s%dB", neg, int64(v))
+}
+
+// Pages returns the number of whole pages covering b, rounding up.
+func (b ByteSize) Pages() int64 {
+	if b <= 0 {
+		return 0
+	}
+	return (int64(b) + int64(PageSize) - 1) >> PageShift
+}
+
+// PagesToBytes converts a page count to a ByteSize.
+func PagesToBytes(pages int64) ByteSize {
+	return ByteSize(pages) * PageSize
+}
+
+// PageIndex returns the page index containing byte offset off.
+func PageIndex(off int64) int64 {
+	return off >> PageShift
+}
+
+// PageOffset returns the byte offset of page index idx.
+func PageOffset(idx int64) int64 {
+	return idx << PageShift
+}
+
+// AlignDown rounds off down to a page boundary.
+func AlignDown(off int64) int64 {
+	return off &^ (int64(PageSize) - 1)
+}
+
+// AlignUp rounds off up to a page boundary.
+func AlignUp(off int64) int64 {
+	return (off + int64(PageSize) - 1) &^ (int64(PageSize) - 1)
+}

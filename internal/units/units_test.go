@@ -1,0 +1,79 @@
+package units
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestByteSizeString(t *testing.T) {
+	cases := []struct {
+		in   ByteSize
+		want string
+	}{
+		{0, "0B"},
+		{512, "512B"},
+		{KiB, "1.00KiB"},
+		{128 * KiB, "128.00KiB"},
+		{MiB, "1.00MiB"},
+		{GiB + 512*MiB, "1.50GiB"},
+		{2 * TiB, "2.00TiB"},
+		{-3 * MiB, "-3.00MiB"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestPages(t *testing.T) {
+	cases := []struct {
+		in   ByteSize
+		want int64
+	}{
+		{0, 0},
+		{-5, 0},
+		{1, 1},
+		{PageSize, 1},
+		{PageSize + 1, 2},
+		{MiB, 256},
+	}
+	for _, c := range cases {
+		if got := c.in.Pages(); got != c.want {
+			t.Errorf("(%v).Pages() = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPageIndexOffsetRoundTrip(t *testing.T) {
+	f := func(idx uint32) bool {
+		i := int64(idx)
+		return PageIndex(PageOffset(i)) == i
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlignProperties(t *testing.T) {
+	f := func(off uint32) bool {
+		o := int64(off)
+		d, u := AlignDown(o), AlignUp(o)
+		if d%int64(PageSize) != 0 || u%int64(PageSize) != 0 {
+			return false
+		}
+		if d > o || u < o {
+			return false
+		}
+		return u-d == 0 || u-d == int64(PageSize)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPagesToBytes(t *testing.T) {
+	if PagesToBytes(256) != MiB {
+		t.Fatalf("PagesToBytes(256) = %v, want 1MiB", PagesToBytes(256))
+	}
+}

@@ -1,0 +1,159 @@
+package vmm
+
+import (
+	"testing"
+
+	"snapbpf/internal/blockdev"
+	"snapbpf/internal/sim"
+	"snapbpf/internal/snapshot"
+)
+
+// createImage runs the full creation lifecycle for the test function.
+func createImage(t *testing.T, zeroOnFree bool) *snapshot.MemoryImage {
+	t.Helper()
+	h := NewHost(blockdev.MicronSATA5300())
+	var img *snapshot.MemoryImage
+	var err error
+	h.Eng.Go("snap", func(p *sim.Proc) {
+		img, err = h.CreateSnapshotImage(p, smallFn(), zeroOnFree)
+	})
+	h.Eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func TestCreateSnapshotImageGeometry(t *testing.T) {
+	fn := smallFn()
+	img := createImage(t, false)
+	if img.NrPages != fn.MemPages() || img.StatePages != fn.StatePages() {
+		t.Fatalf("geometry: %d/%d", img.NrPages, img.StatePages)
+	}
+	// Every state page was written during init: nonzero tags.
+	for pg := int64(0); pg < img.StatePages; pg++ {
+		if img.PageTags[pg] == 0 {
+			t.Fatalf("state page %d has zero tag", pg)
+		}
+	}
+	// The init churn left stale (nonzero) tags in part of the pool.
+	stale := int64(0)
+	for pg := img.StatePages; pg < img.NrPages; pg++ {
+		if img.PageTags[pg] != 0 {
+			stale++
+		}
+	}
+	if stale == 0 {
+		t.Fatal("no stale freed pages: init churn missing")
+	}
+	if stale >= img.NrPages-img.StatePages {
+		t.Fatal("entire pool stale: churn should only touch a fraction")
+	}
+}
+
+func TestCreateSnapshotImageZeroOnFree(t *testing.T) {
+	img := createImage(t, true)
+	// With the FaaSnap guest patch, the whole free pool is zero.
+	for pg := img.StatePages; pg < img.NrPages; pg++ {
+		if img.PageTags[pg] != 0 {
+			t.Fatalf("pool page %d nonzero under zero-on-free", pg)
+		}
+	}
+}
+
+func TestCreateSnapshotImageFreeList(t *testing.T) {
+	img := createImage(t, false)
+	// All churn allocations were freed: the full pool is free metadata.
+	if int64(len(img.FreePFNs)) != img.NrPages-img.StatePages {
+		t.Fatalf("free pfns = %d, want %d", len(img.FreePFNs), img.NrPages-img.StatePages)
+	}
+}
+
+func TestCreatedImageEquivalentToBuildImage(t *testing.T) {
+	fn := smallFn()
+	created := createImage(t, false)
+	built := BuildImage(fn, false)
+	// The fast path and the lifecycle path must agree on everything an
+	// experiment depends on: geometry, zero-page structure of the
+	// state area, and the free list.
+	if created.NrPages != built.NrPages || created.StatePages != built.StatePages {
+		t.Fatal("geometry mismatch")
+	}
+	if len(created.FreePFNs) != len(built.FreePFNs) {
+		t.Fatalf("free list: %d vs %d", len(created.FreePFNs), len(built.FreePFNs))
+	}
+	for pg := int64(0); pg < built.StatePages; pg++ {
+		if (created.PageTags[pg] == 0) != (built.PageTags[pg] == 0) {
+			t.Fatalf("state zero-structure differs at %d", pg)
+		}
+	}
+}
+
+func TestCreatedImageRunsThroughRestore(t *testing.T) {
+	fn := smallFn()
+	h := NewHost(blockdev.MicronSATA5300())
+	var img *snapshot.MemoryImage
+	var err error
+	h.Eng.Go("snap", func(p *sim.Proc) {
+		img, err = h.CreateSnapshotImage(p, fn, false)
+	})
+	h.Eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ino := h.RegisterSnapshot("created.snapmem", img)
+	tr := fn.GenTrace()
+	h.Eng.Go("vm", func(p *sim.Proc) {
+		vm, rerr := h.Restore(p, "vm0", fn, img, ino, RestoreConfig{})
+		if rerr != nil {
+			err = rerr
+			return
+		}
+		vm.MapSnapshotDefault(p)
+		if _, ierr := vm.Invoke(p, tr); ierr != nil {
+			err = ierr
+		}
+	})
+	h.Eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInitTraceValid(t *testing.T) {
+	tr := InitTrace(smallFn())
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Summarize()
+	if s.UniquePages != smallFn().StatePages() {
+		t.Fatalf("init writes %d unique state pages, want %d", s.UniquePages, smallFn().StatePages())
+	}
+	if s.AllocPages == 0 || s.FreedAllocs != 4 {
+		t.Fatalf("churn: alloc=%d freed=%d", s.AllocPages, s.FreedAllocs)
+	}
+}
+
+func TestDirtyTrackingDuringBoot(t *testing.T) {
+	h := NewHost(blockdev.MicronSATA5300())
+	fn := smallFn()
+	h.Eng.Go("boot", func(p *sim.Proc) {
+		vm, err := h.BootFresh(p, "b", fn, false)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		vm.AS.MMapAnon(p, 0, fn.MemPages())
+		if err := vm.RunInit(p); err != nil {
+			t.Error(err)
+			return
+		}
+		if got := vm.KVM.DirtyPages(); got < fn.StatePages() {
+			t.Errorf("dirty = %d, want >= %d state pages", got, fn.StatePages())
+		}
+		if vm.KVM.Dirty(fn.MemPages() - 1) {
+			t.Error("untouched top-of-memory frame marked dirty")
+		}
+	})
+	h.Eng.Run()
+}

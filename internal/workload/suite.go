@@ -1,0 +1,63 @@
+package workload
+
+import "fmt"
+
+// Suite returns the full evaluation suite: FunctionBench-style
+// functions plus the three FaaSMem real-world workloads, in the order
+// the paper's figures list them.
+func Suite() []Function {
+	return []Function{
+		// --- FunctionBench ---
+		{Name: "chameleon", MemMiB: 256, StateMiB: 140, WSMiB: 36, WSRegions: 60,
+			AllocMiB: 24, ComputeMs: 120, WriteFrac: 0.18, Seed: 101},
+		{Name: "cnn", MemMiB: 512, StateMiB: 320, WSMiB: 130, WSRegions: 90,
+			AllocMiB: 28, ComputeMs: 260, WriteFrac: 0.08, Seed: 102},
+		{Name: "dd", MemMiB: 256, StateMiB: 96, WSMiB: 18, WSRegions: 12,
+			AllocMiB: 120, ComputeMs: 90, WriteFrac: 0.25, Seed: 103},
+		{Name: "float", MemMiB: 256, StateMiB: 90, WSMiB: 12, WSRegions: 16,
+			AllocMiB: 4, ComputeMs: 70, WriteFrac: 0.12, Seed: 104},
+		{Name: "image", MemMiB: 512, StateMiB: 200, WSMiB: 44, WSRegions: 48,
+			AllocMiB: 220, ComputeMs: 150, WriteFrac: 0.22, Seed: 105},
+		{Name: "json", MemMiB: 256, StateMiB: 120, WSMiB: 26, WSRegions: 40,
+			AllocMiB: 10, ComputeMs: 80, WriteFrac: 0.15, Seed: 106},
+		{Name: "linpack", MemMiB: 256, StateMiB: 150, WSMiB: 30, WSRegions: 8,
+			AllocMiB: 36, ComputeMs: 140, WriteFrac: 0.20, Seed: 107},
+		{Name: "lr", MemMiB: 256, StateMiB: 160, WSMiB: 42, WSRegions: 32,
+			AllocMiB: 26, ComputeMs: 130, WriteFrac: 0.14, Seed: 108},
+		{Name: "matmul", MemMiB: 256, StateMiB: 150, WSMiB: 32, WSRegions: 10,
+			AllocMiB: 56, ComputeMs: 150, WriteFrac: 0.24, Seed: 109},
+		{Name: "pyaes", MemMiB: 256, StateMiB: 88, WSMiB: 9, WSRegions: 18,
+			AllocMiB: 6, ComputeMs: 55, WriteFrac: 0.10, Seed: 110},
+		{Name: "rnn", MemMiB: 512, StateMiB: 300, WSMiB: 115, WSRegions: 75,
+			AllocMiB: 12, ComputeMs: 230, WriteFrac: 0.06, Seed: 111},
+		{Name: "video", MemMiB: 512, StateMiB: 190, WSMiB: 58, WSRegions: 26,
+			AllocMiB: 160, ComputeMs: 280, WriteFrac: 0.25, Seed: 112},
+		// --- FaaSMem real-world workloads ---
+		{Name: "html", MemMiB: 256, StateMiB: 112, WSMiB: 16, WSRegions: 28,
+			AllocMiB: 6, ComputeMs: 45, WriteFrac: 0.10, Seed: 113},
+		{Name: "bfs", MemMiB: 1024, StateMiB: 640, WSMiB: 420, WSRegions: 130,
+			AllocMiB: 28, ComputeMs: 420, WriteFrac: 0.03, Seed: 114},
+		{Name: "bert", MemMiB: 2048, StateMiB: 1280, WSMiB: 820, WSRegions: 160,
+			AllocMiB: 40, ComputeMs: 850, WriteFrac: 0.02, Seed: 115},
+	}
+}
+
+// ByName returns the suite function with the given name.
+func ByName(name string) (Function, error) {
+	for _, f := range Suite() {
+		if f.Name == name {
+			return f, nil
+		}
+	}
+	return Function{}, fmt.Errorf("workload: unknown function %q", name)
+}
+
+// Names returns the suite's function names in figure order.
+func Names() []string {
+	fs := Suite()
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		out[i] = f.Name
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package workload
+
+import (
+	"math/rand"
+	"time"
+
+	"snapbpf/internal/trace"
+)
+
+// GenTraceVariant derives an invocation trace for a *different input*
+// of the same function. The paper evaluates identical inputs and
+// defers input variation to future work (§4 Methodology); this is that
+// extension's workload model.
+//
+// A variant keeps the function's state layout (the snapshot is fixed)
+// but perturbs behaviour in the three ways real input changes do:
+//
+//   - skipFrac of the working-set regions are not touched at all
+//     (input-dependent code paths): prefetched pages go unused;
+//   - extraWriteFrac of the read accesses become writes (different
+//     intermediate results): private CoW copies grow per sandbox,
+//     which is what erodes cross-sandbox deduplication;
+//   - compute gaps are scaled by a small input-size factor.
+//
+// variantSeed selects the perturbation; the base trace (variantSeed
+// irrelevant, fractions zero) is GenTrace.
+func (f Function) GenTraceVariant(variantSeed int64, skipFrac, extraWriteFrac float64) *trace.Trace {
+	base := f.GenTrace()
+	if skipFrac <= 0 && extraWriteFrac <= 0 {
+		return base
+	}
+	rng := rand.New(rand.NewSource(f.Seed*7919 + variantSeed))
+
+	// Identify region boundaries in the base trace: a region is a
+	// maximal run of OpAccess with ascending pages. We skip whole
+	// regions, mirroring untaken code paths.
+	skipRegion := false
+	var lastPage int64 = -1 << 62
+	scale := 0.9 + 0.2*rng.Float64() // input-size compute factor
+
+	var ops []trace.Op
+	for _, op := range base.Ops {
+		switch op.Kind {
+		case trace.OpAccess:
+			// Within a region pages advance by one (or hop a one-page
+			// hole); anything else is a region boundary.
+			if op.Page < lastPage || op.Page > lastPage+2 {
+				skipRegion = rng.Float64() < skipFrac
+			}
+			lastPage = op.Page
+			if skipRegion {
+				continue
+			}
+			if !op.Write && rng.Float64() < extraWriteFrac {
+				op.Write = true
+			}
+			ops = append(ops, op)
+		case trace.OpCompute:
+			op.Gap = time.Duration(float64(op.Gap) * scale)
+			ops = append(ops, op)
+		default:
+			ops = append(ops, op)
+		}
+	}
+	t := &trace.Trace{Ops: ops}
+	if err := t.Validate(); err != nil {
+		panic("workload: variant produced invalid trace: " + err.Error())
+	}
+	return t
+}

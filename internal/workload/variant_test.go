@@ -1,0 +1,69 @@
+package workload
+
+import "testing"
+
+func TestVariantZeroIsBase(t *testing.T) {
+	f, _ := ByName("json")
+	base := f.GenTrace()
+	v := f.GenTraceVariant(1, 0, 0)
+	if len(v.Ops) != len(base.Ops) {
+		t.Fatalf("zero variance changed the trace: %d vs %d ops", len(v.Ops), len(base.Ops))
+	}
+}
+
+func TestVariantSkipsRegions(t *testing.T) {
+	f, _ := ByName("json")
+	base := f.GenTrace().Summarize()
+	v := f.GenTraceVariant(1, 0.5, 0).Summarize()
+	if v.UniquePages >= base.UniquePages {
+		t.Fatalf("skipFrac=0.5 did not shrink the working set: %d vs %d",
+			v.UniquePages, base.UniquePages)
+	}
+	if v.UniquePages < base.UniquePages/4 {
+		t.Fatalf("skipFrac=0.5 removed too much: %d of %d", v.UniquePages, base.UniquePages)
+	}
+}
+
+func TestVariantAddsWrites(t *testing.T) {
+	f, _ := ByName("json")
+	base := f.GenTrace().Summarize()
+	v := f.GenTraceVariant(1, 0, 0.5).Summarize()
+	if v.Writes <= base.Writes {
+		t.Fatalf("extraWriteFrac did not add writes: %d vs %d", v.Writes, base.Writes)
+	}
+	if v.Accesses != base.Accesses {
+		t.Fatalf("write promotion changed access count: %d vs %d", v.Accesses, base.Accesses)
+	}
+}
+
+func TestVariantDeterministicPerSeed(t *testing.T) {
+	f, _ := ByName("json")
+	a := f.GenTraceVariant(3, 0.3, 0.2)
+	b := f.GenTraceVariant(3, 0.3, 0.2)
+	if len(a.Ops) != len(b.Ops) {
+		t.Fatal("same variant seed produced different traces")
+	}
+	for i := range a.Ops {
+		if a.Ops[i] != b.Ops[i] {
+			t.Fatal("same variant seed produced different ops")
+		}
+	}
+}
+
+func TestVariantDiffersAcrossSeeds(t *testing.T) {
+	f, _ := ByName("json")
+	a := f.GenTraceVariant(1, 0.3, 0.2).Summarize()
+	b := f.GenTraceVariant(2, 0.3, 0.2).Summarize()
+	if a.UniquePages == b.UniquePages && a.Writes == b.Writes {
+		t.Fatal("different variant seeds produced identical behaviour")
+	}
+}
+
+func TestVariantStillValid(t *testing.T) {
+	for _, fn := range Suite()[:4] {
+		v := fn.GenTraceVariant(9, 0.4, 0.3)
+		if err := v.Validate(); err != nil {
+			t.Fatalf("%s: %v", fn.Name, err)
+		}
+	}
+}

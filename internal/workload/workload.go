@@ -1,0 +1,291 @@
+// Package workload defines the function suite the paper evaluates:
+// twelve FunctionBench-style functions plus the three real-world
+// FaaSMem workloads (html_serving, graph_bfs, bert). Each function is
+// a parameterised behavioural model — snapshot size, working-set size
+// and spatial layout, ephemeral allocation volume, compute time — from
+// which a deterministic access trace is generated.
+//
+// The parameters are calibrated to the relative characteristics the
+// paper reports: model-serving functions (rnn, cnn, bert) have large
+// initialized working sets and little allocation; data-movement
+// functions (dd, image, video) allocate heavily during invocation,
+// which is what the PV PTE-marking mechanism accelerates (§4,
+// Breakdown); bfs and bert have the working sets that dominate the
+// concurrent-invocation memory and latency results (Fig. 3b/3c).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"snapbpf/internal/guest"
+	"snapbpf/internal/trace"
+	"snapbpf/internal/units"
+)
+
+// Function is the behavioural model of one serverless function.
+type Function struct {
+	Name string
+
+	// MemMiB is guest memory size; StateMiB is the initialized prefix
+	// at snapshot time (kernel + runtime + function state).
+	MemMiB   int64
+	StateMiB int64
+
+	// WSMiB is the invocation working set drawn from the state;
+	// WSRegions is how many contiguous regions it fragments into
+	// (spatial locality: fewer regions = more sequential).
+	WSMiB     int64
+	WSRegions int
+
+	// AllocMiB is ephemeral memory allocated (written, then partly
+	// freed) during the invocation.
+	AllocMiB int64
+
+	// ComputeMs is the pure CPU time of one invocation.
+	ComputeMs int64
+
+	// WriteFrac is the fraction of working-set accesses that write
+	// (breaking CoW on snapshot pages).
+	WriteFrac float64
+
+	// Seed fixes trace generation.
+	Seed int64
+}
+
+// Validate checks parameter sanity.
+func (f Function) Validate() error {
+	if f.Name == "" {
+		return fmt.Errorf("workload: empty name")
+	}
+	if f.StateMiB > f.MemMiB {
+		return fmt.Errorf("workload %s: state %dMiB > mem %dMiB", f.Name, f.StateMiB, f.MemMiB)
+	}
+	if f.WSMiB > f.StateMiB {
+		return fmt.Errorf("workload %s: ws %dMiB > state %dMiB", f.Name, f.WSMiB, f.StateMiB)
+	}
+	if f.AllocMiB > f.MemMiB-f.StateMiB {
+		return fmt.Errorf("workload %s: alloc %dMiB > free pool %dMiB", f.Name, f.AllocMiB, f.MemMiB-f.StateMiB)
+	}
+	if f.WSRegions <= 0 {
+		return fmt.Errorf("workload %s: no WS regions", f.Name)
+	}
+	if f.WriteFrac < 0 || f.WriteFrac > 1 {
+		return fmt.Errorf("workload %s: bad write fraction %v", f.Name, f.WriteFrac)
+	}
+	return nil
+}
+
+// pagesOf converts MiB to 4KiB pages.
+func pagesOf(mib int64) int64 { return (units.ByteSize(mib) * units.MiB).Pages() }
+
+// MemPages returns guest memory size in pages.
+func (f Function) MemPages() int64 { return pagesOf(f.MemMiB) }
+
+// StatePages returns the initialized page count.
+func (f Function) StatePages() int64 { return pagesOf(f.StateMiB) }
+
+// WSPages returns the working-set page count.
+func (f Function) WSPages() int64 { return pagesOf(f.WSMiB) }
+
+// AllocPages returns the ephemeral allocation page count.
+func (f Function) AllocPages() int64 { return pagesOf(f.AllocMiB) }
+
+// GuestConfig returns the guest kernel configuration for this
+// function's snapshot.
+func (f Function) GuestConfig(pvMarking, zeroOnFree bool) guest.Config {
+	return guest.Config{
+		NrPages:    f.MemPages(),
+		StatePages: f.StatePages(),
+		PVMarking:  pvMarking,
+		ZeroOnFree: zeroOnFree,
+	}
+}
+
+// GenTrace generates the function's deterministic invocation trace.
+//
+// Structure: the working set is split into WSRegions contiguous
+// regions placed pseudo-randomly in the state area. Regions are
+// visited in shuffled order (so file offsets are touched
+// non-sequentially, as real faults arrive); pages within a region are
+// visited sequentially. Compute time is spread between accesses.
+// Ephemeral allocations are interleaved at region boundaries in a few
+// large blocks, written on first touch, and ~half are freed before
+// the trace ends (the rest die with the sandbox).
+func (f Function) GenTrace() *trace.Trace {
+	if err := f.Validate(); err != nil {
+		panic(err)
+	}
+	rng := rand.New(rand.NewSource(f.Seed))
+
+	statePages := f.StatePages()
+	wsPages := f.WSPages()
+	regions := f.regions(rng, statePages, wsPages)
+
+	// Shuffled region visit order.
+	order := rng.Perm(len(regions))
+
+	// Compute budget: a slice of the total per access, with the
+	// remainder emitted as a final compute op.
+	totalCompute := time.Duration(f.ComputeMs) * time.Millisecond
+	var accessCount int64 = wsPages
+	allocPages := f.AllocPages()
+	accessCount += allocPages
+	perAccess := time.Duration(0)
+	if accessCount > 0 {
+		perAccess = totalCompute * 8 / 10 / time.Duration(accessCount)
+	}
+
+	// Allocation plan: split AllocMiB into up to 8 blocks, injected at
+	// evenly spaced region boundaries.
+	type allocPlan struct {
+		handle  int32
+		nPages  int64
+		atIdx   int
+		freeIdx int // region index after which it is freed; -1 = never
+	}
+	var allocs []allocPlan
+	if allocPages > 0 {
+		nBlocks := 8
+		if allocPages < int64(nBlocks) {
+			nBlocks = int(allocPages)
+		}
+		per := allocPages / int64(nBlocks)
+		extra := allocPages - per*int64(nBlocks)
+		for b := 0; b < nBlocks; b++ {
+			n := per
+			if int64(b) < extra {
+				n++
+			}
+			at := 0
+			if len(regions) > 0 {
+				at = b * len(regions) / nBlocks
+			}
+			freeAt := -1
+			if b%2 == 0 && len(regions) > 0 { // ~half freed mid-run
+				freeAt = at + (len(regions)-at)/2
+			}
+			allocs = append(allocs, allocPlan{
+				handle: int32(b + 1), nPages: n, atIdx: at, freeIdx: freeAt,
+			})
+		}
+	}
+
+	var ops []trace.Op
+	emitCompute := func(d time.Duration) {
+		if d > 0 {
+			ops = append(ops, trace.Op{Kind: trace.OpCompute, Gap: d})
+		}
+	}
+
+	for vi, ri := range order {
+		// Inject allocations scheduled at this visit index.
+		for _, ap := range allocs {
+			if ap.atIdx == vi {
+				ops = append(ops, trace.Op{Kind: trace.OpAlloc, Handle: ap.handle, NPages: int32(ap.nPages)})
+				for off := int32(0); off < int32(ap.nPages); off++ {
+					ops = append(ops, trace.Op{Kind: trace.OpTouch, Handle: ap.handle, Offset: off, Write: true})
+					emitCompute(perAccess)
+				}
+			}
+		}
+		r := regions[ri]
+		// Within a region, pages are visited near-sequentially but
+		// with a periodic hole (every holePeriod-th frame is never
+		// touched): real working sets are not perfectly contiguous,
+		// which is what makes SnapBPF's grouping and FaaSnap's
+		// coalescing non-trivial.
+		emitted := int64(0)
+		for pos := r.start; emitted < r.n; pos++ {
+			if (pos-r.start)%holePeriod == holePeriod-1 {
+				continue
+			}
+			ops = append(ops, trace.Op{
+				Kind:  trace.OpAccess,
+				Page:  pos,
+				Write: rng.Float64() < f.WriteFrac,
+			})
+			emitted++
+			emitCompute(perAccess)
+		}
+		// Frees scheduled after this visit index.
+		for _, ap := range allocs {
+			if ap.freeIdx == vi {
+				ops = append(ops, trace.Op{Kind: trace.OpFree, Handle: ap.handle})
+			}
+		}
+	}
+	// Free any still-scheduled-but-unreached frees (freeIdx beyond the
+	// last region) are simply dropped: memory dies with the sandbox.
+
+	// Warm re-access of a sample of the working set (second pass hits).
+	if len(regions) > 0 {
+		r := regions[order[0]]
+		for pg := r.start; pg < r.start+r.n && pg < r.start+32; pg++ {
+			ops = append(ops, trace.Op{Kind: trace.OpAccess, Page: pg})
+		}
+	}
+
+	// Remaining compute tail.
+	spent := perAccess * time.Duration(accessCount)
+	if tail := totalCompute - spent; tail > 0 {
+		emitCompute(tail)
+	}
+
+	t := &trace.Trace{Ops: ops}
+	if err := t.Validate(); err != nil {
+		panic(fmt.Sprintf("workload %s: generated invalid trace: %v", f.Name, err))
+	}
+	return t
+}
+
+// holePeriod is the spatial-fragmentation parameter: within a
+// working-set region every holePeriod-th frame is left untouched.
+const holePeriod = 48
+
+type region struct{ start, n int64 }
+
+// regions carves wsPages into f.WSRegions disjoint runs within
+// [0, statePages).
+func (f Function) regions(rng *rand.Rand, statePages, wsPages int64) []region {
+	nr := int64(f.WSRegions)
+	if nr > wsPages {
+		nr = wsPages
+	}
+	if nr == 0 {
+		return nil
+	}
+	base := wsPages / nr
+	extra := wsPages - base*nr
+
+	// Place regions by slicing the state area into nr equal slots and
+	// placing each region at a random offset inside its slot, which
+	// guarantees disjointness.
+	slot := statePages / nr
+	out := make([]region, 0, nr)
+	for i := int64(0); i < nr; i++ {
+		n := base
+		if i < extra {
+			n++
+		}
+		// The emitted span is n plus one hole per holePeriod-1 pages;
+		// cap n so the span fits in the slot.
+		maxN := slot - slot/holePeriod - 1
+		if maxN < 1 {
+			maxN = 1
+		}
+		if n > maxN {
+			n = maxN
+		}
+		span := n + n/(holePeriod-1) + 1
+		lo := i * slot
+		maxOff := slot - span
+		off := int64(0)
+		if maxOff > 0 {
+			off = rng.Int63n(maxOff)
+		}
+		out = append(out, region{start: lo + off, n: n})
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSuiteValid(t *testing.T) {
+	fs := Suite()
+	if len(fs) != 15 {
+		t.Fatalf("suite has %d functions, want 15", len(fs))
+	}
+	seen := make(map[string]bool)
+	for _, f := range fs {
+		if err := f.Validate(); err != nil {
+			t.Errorf("%s: %v", f.Name, err)
+		}
+		if seen[f.Name] {
+			t.Errorf("duplicate function %s", f.Name)
+		}
+		seen[f.Name] = true
+	}
+	for _, want := range []string{"json", "image", "rnn", "bert", "bfs", "html"} {
+		if !seen[want] {
+			t.Errorf("suite missing %s", want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	f, err := ByName("bert")
+	if err != nil || f.Name != "bert" {
+		t.Fatalf("ByName(bert) = %v, %v", f, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestGenTraceDeterministic(t *testing.T) {
+	f, _ := ByName("json")
+	a, b := f.GenTrace(), f.GenTrace()
+	if len(a.Ops) != len(b.Ops) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Ops), len(b.Ops))
+	}
+	for i := range a.Ops {
+		if a.Ops[i] != b.Ops[i] {
+			t.Fatalf("op %d differs", i)
+		}
+	}
+}
+
+func TestGenTraceWorkingSetSize(t *testing.T) {
+	for _, name := range []string{"json", "image", "bert"} {
+		f, _ := ByName(name)
+		tr := f.GenTrace()
+		s := tr.Summarize()
+		want := f.WSPages()
+		// Region placement can trim at slot boundaries; within 2%.
+		if s.UniquePages < want*98/100 || s.UniquePages > want {
+			t.Errorf("%s: unique pages = %d, want ~%d", name, s.UniquePages, want)
+		}
+	}
+}
+
+func TestGenTraceAllocVolume(t *testing.T) {
+	f, _ := ByName("image")
+	s := f.GenTrace().Summarize()
+	if s.AllocPages != f.AllocPages() {
+		t.Fatalf("alloc pages = %d, want %d", s.AllocPages, f.AllocPages())
+	}
+	if s.FreedAllocs == 0 {
+		t.Fatal("no allocations freed")
+	}
+}
+
+func TestGenTraceComputeBudget(t *testing.T) {
+	f, _ := ByName("linpack")
+	s := f.GenTrace().Summarize()
+	want := time.Duration(f.ComputeMs) * time.Millisecond
+	if s.TotalCompute < want*95/100 || s.TotalCompute > want*105/100 {
+		t.Fatalf("compute = %v, want ~%v", s.TotalCompute, want)
+	}
+}
+
+func TestGenTracePagesWithinState(t *testing.T) {
+	f, _ := ByName("bfs")
+	for _, pg := range f.GenTrace().StatePages() {
+		if pg < 0 || pg >= f.StatePages() {
+			t.Fatalf("state page %d outside [0, %d)", pg, f.StatePages())
+		}
+	}
+}
+
+func TestGenTraceNonSequentialRegionOrder(t *testing.T) {
+	// Region shuffle: first accesses must not be globally sorted.
+	f, _ := ByName("cnn")
+	pages := f.GenTrace().StatePages()
+	sorted := true
+	for i := 1; i < len(pages); i++ {
+		if pages[i] < pages[i-1] {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		t.Fatal("working set accessed fully sequentially; region shuffle broken")
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	bad := []Function{
+		{Name: "", MemMiB: 10, WSRegions: 1},
+		{Name: "x", MemMiB: 10, StateMiB: 20, WSRegions: 1},
+		{Name: "x", MemMiB: 10, StateMiB: 5, WSMiB: 6, WSRegions: 1},
+		{Name: "x", MemMiB: 10, StateMiB: 5, WSMiB: 2, AllocMiB: 6, WSRegions: 1},
+		{Name: "x", MemMiB: 10, StateMiB: 5, WSMiB: 2, WSRegions: 0},
+		{Name: "x", MemMiB: 10, StateMiB: 5, WSMiB: 2, WSRegions: 1, WriteFrac: 1.5},
+	}
+	for i, f := range bad {
+		if err := f.Validate(); err == nil {
+			t.Errorf("bad function %d accepted", i)
+		}
+	}
+}
+
+func TestWritesRoughlyMatchWriteFrac(t *testing.T) {
+	f, _ := ByName("matmul")
+	s := f.GenTrace().Summarize()
+	// Alloc touches are always writes; state accesses write with
+	// WriteFrac. Just sanity-check the bounds.
+	if s.Writes < s.AllocPages {
+		t.Fatalf("writes = %d < alloc pages %d", s.Writes, s.AllocPages)
+	}
+	if s.Writes > s.Accesses {
+		t.Fatalf("writes exceed accesses")
+	}
+}
+
+func TestNamesOrderedLikeSuite(t *testing.T) {
+	names := Names()
+	fs := Suite()
+	for i := range fs {
+		if names[i] != fs[i].Name {
+			t.Fatal("Names order mismatch")
+		}
+	}
+}

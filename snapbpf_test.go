@@ -1,0 +1,180 @@
+package snapbpf_test
+
+import (
+	"strings"
+	"testing"
+
+	"snapbpf"
+)
+
+func TestFunctionsSuite(t *testing.T) {
+	fns := snapbpf.Functions()
+	if len(fns) != 15 {
+		t.Fatalf("suite = %d functions", len(fns))
+	}
+	if _, err := snapbpf.FunctionByName("bert"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchemeByName(t *testing.T) {
+	for _, name := range []string{"SnapBPF", "REAP", "FaaSnap", "Faast", "Linux-RA", "Linux-NoRA", "PVPTEs"} {
+		s, err := snapbpf.SchemeByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s.New() == nil {
+			t.Fatalf("%s: nil prefetcher", name)
+		}
+	}
+	if _, err := snapbpf.SchemeByName("nope"); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}
+
+func TestConstructors(t *testing.T) {
+	for _, pf := range []snapbpf.Prefetcher{
+		snapbpf.New(), snapbpf.NewPVOnly(), snapbpf.NewREAP(),
+		snapbpf.NewFaast(), snapbpf.NewFaaSnap(),
+		snapbpf.NewLinuxRA(), snapbpf.NewLinuxNoRA(),
+	} {
+		if pf.Name() == "" {
+			t.Fatal("unnamed prefetcher")
+		}
+	}
+}
+
+func TestRunThroughFacade(t *testing.T) {
+	fn := snapbpf.Function{
+		Name: "facade-tiny", MemMiB: 32, StateMiB: 16, WSMiB: 4, WSRegions: 6,
+		AllocMiB: 2, ComputeMs: 5, WriteFrac: 0.1, Seed: 1,
+	}
+	res, err := snapbpf.Run(fn, snapbpf.SchemeSnapBPF, snapbpf.RunConfig{N: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanE2E <= 0 || len(res.E2E) != 2 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestExperimentsList(t *testing.T) {
+	exps := snapbpf.Experiments()
+	if len(exps) < 6 {
+		t.Fatalf("experiments = %d", len(exps))
+	}
+	ids := map[string]bool{}
+	for _, e := range exps {
+		ids[e.ID] = true
+	}
+	for _, want := range []string{"table1", "fig3a", "fig3b", "fig3c", "fig4", "overheads"} {
+		if !ids[want] {
+			t.Fatalf("missing %s", want)
+		}
+	}
+}
+
+func TestCustomBPFProgramThroughFacade(t *testing.T) {
+	host := snapbpf.NewHost(snapbpf.MicronSATA5300())
+	m, err := snapbpf.NewBPFMap(snapbpf.MapTypeHash, "m", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd := snapbpf.RegisterBPFMap(host, m)
+
+	b := snapbpf.NewBPFBuilder()
+	b.StxDW(snapbpf.RFP, -8, snapbpf.R1).
+		StxDW(snapbpf.RFP, -16, snapbpf.R2).
+		Mov64Imm(snapbpf.R1, fd).
+		Mov64Reg(snapbpf.R2, snapbpf.RFP).Add64Imm(snapbpf.R2, -8).
+		Mov64Reg(snapbpf.R3, snapbpf.RFP).Add64Imm(snapbpf.R3, -16).
+		Call(snapbpf.HelperMapUpdateElem).
+		Mov64Imm(snapbpf.R0, 0).
+		Exit()
+	insns, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asm := snapbpf.DisassembleBPF(insns); !strings.Contains(asm, "call") {
+		t.Fatalf("disassembly: %s", asm)
+	}
+	prog, err := snapbpf.LoadBPF(host, "facade-test", insns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	detach, err := snapbpf.AttachKprobe(host, snapbpf.HookAddToPageCacheLRU, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fire the hook by pulling a file page into the cache.
+	ino := host.Cache.NewInode("f", 64)
+	ino.ReadaheadAsync(3, 1)
+	host.Eng.Run()
+	if v, ok := m.Lookup(ino.ID()); !ok || v != 3 {
+		t.Fatalf("m[inode] = %d,%v; want page offset 3", v, ok)
+	}
+	if err := detach(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifierRejectsThroughFacade(t *testing.T) {
+	host := snapbpf.NewHost(snapbpf.MicronSATA5300())
+	b := snapbpf.NewBPFBuilder()
+	b.Mov64Reg(snapbpf.R0, snapbpf.R7).Exit() // uninitialized read
+	insns, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := snapbpf.LoadBPF(host, "bad", insns); err == nil {
+		t.Fatal("verifier accepted an invalid program via the facade")
+	}
+}
+
+func TestRunWavesThroughFacade(t *testing.T) {
+	fn := snapbpf.Function{
+		Name: "facade-waves", MemMiB: 32, StateMiB: 16, WSMiB: 4, WSRegions: 6,
+		AllocMiB: 2, ComputeMs: 5, WriteFrac: 0.1, Seed: 1,
+	}
+	res, err := snapbpf.RunWaves(fn, snapbpf.SchemeSnapBPF, 2, 2, 0, snapbpf.MicronSATA5300())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.WaveE2E) != 2 || res.WaveE2E[1] >= res.WaveE2E[0] {
+		t.Fatalf("waves = %v", res.WaveE2E)
+	}
+}
+
+func TestRunMixedThroughFacade(t *testing.T) {
+	a := snapbpf.Function{
+		Name: "mix-a", MemMiB: 32, StateMiB: 16, WSMiB: 4, WSRegions: 6,
+		AllocMiB: 2, ComputeMs: 5, WriteFrac: 0.1, Seed: 1,
+	}
+	b := a
+	b.Name, b.Seed = "mix-b", 2
+	res, err := snapbpf.RunMixed([]snapbpf.Function{a, b}, snapbpf.SchemeSnapBPF, 1, snapbpf.MicronSATA5300())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerFunction) != 2 {
+		t.Fatalf("per-function = %v", res.PerFunction)
+	}
+}
+
+func TestDeviceModels(t *testing.T) {
+	ssd, hdd := snapbpf.MicronSATA5300(), snapbpf.SpindleHDD()
+	if ssd.SeekLatency != 0 {
+		t.Fatal("SSD with seek latency")
+	}
+	if hdd.SeekLatency == 0 {
+		t.Fatal("HDD without seek latency")
+	}
+}
+
+func TestBuildImageFacade(t *testing.T) {
+	fn, _ := snapbpf.FunctionByName("pyaes")
+	img := snapbpf.BuildImage(fn, true)
+	if img.ZeroPages() == 0 {
+		t.Fatal("zero-on-free image has no zero pages")
+	}
+}
