@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race cover bench repro examples clean
+.PHONY: all build test vet fmtcheck check race cover bench repro examples clean
 
 all: build vet test
 
@@ -11,6 +11,13 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+fmtcheck:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Full hygiene gate: build, vet, formatting, tests.
+check: build vet fmtcheck test
 
 test:
 	$(GO) test ./...
@@ -28,8 +35,9 @@ bench:
 
 # Regenerate every table and figure on the full 15-function suite,
 # verify the paper's claims, and write CSV + a markdown report.
+# Cells run on one worker per CPU; add e.g. `-parallel 1` for serial.
 repro:
-	$(GO) run ./cmd/snapbpf-bench -verify -csv results -report results/report.md
+	$(GO) run ./cmd/snapbpf-bench -verify -csv results -report results/report.md -timing results/timing.json
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -11,6 +11,7 @@
 //	SNAPBPF_BENCH_FULL=1          use the full 15-function suite
 //	SNAPBPF_BENCH_FUNCS=a,b,c     use an explicit list
 //	SNAPBPF_BENCH_PRINT=1         print each regenerated table
+//	SNAPBPF_BENCH_PARALLEL=n      cell workers (default one per CPU)
 package snapbpf
 
 import (
@@ -54,6 +55,13 @@ func runExperiment(b *testing.B, id string) *Table {
 		b.Fatalf("unknown experiment %q", id)
 	}
 	opts := ExperimentOptions{Functions: benchFunctions(b)}
+	if env := os.Getenv("SNAPBPF_BENCH_PARALLEL"); env != "" {
+		n, err := strconv.Atoi(env)
+		if err != nil {
+			b.Fatalf("SNAPBPF_BENCH_PARALLEL: %v", err)
+		}
+		opts.Parallel = n
+	}
 	var tbl *Table
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -89,3 +89,55 @@ func BenchmarkMarshalInstructions(b *testing.B) {
 		}
 	}
 }
+
+// mapHelperProgram stores a key/value pair, updates the map and looks
+// the key back up — the capture program's actual helper mix — so this
+// measures the decoded call fast path plus the program's map-FD cache.
+func mapHelperProgram(fd int32) []Instruction {
+	b := NewBuilder()
+	b.StxDW(R10, -8, R1). // key = arg1
+				StxDW(R10, -16, R2). // value = arg2
+				Mov64Imm(R1, fd).
+				Mov64Reg(R2, R10).
+				Add64Imm(R2, -8).
+				Mov64Reg(R3, R10).
+				Add64Imm(R3, -16).
+				Call(HelperMapUpdateElem).
+				Mov64Imm(R1, fd).
+				Mov64Reg(R2, R10).
+				Add64Imm(R2, -8).
+				Mov64Reg(R3, R10).
+				Add64Imm(R3, -24).
+				Call(HelperMapLookupElem).
+				Mov64Reg(R0, R0).
+				Exit()
+	return b.MustProgram()
+}
+
+// BenchmarkInterpreterMapHelpers measures a run dominated by map
+// helper calls: one update + one lookup per execution, resolved
+// through the load-time map-FD cache.
+func BenchmarkInterpreterMapHelpers(b *testing.B) {
+	vm := NewVM()
+	fd := vm.RegisterMap(MustNewMap(MapTypeHash, "ws", 1<<20))
+	prog := vm.MustLoad("maps", mapHelperProgram(fd))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prog.Run(nil, uint64(i)%(1<<18), uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLoadDecode measures the one-time load cost the decode cache
+// adds: verification plus pre-decoding of a capture-shaped program.
+func BenchmarkLoadDecode(b *testing.B) {
+	insns := benchProgram()
+	vm := NewVM()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := vm.Load("bench", insns); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

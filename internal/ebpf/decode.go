@@ -1,0 +1,119 @@
+package ebpf
+
+// Pre-decoded instruction cache. The raw 8-byte eBPF encoding packs the
+// class, operation, operand mode and access width into bit fields that
+// the interpreter would otherwise re-extract on every executed step —
+// and a kprobe-dispatched program runs once per page-cache insertion,
+// so those masks are genuinely hot. Load decodes each instruction
+// exactly once into the flat form below; the dispatch loop in vm.go
+// switches on a single pre-computed kind and reads resolved fields.
+
+// decKind discriminates the decoded execution forms.
+type decKind uint8
+
+const (
+	decALU64 decKind = iota
+	decALU32
+	decLdImm64 // both lddw slots collapsed; imm64 holds the value
+	decLdImm64Hi
+	decLdx
+	decStx
+	decSt
+	decJa
+	decCall
+	decExit
+	decJump
+	decJump32
+	decInvalid
+)
+
+// decoded is one pre-decoded instruction. Fields are resolved at Load
+// time: the sign-extended immediate, the memory access width, the full
+// 64-bit lddw value, and — for calls — the helper implementation
+// itself, so the dispatch loop performs no map lookups.
+type decoded struct {
+	kind   decKind
+	op     uint8 // ALU/JMP operation bits
+	regSrc bool  // operand is a register, not the immediate
+	dst    uint8
+	src    uint8
+	size   uint8  // memory access width in bytes (LDX/ST/STX)
+	off    int32  // memory offset, or jump displacement (already +1)
+	imm    int64  // sign-extended immediate
+	imm64  uint64 // resolved lddw value
+	helper HelperFunc
+	hname  string // helper name for error messages
+	hid    int32  // raw helper id, kept for unresolved-call errors
+}
+
+// decodeProgram translates verified program text into the decoded
+// form. Helper ids are resolved against the VM's registry; an id the
+// registry cannot resolve (impossible for a verified program, but kept
+// defensive) decodes with a nil helper and fails at execution time.
+// The result is slot-aligned with insns so jump offsets need no
+// remapping; the second slot of a lddw decodes to decLdImm64Hi, which
+// the verifier guarantees is never a jump target.
+func decodeProgram(insns []Instruction, vm *VM) []decoded {
+	dec := make([]decoded, len(insns))
+	for pc := 0; pc < len(insns); pc++ {
+		in := insns[pc]
+		d := &dec[pc]
+		d.op = in.aluOp()
+		d.regSrc = in.usesRegSrc()
+		d.dst = uint8(in.Dst)
+		d.src = uint8(in.Src)
+		d.imm = int64(in.Imm) // sign-extended once
+
+		switch in.Class() {
+		case ClassALU64:
+			d.kind = decALU64
+		case ClassALU:
+			d.kind = decALU32
+		case ClassLD:
+			if in.Op != OpLdImm64 || pc+1 >= len(insns) {
+				d.kind = decInvalid
+				continue
+			}
+			d.kind = decLdImm64
+			d.imm64 = uint64(uint32(in.Imm)) | uint64(uint32(insns[pc+1].Imm))<<32
+			dec[pc+1].kind = decLdImm64Hi
+			pc++ // the hi slot is fully decoded; skip it
+		case ClassLDX:
+			d.kind = decLdx
+			d.size = uint8(in.size())
+			d.off = int32(in.Off)
+		case ClassSTX:
+			d.kind = decStx
+			d.size = uint8(in.size())
+			d.off = int32(in.Off)
+		case ClassST:
+			d.kind = decSt
+			d.size = uint8(in.size())
+			d.off = int32(in.Off)
+		case ClassJMP, ClassJMP32:
+			d.off = 1 + int32(in.Off)
+			switch in.aluOp() {
+			case OpExit:
+				d.kind = decExit
+			case OpCall:
+				d.kind = decCall
+				d.hid = in.Imm
+				if h, ok := vm.helpers[in.Imm]; ok {
+					d.helper = h.Fn
+					d.hname = h.Name
+				}
+			case OpJa:
+				d.kind = decJa
+			default:
+				if in.Class() == ClassJMP32 {
+					d.kind = decJump32
+				} else {
+					d.kind = decJump
+				}
+			}
+		default:
+			d.kind = decInvalid
+		}
+	}
+	return dec
+}

@@ -1,0 +1,125 @@
+package ebpf
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestDecodedProgramKinds checks that Load pre-decodes every slot,
+// including the collapsed lddw pair.
+func TestDecodedProgramKinds(t *testing.T) {
+	vm := NewVM()
+	b := NewBuilder()
+	b.LdImm64(R6, 0xdeadbeef_12345678).
+		Mov64Imm(R0, 0).
+		JmpImm(OpJeq, R6, 0, "out").
+		Add64Imm(R0, 1).
+		Label("out").
+		Exit()
+	prog := vm.MustLoad("dec", b.MustProgram())
+	if len(prog.dec) != prog.Len() {
+		t.Fatalf("decoded %d slots for %d insns", len(prog.dec), prog.Len())
+	}
+	if prog.dec[0].kind != decLdImm64 || prog.dec[0].imm64 != 0xdeadbeef_12345678 {
+		t.Fatalf("lddw decoded as kind=%d imm64=%#x", prog.dec[0].kind, prog.dec[0].imm64)
+	}
+	if prog.dec[1].kind != decLdImm64Hi {
+		t.Fatalf("lddw hi slot decoded as kind=%d", prog.dec[1].kind)
+	}
+	got, err := prog.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("Run = %d, want 1", got)
+	}
+}
+
+// TestProgramConcurrentRun drives one loaded program from many
+// goroutines at once: the scratch-buffer arbitration must fall back to
+// fresh state, never corrupt results, and stay race-clean.
+func TestProgramConcurrentRun(t *testing.T) {
+	vm := NewVM()
+	fd := vm.RegisterMap(MustNewMap(MapTypeArray, "arr", 8))
+	m, _ := vm.MapByFD(fd)
+	if err := m.Update(3, 77); err != nil {
+		t.Fatal(err)
+	}
+	// Stack-heavy program: store both args, reload, sum, add the map
+	// value for key 3 — any cross-run stack sharing would corrupt it.
+	b := NewBuilder()
+	b.StxDW(R10, -8, R1).
+		StxDW(R10, -16, R2).
+		StDWImm(R10, -24, 3).
+		Mov64Imm(R1, fd).
+		Mov64Reg(R2, R10).
+		Add64Imm(R2, -24).
+		Mov64Reg(R3, R10).
+		Add64Imm(R3, -32).
+		Call(HelperMapLookupElem).
+		LdxDW(R6, R10, -8).
+		LdxDW(R7, R10, -16).
+		LdxDW(R8, R10, -32).
+		Mov64Reg(R0, R6).
+		Add64Reg(R0, R7).
+		Add64Reg(R0, R8).
+		Exit()
+	prog := vm.MustLoad("conc", b.MustProgram())
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				got, err := prog.Run(nil, 10, 20)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got != 10+20+77 {
+					errs <- &VerifyError{Msg: "corrupted result"}
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if prog.Runs != 8*2000 {
+		t.Fatalf("Runs = %d, want %d", prog.Runs, 8*2000)
+	}
+}
+
+// TestMapRegisteredAfterLoadReachable exercises the map cache's
+// fallback: an fd registered after the program loaded is not in the
+// load-time snapshot but must still resolve through the VM table.
+func TestMapRegisteredAfterLoadReachable(t *testing.T) {
+	vm := NewVM()
+	const probeID = KfuncBase + 99
+	vm.MustRegisterHelper(probeID, "probe_map", func(ctx *CallContext, args [5]uint64) (uint64, error) {
+		if _, ok := ctx.Map(int32(args[0])); ok {
+			return 1, nil
+		}
+		return 0, nil
+	})
+	b := NewBuilder()
+	b.Call(probeID).Exit()
+	prog := vm.MustLoad("late", b.MustProgram())
+
+	lateFD := vm.RegisterMap(MustNewMap(MapTypeHash, "late", 16))
+	got, err := prog.Run(nil, uint64(lateFD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("late-registered map not reachable (got %d)", got)
+	}
+	if got, err := prog.Run(nil, uint64(lateFD+1000)); err != nil || got != 0 {
+		t.Fatalf("bogus fd resolved: got=%d err=%v", got, err)
+	}
+}

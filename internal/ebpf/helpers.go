@@ -37,7 +37,7 @@ func (vm *VM) SetClock(c Clock) { vm.clock = c }
 func registerStandardHelpers(vm *VM) {
 	vm.MustRegisterHelper(HelperMapLookupElem, "bpf_map_lookup_elem",
 		func(ctx *CallContext, args [5]uint64) (uint64, error) {
-			m, ok := ctx.VM.MapByFD(int32(args[0]))
+			m, ok := ctx.Map(int32(args[0]))
 			if !ok {
 				return 0, fmt.Errorf("bad map fd %d", int32(args[0]))
 			}
@@ -57,7 +57,7 @@ func registerStandardHelpers(vm *VM) {
 
 	vm.MustRegisterHelper(HelperMapUpdateElem, "bpf_map_update_elem",
 		func(ctx *CallContext, args [5]uint64) (uint64, error) {
-			m, ok := ctx.VM.MapByFD(int32(args[0]))
+			m, ok := ctx.Map(int32(args[0]))
 			if !ok {
 				return 0, fmt.Errorf("bad map fd %d", int32(args[0]))
 			}
@@ -80,7 +80,7 @@ func registerStandardHelpers(vm *VM) {
 
 	vm.MustRegisterHelper(HelperMapDeleteElem, "bpf_map_delete_elem",
 		func(ctx *CallContext, args [5]uint64) (uint64, error) {
-			m, ok := ctx.VM.MapByFD(int32(args[0]))
+			m, ok := ctx.Map(int32(args[0]))
 			if !ok {
 				return 0, fmt.Errorf("bad map fd %d", int32(args[0]))
 			}

@@ -3,6 +3,7 @@ package ebpf
 import (
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 )
 
 // stackTop is the virtual address held by R10 (the frame pointer).
@@ -97,27 +98,59 @@ func (vm *VM) MapByFD(fd int32) (*Map, bool) {
 type Program struct {
 	Name  string
 	insns []Instruction
+	dec   []decoded // pre-decoded text; see decode.go
 	vm    *VM
+
+	// mapCache memoizes map-FD resolution: a dense fd-indexed snapshot
+	// of the VM's map table taken at load time, so helpers skip the
+	// VM's hash lookup on the hot path. Sealed at Load (read-only
+	// afterwards); fds registered later fall back to the VM table.
+	mapCache []*Map
 
 	// Enabled gates execution when the program is attached to a hook;
 	// SnapBPF's prefetch program clears it after issuing the last
 	// group ("the eBPF program will disable itself").
 	Enabled bool
 
-	// Runs counts completed executions.
+	// Runs counts completed executions (updated atomically).
 	Runs int64
+
+	// scratch is the reusable run state. A program belongs to one
+	// simulated kernel, whose probe dispatch is sequential, so a single
+	// buffer serves virtually every run; running arbitrates the rare
+	// concurrent Run (tests), which falls back to a fresh allocation.
+	scratch *runState
+	running atomic.Bool
+}
+
+// runState is the per-execution state: the call context and the
+// 512-byte stack frame, kept together so one allocation (reused across
+// runs) covers both.
+type runState struct {
+	ctx   CallContext
+	stack [StackSize]byte
 }
 
 // Load verifies insns against the VM's helper and map tables and
 // returns a runnable Program. This models the bpf(BPF_PROG_LOAD)
-// syscall: an invalid program never becomes runnable.
+// syscall: an invalid program never becomes runnable. Loading also
+// pre-decodes the instruction stream (decode.go) and snapshots the
+// map table, so per-step re-parsing never happens at run time.
 func (vm *VM) Load(name string, insns []Instruction) (*Program, error) {
 	if err := Verify(insns, vm); err != nil {
 		return nil, fmt.Errorf("ebpf: load %q: %w", name, err)
 	}
 	cp := make([]Instruction, len(insns))
 	copy(cp, insns)
-	return &Program{Name: name, insns: cp, vm: vm, Enabled: true}, nil
+	p := &Program{Name: name, insns: cp, vm: vm, Enabled: true}
+	p.dec = decodeProgram(cp, vm)
+	p.mapCache = make([]*Map, vm.nextFD)
+	for fd, m := range vm.maps {
+		if fd >= 0 && int(fd) < len(p.mapCache) {
+			p.mapCache[fd] = m
+		}
+	}
+	return p, nil
 }
 
 // MustLoad is Load but panics on error.
@@ -152,6 +185,19 @@ type CallContext struct {
 	Env any
 }
 
+// Map resolves a map file descriptor through the calling program's
+// load-time cache, falling back to the VM table for maps registered
+// after the program loaded. Helpers use this instead of VM.MapByFD so
+// the per-call hash lookup disappears from the kprobe hot path.
+func (c *CallContext) Map(fd int32) (*Map, bool) {
+	if p := c.Prog; p != nil && fd >= 0 && int(fd) < len(p.mapCache) {
+		if m := p.mapCache[fd]; m != nil {
+			return m, true
+		}
+	}
+	return c.VM.MapByFD(fd)
+}
+
 // ReadStackU64 reads an 8-byte value at a stack virtual address.
 func (c *CallContext) ReadStackU64(addr uint64) (uint64, error) {
 	i, err := stackIndex(addr, 8)
@@ -181,6 +227,13 @@ func stackIndex(addr uint64, size int) (int, error) {
 
 // Run executes the program with up to five u64 arguments in R1–R5 and
 // returns R0. Env is made available to helpers via the CallContext.
+//
+// The dispatch loop walks the pre-decoded instruction cache built at
+// Load time (decode.go): no opcode bit-masking, immediate
+// sign-extension, lddw reassembly or helper-table lookup happens per
+// step. Run state (call context + stack) is a single buffer reused
+// across sequential runs; concurrent runs of one program fall back to
+// a fresh buffer.
 func (p *Program) Run(env any, args ...uint64) (uint64, error) {
 	if len(args) > 5 {
 		return 0, fmt.Errorf("ebpf: too many arguments (%d > 5)", len(args))
@@ -191,116 +244,144 @@ func (p *Program) Run(env any, args ...uint64) (uint64, error) {
 	}
 	regs[R10] = stackTop
 
-	var stack [StackSize]byte
-	ctx := &CallContext{VM: p.vm, Prog: p, stack: stack[:], Env: env}
+	var st *runState
+	if p.running.CompareAndSwap(false, true) {
+		defer p.running.Store(false)
+		if p.scratch == nil {
+			p.scratch = new(runState)
+		}
+		st = p.scratch
+		st.stack = [StackSize]byte{} // fresh runs see a zeroed frame
+	} else {
+		st = new(runState)
+	}
+	ctx := &st.ctx
+	*ctx = CallContext{VM: p.vm, Prog: p, stack: st.stack[:], Env: env}
 
+	dec := p.dec
+	if dec == nil {
+		// Program constructed without Load (tests); decode on first use.
+		dec = decodeProgram(p.insns, p.vm)
+		p.dec = dec
+	}
 	pc := 0
 	for steps := 0; ; steps++ {
 		if steps >= InsnBudget {
 			return 0, fmt.Errorf("ebpf: %s: instruction budget exceeded", p.Name)
 		}
-		if pc < 0 || pc >= len(p.insns) {
+		if pc < 0 || pc >= len(dec) {
 			return 0, fmt.Errorf("ebpf: %s: pc out of range: %d", p.Name, pc)
 		}
-		in := p.insns[pc]
+		in := &dec[pc]
 
-		switch in.Class() {
-		case ClassALU64:
-			if err := execALU64(&regs, in); err != nil {
+		switch in.kind {
+		case decALU64:
+			var src uint64
+			if in.regSrc {
+				src = regs[in.src]
+			} else {
+				src = uint64(in.imm)
+			}
+			dst, err := aluOp64(in.op, regs[in.dst], src)
+			if err != nil {
 				return 0, fmt.Errorf("ebpf: %s @%d: %w", p.Name, pc, err)
 			}
+			regs[in.dst] = dst
 			pc++
-		case ClassALU:
-			if err := execALU32(&regs, in); err != nil {
+		case decALU32:
+			var src uint32
+			if in.regSrc {
+				src = uint32(regs[in.src])
+			} else {
+				src = uint32(in.imm)
+			}
+			dst, err := aluOp32(in.op, uint32(regs[in.dst]), src)
+			if err != nil {
 				return 0, fmt.Errorf("ebpf: %s @%d: %w", p.Name, pc, err)
 			}
+			// 32-bit ops zero the upper half, as on hardware.
+			regs[in.dst] = uint64(dst)
 			pc++
-		case ClassLD:
-			if in.Op != OpLdImm64 {
-				return 0, fmt.Errorf("ebpf: %s @%d: unsupported LD opcode %#x", p.Name, pc, in.Op)
-			}
-			if pc+1 >= len(p.insns) {
-				return 0, fmt.Errorf("ebpf: %s @%d: truncated lddw", p.Name, pc)
-			}
-			lo := uint64(uint32(in.Imm))
-			hi := uint64(uint32(p.insns[pc+1].Imm))
-			regs[in.Dst] = lo | hi<<32
+		case decLdImm64:
+			regs[in.dst] = in.imm64
 			pc += 2
-		case ClassLDX:
-			addr := regs[in.Src] + uint64(int64(in.Off))
-			i, err := stackIndex(addr, in.size())
+		case decLdx:
+			addr := regs[in.src] + uint64(int64(in.off))
+			i, err := stackIndex(addr, int(in.size))
 			if err != nil {
 				return 0, fmt.Errorf("ebpf: %s @%d: %w", p.Name, pc, err)
 			}
-			regs[in.Dst] = loadSized(ctx.stack[i:], in.size())
+			regs[in.dst] = loadSized(st.stack[i:], int(in.size))
 			pc++
-		case ClassSTX:
-			addr := regs[in.Dst] + uint64(int64(in.Off))
-			i, err := stackIndex(addr, in.size())
+		case decStx:
+			addr := regs[in.dst] + uint64(int64(in.off))
+			i, err := stackIndex(addr, int(in.size))
 			if err != nil {
 				return 0, fmt.Errorf("ebpf: %s @%d: %w", p.Name, pc, err)
 			}
-			storeSized(ctx.stack[i:], in.size(), regs[in.Src])
+			storeSized(st.stack[i:], int(in.size), regs[in.src])
 			pc++
-		case ClassST:
-			addr := regs[in.Dst] + uint64(int64(in.Off))
-			i, err := stackIndex(addr, in.size())
+		case decSt:
+			addr := regs[in.dst] + uint64(int64(in.off))
+			i, err := stackIndex(addr, int(in.size))
 			if err != nil {
 				return 0, fmt.Errorf("ebpf: %s @%d: %w", p.Name, pc, err)
 			}
-			storeSized(ctx.stack[i:], in.size(), uint64(int64(in.Imm)))
+			storeSized(st.stack[i:], int(in.size), uint64(in.imm))
 			pc++
-		case ClassJMP, ClassJMP32:
-			switch in.aluOp() {
-			case OpExit:
-				p.Runs++
-				return regs[R0], nil
-			case OpCall:
-				h, ok := p.vm.helpers[in.Imm]
-				if !ok {
-					return 0, fmt.Errorf("ebpf: %s @%d: unknown helper %d", p.Name, pc, in.Imm)
-				}
-				var args [5]uint64
-				copy(args[:], regs[R1:R6])
-				r0, err := h.Fn(ctx, args)
-				if err != nil {
-					return 0, fmt.Errorf("ebpf: %s @%d: helper %s: %w", p.Name, pc, h.Name, err)
-				}
-				regs[R0] = r0
-				// R1-R5 are caller-clobbered; poison them to catch
-				// programs that slipped past verification.
-				for r := R1; r <= R5; r++ {
-					regs[r] = 0xdead_beef_dead_beef
-				}
+		case decExit:
+			atomic.AddInt64(&p.Runs, 1)
+			return regs[R0], nil
+		case decCall:
+			if in.helper == nil {
+				return 0, fmt.Errorf("ebpf: %s @%d: unknown helper %d", p.Name, pc, in.hid)
+			}
+			var hargs [5]uint64
+			copy(hargs[:], regs[R1:R6])
+			r0, err := in.helper(ctx, hargs)
+			if err != nil {
+				return 0, fmt.Errorf("ebpf: %s @%d: helper %s: %w", p.Name, pc, in.hname, err)
+			}
+			regs[R0] = r0
+			// R1-R5 are caller-clobbered; poison them to catch
+			// programs that slipped past verification.
+			for r := R1; r <= R5; r++ {
+				regs[r] = 0xdead_beef_dead_beef
+			}
+			pc++
+		case decJa:
+			pc += int(in.off)
+		case decJump, decJump32:
+			dst := regs[in.dst]
+			var src uint64
+			if in.regSrc {
+				src = regs[in.src]
+			} else {
+				src = uint64(in.imm)
+			}
+			if in.kind == decJump32 {
+				// JMP32 compares the low 32 bits; signed variants
+				// sign-extend them.
+				dst = uint64(int64(int32(uint32(dst))))
+				src = uint64(int64(int32(uint32(src))))
+			}
+			taken, err := jumpTaken(in.op, dst, src)
+			if err != nil {
+				return 0, fmt.Errorf("ebpf: %s @%d: %w", p.Name, pc, err)
+			}
+			if taken {
+				pc += int(in.off)
+			} else {
 				pc++
-			case OpJa:
-				pc += 1 + int(in.Off)
-			default:
-				taken, err := evalJump(&regs, in, in.Class() == ClassJMP32)
-				if err != nil {
-					return 0, fmt.Errorf("ebpf: %s @%d: %w", p.Name, pc, err)
-				}
-				if taken {
-					pc += 1 + int(in.Off)
-				} else {
-					pc++
-				}
 			}
 		default:
-			return 0, fmt.Errorf("ebpf: %s @%d: unsupported class %#x", p.Name, pc, in.Class())
+			return 0, fmt.Errorf("ebpf: %s @%d: unsupported instruction %s", p.Name, pc, p.insns[pc])
 		}
 	}
 }
 
-func execALU64(regs *[numRegisters]uint64, in Instruction) error {
-	var src uint64
-	if in.usesRegSrc() {
-		src = regs[in.Src]
-	} else {
-		src = uint64(int64(in.Imm)) // sign-extend
-	}
-	dst := regs[in.Dst]
-	switch in.aluOp() {
+func aluOp64(op uint8, dst, src uint64) (uint64, error) {
+	switch op {
 	case OpAdd:
 		dst += src
 	case OpSub:
@@ -336,21 +417,13 @@ func execALU64(regs *[numRegisters]uint64, in Instruction) error {
 	case OpMov:
 		dst = src
 	default:
-		return fmt.Errorf("unsupported alu64 op %#x", in.aluOp())
+		return 0, fmt.Errorf("unsupported alu64 op %#x", op)
 	}
-	regs[in.Dst] = dst
-	return nil
+	return dst, nil
 }
 
-func execALU32(regs *[numRegisters]uint64, in Instruction) error {
-	var src uint32
-	if in.usesRegSrc() {
-		src = uint32(regs[in.Src])
-	} else {
-		src = uint32(in.Imm)
-	}
-	dst := uint32(regs[in.Dst])
-	switch in.aluOp() {
+func aluOp32(op uint8, dst, src uint32) (uint32, error) {
+	switch op {
 	case OpAdd:
 		dst += src
 	case OpSub:
@@ -384,28 +457,13 @@ func execALU32(regs *[numRegisters]uint64, in Instruction) error {
 	case OpMov:
 		dst = src
 	default:
-		return fmt.Errorf("unsupported alu32 op %#x", in.aluOp())
+		return 0, fmt.Errorf("unsupported alu32 op %#x", op)
 	}
-	// 32-bit ops zero the upper half, as on hardware.
-	regs[in.Dst] = uint64(dst)
-	return nil
+	return dst, nil
 }
 
-func evalJump(regs *[numRegisters]uint64, in Instruction, wide32 bool) (bool, error) {
-	dst := regs[in.Dst]
-	var src uint64
-	if in.usesRegSrc() {
-		src = regs[in.Src]
-	} else {
-		src = uint64(int64(in.Imm))
-	}
-	if wide32 {
-		// JMP32 compares the low 32 bits; signed variants
-		// sign-extend them.
-		dst = uint64(int64(int32(uint32(dst))))
-		src = uint64(int64(int32(uint32(src))))
-	}
-	switch in.aluOp() {
+func jumpTaken(op uint8, dst, src uint64) (bool, error) {
+	switch op {
 	case OpJeq:
 		return dst == src, nil
 	case OpJne:
@@ -429,7 +487,7 @@ func evalJump(regs *[numRegisters]uint64, in Instruction, wide32 bool) (bool, er
 	case OpJsle:
 		return int64(dst) <= int64(src), nil
 	}
-	return false, fmt.Errorf("unsupported jmp op %#x", in.aluOp())
+	return false, fmt.Errorf("unsupported jmp op %#x", op)
 }
 
 func loadSized(b []byte, size int) uint64 {

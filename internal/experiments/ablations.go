@@ -8,6 +8,7 @@ import (
 	"snapbpf/internal/prefetch"
 	"snapbpf/internal/prefetch/faasnap"
 	"snapbpf/internal/prefetch/reap"
+	"snapbpf/internal/workload"
 )
 
 // Ablation experiments: design-choice sensitivity studies the paper's
@@ -30,15 +31,13 @@ func AblationGrouping(o Options) (*Table, error) {
 		Title:   "Offset grouping: contiguous ranges vs per-page requests",
 		Columns: []string{"Function", "grouped E2E (s)", "per-page E2E (s)", "grouped reqs", "per-page reqs", "load grouped (ms)", "load per-page (ms)"},
 	}
-	for _, fn := range o.functions() {
-		g, err := Run(fn, grouped, Config{N: 1})
-		if err != nil {
-			return nil, err
-		}
-		p, err := Run(fn, perPage, Config{N: 1})
-		if err != nil {
-			return nil, err
-		}
+	fns := o.functions()
+	rs, err := RunCells(o, grid(fns, []Scheme{grouped, perPage}, Config{N: 1}))
+	if err != nil {
+		return nil, err
+	}
+	for fi, fn := range fns {
+		g, p := rs[2*fi], rs[2*fi+1]
 		o.progress("ablation-grouping %-10s grouped=%v per-page=%v", fn.Name, g.MeanE2E, p.MeanE2E)
 		t.AddRow(fn.Name, secs(g.MeanE2E), secs(p.MeanE2E),
 			fmt.Sprintf("%d", g.DeviceRequests), fmt.Sprintf("%d", p.DeviceRequests),
@@ -63,15 +62,13 @@ func AblationSort(o Options) (*Table, error) {
 		Title:   "Prefetch issue order: earliest-access vs file-offset",
 		Columns: []string{"Function", "access-order E2E (s)", "offset-order E2E (s)", "delta"},
 	}
-	for _, fn := range o.functions() {
-		a, err := Run(fn, sorted, Config{N: 1})
-		if err != nil {
-			return nil, err
-		}
-		b, err := Run(fn, offset, Config{N: 1})
-		if err != nil {
-			return nil, err
-		}
+	fns := o.functions()
+	rs, err := RunCells(o, grid(fns, []Scheme{sorted, offset}, Config{N: 1}))
+	if err != nil {
+		return nil, err
+	}
+	for fi, fn := range fns {
+		a, b := rs[2*fi], rs[2*fi+1]
 		o.progress("ablation-sort %-10s access=%v offset=%v", fn.Name, a.MeanE2E, b.MeanE2E)
 		t.AddRow(fn.Name, secs(a.MeanE2E), secs(b.MeanE2E), ratio(b.MeanE2E, a.MeanE2E)+"x")
 	}
@@ -96,15 +93,13 @@ func AblationCoW(o Options) (*Table, error) {
 		Columns: []string{"Function", "patched", "unpatched", "inflation"},
 	}
 	gib := func(b int64) string { return fmt.Sprintf("%.2f", float64(b)/(1<<30)) }
-	for _, fn := range o.functions() {
-		a, err := Run(fn, patched, Config{N: 10})
-		if err != nil {
-			return nil, err
-		}
-		b, err := Run(fn, unpatched, Config{N: 10})
-		if err != nil {
-			return nil, err
-		}
+	fns := o.functions()
+	rs, err := RunCells(o, grid(fns, []Scheme{patched, unpatched}, Config{N: 10}))
+	if err != nil {
+		return nil, err
+	}
+	for fi, fn := range fns {
+		a, b := rs[2*fi], rs[2*fi+1]
 		o.progress("ablation-cow %-10s patched=%v unpatched=%v", fn.Name, a.SystemMemory, b.SystemMemory)
 		t.AddRow(fn.Name, gib(int64(a.SystemMemory)), gib(int64(b.SystemMemory)),
 			fmt.Sprintf("%.1fx", float64(b.SystemMemory)/float64(a.SystemMemory)))
@@ -122,29 +117,44 @@ func AblationCoalesce(o Options) (*Table, error) {
 		Title:   "FaaSnap coalescing gap sweep: regions vs I/O amplification",
 		Columns: []string{"Function/gap", "regions", "WS file (MiB)", "inflation", "E2E (s)"},
 	}
+	type item struct {
+		fn  workload.Function
+		gap int64
+	}
+	var items []item
 	for _, fn := range o.functions() {
 		for _, gap := range gaps {
-			gap := gap
-			s := Scheme{"FaaSnap", func() prefetch.Prefetcher {
-				f := faasnap.New()
-				f.CoalesceGap = gap
-				return f
-			}}
-			pf := s.New().(*faasnap.FaaSnap)
-			sOnce := Scheme{s.Name, func() prefetch.Prefetcher { return pf }}
-			res, err := Run(fn, sOnce, Config{N: 1})
-			if err != nil {
-				return nil, err
-			}
-			ws := pf.WorkingSet()
-			o.progress("ablation-coalesce %-10s gap=%-4d regions=%d E2E=%v",
-				fn.Name, gap, len(ws.Regions), res.MeanE2E)
-			t.AddRow(fmt.Sprintf("%s/gap=%d", fn.Name, gap),
-				fmt.Sprintf("%d", len(ws.Regions)),
-				fmt.Sprintf("%.1f", float64(ws.TotalPages())*4096/(1<<20)),
-				fmt.Sprintf("%.2fx", ws.Inflation()),
-				secs(res.MeanE2E))
+			items = append(items, item{fn, gap})
 		}
+	}
+	// The table needs each cell's FaaSnap instance (for its working
+	// set), so every cell's factory deposits the prefetcher it built
+	// into the cell's own slot; RunCells's completion barrier orders
+	// those writes before the reads below.
+	pfs := make([]*faasnap.FaaSnap, len(items))
+	cells := make([]Cell, len(items))
+	for idx, it := range items {
+		idx, gap := idx, it.gap
+		cells[idx] = Cell{Fn: it.fn, Scheme: Scheme{"FaaSnap", func() prefetch.Prefetcher {
+			f := faasnap.New()
+			f.CoalesceGap = gap
+			pfs[idx] = f
+			return f
+		}}, Cfg: Config{N: 1}}
+	}
+	rs, err := RunCells(o, cells)
+	if err != nil {
+		return nil, err
+	}
+	for idx, it := range items {
+		res, ws := rs[idx], pfs[idx].WorkingSet()
+		o.progress("ablation-coalesce %-10s gap=%-4d regions=%d E2E=%v",
+			it.fn.Name, it.gap, len(ws.Regions), res.MeanE2E)
+		t.AddRow(fmt.Sprintf("%s/gap=%d", it.fn.Name, it.gap),
+			fmt.Sprintf("%d", len(ws.Regions)),
+			fmt.Sprintf("%.1f", float64(ws.TotalPages())*4096/(1<<20)),
+			fmt.Sprintf("%.2fx", ws.Inflation()),
+			secs(res.MeanE2E))
 	}
 	return t, nil
 }
@@ -165,15 +175,13 @@ func AblationDirectIO(o Options) (*Table, error) {
 		Title:   "REAP working-set fetch: direct vs buffered I/O",
 		Columns: []string{"Function", "direct E2E (s)", "buffered E2E (s)", "buffered/direct"},
 	}
-	for _, fn := range o.functions() {
-		a, err := Run(fn, direct, Config{N: 1})
-		if err != nil {
-			return nil, err
-		}
-		b, err := Run(fn, buffered, Config{N: 1})
-		if err != nil {
-			return nil, err
-		}
+	fns := o.functions()
+	rs, err := RunCells(o, grid(fns, []Scheme{direct, buffered}, Config{N: 1}))
+	if err != nil {
+		return nil, err
+	}
+	for fi, fn := range fns {
+		a, b := rs[2*fi], rs[2*fi+1]
 		o.progress("ablation-directio %-10s direct=%v buffered=%v", fn.Name, a.MeanE2E, b.MeanE2E)
 		t.AddRow(fn.Name, secs(a.MeanE2E), secs(b.MeanE2E), ratio(b.MeanE2E, a.MeanE2E)+"x")
 	}
@@ -189,16 +197,24 @@ func AblationRAWindow(o Options) (*Table, error) {
 		Title:   "Linux readahead window sweep (pages)",
 		Columns: []string{"Function/window", "E2E (s)", "device MiB", "requests"},
 	}
-	for _, fn := range o.functions() {
+	fns := o.functions()
+	var cells []Cell
+	for _, fn := range fns {
 		for _, w := range windows {
 			w := w
-			s := Scheme{fmt.Sprintf("Linux-RA-%d", w), func() prefetch.Prefetcher {
-				return prefetch.NewLinuxWithWindow(w, fmt.Sprintf("Linux-RA-%d", w))
-			}}
-			res, err := Run(fn, s, Config{N: 1})
-			if err != nil {
-				return nil, err
-			}
+			cells = append(cells, Cell{Fn: fn, Scheme: Scheme{fmt.Sprintf("Linux-RA-%d", w),
+				func() prefetch.Prefetcher {
+					return prefetch.NewLinuxWithWindow(w, fmt.Sprintf("Linux-RA-%d", w))
+				}}, Cfg: Config{N: 1}})
+		}
+	}
+	rs, err := RunCells(o, cells)
+	if err != nil {
+		return nil, err
+	}
+	for fi, fn := range fns {
+		for wi, w := range windows {
+			res := rs[fi*len(windows)+wi]
 			o.progress("ablation-rawindow %-10s w=%-4d E2E=%v", fn.Name, w, res.MeanE2E)
 			t.AddRow(fmt.Sprintf("%s/w=%d", fn.Name, w), secs(res.MeanE2E),
 				fmt.Sprintf("%.1f", float64(res.DeviceBytes)/(1<<20)),
@@ -219,17 +235,25 @@ func AblationDrift(o Options) (*Table, error) {
 		Title:   "Allocator drift sensitivity: E2E (s) with drifted free lists",
 		Columns: []string{"Function", "REAP", "REAP+drift", "Faast", "Faast+drift", "SnapBPF", "SnapBPF+drift"},
 	}
-	for _, fn := range o.functions() {
-		row := []string{fn.Name}
+	fns := o.functions()
+	cfgs := []Config{{N: 1}, {N: 1, AllocDrift: 3}}
+	var cells []Cell
+	for _, fn := range fns {
 		for _, s := range schemes {
-			base, err := Run(fn, s, Config{N: 1})
-			if err != nil {
-				return nil, err
+			for _, cfg := range cfgs {
+				cells = append(cells, Cell{Fn: fn, Scheme: s, Cfg: cfg})
 			}
-			drift, err := Run(fn, s, Config{N: 1, AllocDrift: 3})
-			if err != nil {
-				return nil, err
-			}
+		}
+	}
+	rs, err := RunCells(o, cells)
+	if err != nil {
+		return nil, err
+	}
+	for fi, fn := range fns {
+		row := []string{fn.Name}
+		for si, s := range schemes {
+			base := rs[(fi*len(schemes)+si)*2]
+			drift := rs[(fi*len(schemes)+si)*2+1]
 			o.progress("ablation-drift %-10s %-8s base=%v drift=%v", fn.Name, s.Name, base.MeanE2E, drift.MeanE2E)
 			row = append(row, secs(base.MeanE2E), secs(drift.MeanE2E))
 		}
@@ -248,21 +272,30 @@ func AblationHDD(o Options) (*Table, error) {
 		Note:    "SnapBPF reads the WS non-sequentially from the snapshot; REAP reads a sequential WS file",
 		Columns: []string{"Function", "SnapBPF SSD", "SnapBPF HDD", "REAP SSD", "REAP HDD"},
 	}
-	for _, fn := range o.functions() {
-		cells := []string{fn.Name}
-		for _, s := range []Scheme{SchemeSnapBPF, SchemeREAP} {
-			ssd, err := Run(fn, s, Config{N: 1})
-			if err != nil {
-				return nil, err
+	fns := o.functions()
+	schemes := []Scheme{SchemeSnapBPF, SchemeREAP}
+	cfgs := []Config{{N: 1}, {N: 1, Device: blockdev.SpindleHDD()}}
+	var cells []Cell
+	for _, fn := range fns {
+		for _, s := range schemes {
+			for _, cfg := range cfgs {
+				cells = append(cells, Cell{Fn: fn, Scheme: s, Cfg: cfg})
 			}
-			hdd, err := Run(fn, s, Config{N: 1, Device: blockdev.SpindleHDD()})
-			if err != nil {
-				return nil, err
-			}
-			o.progress("ablation-hdd %-10s %-8s ssd=%v hdd=%v", fn.Name, s.Name, ssd.MeanE2E, hdd.MeanE2E)
-			cells = append(cells, secs(ssd.MeanE2E), secs(hdd.MeanE2E))
 		}
-		t.AddRow(cells...)
+	}
+	rs, err := RunCells(o, cells)
+	if err != nil {
+		return nil, err
+	}
+	for fi, fn := range fns {
+		row := []string{fn.Name}
+		for si, s := range schemes {
+			ssd := rs[(fi*len(schemes)+si)*2]
+			hdd := rs[(fi*len(schemes)+si)*2+1]
+			o.progress("ablation-hdd %-10s %-8s ssd=%v hdd=%v", fn.Name, s.Name, ssd.MeanE2E, hdd.MeanE2E)
+			row = append(row, secs(ssd.MeanE2E), secs(hdd.MeanE2E))
+		}
+		t.AddRow(row...)
 	}
 	return t, nil
 }

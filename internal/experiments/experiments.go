@@ -12,7 +12,15 @@ type Options struct {
 	// Functions restricts the workload suite; nil means all 15.
 	Functions []workload.Function
 	// Progress, when non-nil, receives a line per completed cell.
+	// Lines are emitted in deterministic (cell) order once a figure's
+	// cells have all completed, so -v output does not depend on
+	// Parallel.
 	Progress func(msg string)
+	// Parallel is the number of worker goroutines measurement cells
+	// are scheduled across: 0 means one per CPU (GOMAXPROCS), 1 runs
+	// serially. Results are identical either way; only wall-clock
+	// time changes.
+	Parallel int
 }
 
 func (o Options) functions() []workload.Function {
@@ -72,19 +80,33 @@ func Fig3a(o Options) (*Table, error) {
 		Columns: []string{"Function", "REAP", "FaaSnap", "SnapBPF",
 			"SnapBPF (s)"},
 	}
-	for _, fn := range o.functions() {
+	fns := o.functions()
+	schemes := []Scheme{SchemeREAP, SchemeFaaSnap, SchemeSnapBPF}
+	rs, err := RunCells(o, grid(fns, schemes, Config{N: 1}))
+	if err != nil {
+		return nil, err
+	}
+	for fi, fn := range fns {
 		var e2e [3]time.Duration
-		for i, s := range []Scheme{SchemeREAP, SchemeFaaSnap, SchemeSnapBPF} {
-			res, err := Run(fn, s, Config{N: 1})
-			if err != nil {
-				return nil, err
-			}
-			e2e[i] = res.MeanE2E
-			o.progress("fig3a %-10s %-8s E2E=%v", fn.Name, s.Name, res.MeanE2E)
+		for i, s := range schemes {
+			e2e[i] = rs[fi*len(schemes)+i].MeanE2E
+			o.progress("fig3a %-10s %-8s E2E=%v", fn.Name, s.Name, e2e[i])
 		}
 		t.AddRow(fn.Name, ratio(e2e[0], e2e[2]), ratio(e2e[1], e2e[2]), "1.00", secs(e2e[2]))
 	}
 	return t, nil
+}
+
+// grid builds the cell list for a functions x schemes sweep with one
+// shared config — the shape of most figures.
+func grid(fns []workload.Function, schemes []Scheme, cfg Config) []Cell {
+	cells := make([]Cell, 0, len(fns)*len(schemes))
+	for _, fn := range fns {
+		for _, s := range schemes {
+			cells = append(cells, Cell{Fn: fn, Scheme: s, Cfg: cfg})
+		}
+	}
+	return cells
 }
 
 var fig3bSchemes = []Scheme{SchemeLinuxNoRA, SchemeLinuxRA, SchemeREAP, SchemeSnapBPF}
@@ -98,15 +120,16 @@ func Fig3b(o Options) (*Table, error) {
 		Title:   "E2E function latency (s), 10 concurrent instances",
 		Columns: []string{"Function", "Linux-NoRA", "Linux-RA", "REAP", "SnapBPF", "REAP/SnapBPF"},
 	}
-	for _, fn := range o.functions() {
+	fns := o.functions()
+	rs, err := RunCells(o, grid(fns, fig3bSchemes, Config{N: 10}))
+	if err != nil {
+		return nil, err
+	}
+	for fi, fn := range fns {
 		var e2e [4]time.Duration
 		for i, s := range fig3bSchemes {
-			res, err := Run(fn, s, Config{N: 10})
-			if err != nil {
-				return nil, err
-			}
-			e2e[i] = res.MeanE2E
-			o.progress("fig3b %-10s %-10s E2E=%v", fn.Name, s.Name, res.MeanE2E)
+			e2e[i] = rs[fi*len(fig3bSchemes)+i].MeanE2E
+			o.progress("fig3b %-10s %-10s E2E=%v", fn.Name, s.Name, e2e[i])
 		}
 		t.AddRow(fn.Name, secs(e2e[0]), secs(e2e[1]), secs(e2e[2]), secs(e2e[3]),
 			ratio(e2e[2], e2e[3])+"x")
@@ -123,13 +146,15 @@ func Fig3c(o Options) (*Table, error) {
 		Columns: []string{"Function", "Linux-NoRA", "Linux-RA", "REAP", "SnapBPF", "REAP/SnapBPF"},
 	}
 	gib := func(b int64) string { return fmt.Sprintf("%.2f", float64(b)/(1<<30)) }
-	for _, fn := range o.functions() {
+	fns := o.functions()
+	rs, err := RunCells(o, grid(fns, fig3bSchemes, Config{N: 10}))
+	if err != nil {
+		return nil, err
+	}
+	for fi, fn := range fns {
 		var mem [4]int64
 		for i, s := range fig3bSchemes {
-			res, err := Run(fn, s, Config{N: 10})
-			if err != nil {
-				return nil, err
-			}
+			res := rs[fi*len(fig3bSchemes)+i]
 			mem[i] = int64(res.SystemMemory)
 			o.progress("fig3c %-10s %-10s mem=%v", fn.Name, s.Name, res.SystemMemory)
 		}
@@ -149,15 +174,17 @@ func Fig4(o Options) (*Table, error) {
 		Note:    "lower is better; 0.50 means 2x faster than Linux-RA",
 		Columns: []string{"Function", "Linux-RA", "PVPTEs", "SnapBPF"},
 	}
-	for _, fn := range o.functions() {
+	fns := o.functions()
+	schemes := []Scheme{SchemeLinuxRA, SchemePVOnly, SchemeSnapBPF}
+	rs, err := RunCells(o, grid(fns, schemes, Config{N: 1}))
+	if err != nil {
+		return nil, err
+	}
+	for fi, fn := range fns {
 		var e2e [3]time.Duration
-		for i, s := range []Scheme{SchemeLinuxRA, SchemePVOnly, SchemeSnapBPF} {
-			res, err := Run(fn, s, Config{N: 1})
-			if err != nil {
-				return nil, err
-			}
-			e2e[i] = res.MeanE2E
-			o.progress("fig4 %-10s %-8s E2E=%v", fn.Name, s.Name, res.MeanE2E)
+		for i, s := range schemes {
+			e2e[i] = rs[fi*len(schemes)+i].MeanE2E
+			o.progress("fig4 %-10s %-8s E2E=%v", fn.Name, s.Name, e2e[i])
 		}
 		t.AddRow(fn.Name, "1.00", ratio(e2e[1], e2e[0]), ratio(e2e[2], e2e[0]))
 	}
@@ -174,11 +201,13 @@ func Overheads(o Options) (*Table, error) {
 		Note:    "paper: ~1-2ms, <1% of E2E latency on average",
 		Columns: []string{"Function", "WS groups", "Load (ms)", "E2E (s)", "Load/E2E"},
 	}
-	for _, fn := range o.functions() {
-		res, err := Run(fn, SchemeSnapBPF, Config{N: 1})
-		if err != nil {
-			return nil, err
-		}
+	fns := o.functions()
+	rs, err := RunCells(o, grid(fns, []Scheme{SchemeSnapBPF}, Config{N: 1}))
+	if err != nil {
+		return nil, err
+	}
+	for fi, fn := range fns {
+		res := rs[fi]
 		o.progress("overheads %-10s load=%v e2e=%v", fn.Name, res.OffsetLoad, res.MeanE2E)
 		t.AddRow(fn.Name, fmt.Sprintf("%d", res.WSGroups),
 			fmt.Sprintf("%.3f", float64(res.OffsetLoad)/float64(time.Millisecond)),

@@ -32,16 +32,24 @@ func ExtVaryingInputs(o Options) (*Table, error) {
 			"REAP/SnapBPF", "SnapBPF E2E (s)"},
 	}
 	gib := func(b units.ByteSize) string { return fmt.Sprintf("%.2f", float64(b)/(1<<30)) }
-	for _, fn := range o.functions() {
+	fns := o.functions()
+	schemes := []Scheme{SchemeSnapBPF, SchemeREAP}
+	var cells []Cell
+	for _, fn := range fns {
 		for _, v := range variances {
-			sb, err := Run(fn, SchemeSnapBPF, Config{N: 10, InputVariance: v})
-			if err != nil {
-				return nil, err
+			for _, s := range schemes {
+				cells = append(cells, Cell{Fn: fn, Scheme: s, Cfg: Config{N: 10, InputVariance: v}})
 			}
-			rp, err := Run(fn, SchemeREAP, Config{N: 10, InputVariance: v})
-			if err != nil {
-				return nil, err
-			}
+		}
+	}
+	rs, err := RunCells(o, cells)
+	if err != nil {
+		return nil, err
+	}
+	for fi, fn := range fns {
+		for vi, v := range variances {
+			sb := rs[(fi*len(variances)+vi)*2]
+			rp := rs[(fi*len(variances)+vi)*2+1]
 			o.progress("ext-varying-inputs %-10s v=%.2f snapbpf=%v reap=%v",
 				fn.Name, v, sb.SystemMemory, rp.SystemMemory)
 			t.AddRow(fmt.Sprintf("%s/v=%.2f", fn.Name, v),
@@ -62,16 +70,23 @@ func ExtConcurrency(o Options) (*Table, error) {
 		Title:   "Concurrency sweep: mean E2E (s) per sandbox count",
 		Columns: []string{"Function/N", "REAP", "SnapBPF", "REAP/SnapBPF", "SnapBPF mem (GiB)"},
 	}
-	for _, fn := range o.functions() {
+	fns := o.functions()
+	var cells []Cell
+	for _, fn := range fns {
 		for _, n := range counts {
-			rp, err := Run(fn, SchemeREAP, Config{N: n})
-			if err != nil {
-				return nil, err
-			}
-			sb, err := Run(fn, SchemeSnapBPF, Config{N: n})
-			if err != nil {
-				return nil, err
-			}
+			cells = append(cells,
+				Cell{Fn: fn, Scheme: SchemeREAP, Cfg: Config{N: n}},
+				Cell{Fn: fn, Scheme: SchemeSnapBPF, Cfg: Config{N: n}})
+		}
+	}
+	rs, err := RunCells(o, cells)
+	if err != nil {
+		return nil, err
+	}
+	for fi, fn := range fns {
+		for ni, n := range counts {
+			rp := rs[(fi*len(counts)+ni)*2]
+			sb := rs[(fi*len(counts)+ni)*2+1]
 			o.progress("ext-concurrency %-10s n=%-3d reap=%v snapbpf=%v", fn.Name, n, rp.MeanE2E, sb.MeanE2E)
 			t.AddRow(fmt.Sprintf("%s/N=%d", fn.Name, n),
 				secs(rp.MeanE2E), secs(sb.MeanE2E),
@@ -94,16 +109,25 @@ func ExtCostAnalysis(o Options) (*Table, error) {
 			"eBPF CPU (ms)", "map memory (KiB)", "load (ms)", "load/E2E"},
 	}
 	cm := costPerProgRun()
-	for _, fn := range o.functions() {
-		var s *core.SnapBPF
-		scheme := Scheme{"SnapBPF", func() prefetch.Prefetcher {
-			s = core.New()
+	fns := o.functions()
+	// Each cell's factory deposits the SnapBPF instance it built into
+	// the cell's own slot so the counters can be read after the runs.
+	pfs := make([]*core.SnapBPF, len(fns))
+	cells := make([]Cell, len(fns))
+	for idx, fn := range fns {
+		idx := idx
+		cells[idx] = Cell{Fn: fn, Scheme: Scheme{"SnapBPF", func() prefetch.Prefetcher {
+			s := core.New()
+			pfs[idx] = s
 			return s
-		}}
-		res, err := Run(fn, scheme, Config{N: 10})
-		if err != nil {
-			return nil, err
-		}
+		}}, Cfg: Config{N: 10}}
+	}
+	rs, err := RunCells(o, cells)
+	if err != nil {
+		return nil, err
+	}
+	for fi, fn := range fns {
+		res, s := rs[fi], pfs[fi]
 		runs := s.CaptureProgRuns + s.PrefetchProgRuns
 		ebpfCPU := time.Duration(runs) * cm
 		// Kernel-resident map memory: the ws hash map (16B/entry at
@@ -145,16 +169,26 @@ func ExtDevices(o Options) (*Table, error) {
 		Title:   "Storage profiles: E2E (s) at 10 concurrent instances",
 		Columns: []string{"Function/device", "Linux-RA", "REAP", "SnapBPF", "REAP/SnapBPF"},
 	}
-	for _, fn := range o.functions() {
+	fns := o.functions()
+	schemes := []Scheme{SchemeLinuxRA, SchemeREAP, SchemeSnapBPF}
+	var cells []Cell
+	for _, fn := range fns {
 		for _, dev := range devices {
+			for _, s := range schemes {
+				cells = append(cells, Cell{Fn: fn, Scheme: s, Cfg: Config{N: 10, Device: dev}})
+			}
+		}
+	}
+	rs, err := RunCells(o, cells)
+	if err != nil {
+		return nil, err
+	}
+	for fi, fn := range fns {
+		for di, dev := range devices {
 			var e2e [3]time.Duration
-			for i, s := range []Scheme{SchemeLinuxRA, SchemeREAP, SchemeSnapBPF} {
-				res, err := Run(fn, s, Config{N: 10, Device: dev})
-				if err != nil {
-					return nil, err
-				}
-				e2e[i] = res.MeanE2E
-				o.progress("ext-devices %-10s %-16s %-8s E2E=%v", fn.Name, dev.Name, s.Name, res.MeanE2E)
+			for i, s := range schemes {
+				e2e[i] = rs[(fi*len(devices)+di)*len(schemes)+i].MeanE2E
+				o.progress("ext-devices %-10s %-16s %-8s E2E=%v", fn.Name, dev.Name, s.Name, e2e[i])
 			}
 			t.AddRow(fmt.Sprintf("%s/%s", fn.Name, dev.Name),
 				secs(e2e[0]), secs(e2e[1]), secs(e2e[2]), ratio(e2e[1], e2e[2])+"x")
@@ -173,29 +207,40 @@ func ExtSnapshotCreation(o Options) (*Table, error) {
 		Columns: []string{"Function", "create (s)", "image (MiB)", "state (MiB)",
 			"stale pool (MiB)", "zero pages"},
 	}
-	for _, fn := range o.functions() {
+	fns := o.functions()
+	// Creation does not go through Run, so it fans out on the job pool
+	// directly: each job builds its own host and deposits into its slot.
+	times := make([]time.Duration, len(fns))
+	imgs := make([]*snapshot.MemoryImage, len(fns))
+	err := o.runJobs(len(fns), func(i int) error {
+		fn := fns[i]
 		h := vmm.NewHost(blockdev.MicronSATA5300())
-		var createTime time.Duration
-		var img *snapshot.MemoryImage
-		var err error
+		var createErr error
 		h.Eng.Go("create", func(p *sim.Proc) {
 			start := p.Now()
-			img, err = h.CreateSnapshotImage(p, fn, false)
-			createTime = p.Now().Sub(start)
+			imgs[i], createErr = h.CreateSnapshotImage(p, fn, false)
+			times[i] = p.Now().Sub(start)
 		})
 		h.Eng.Run()
-		if err != nil {
-			return nil, err
+		if createErr != nil {
+			return fmt.Errorf("create %s: %w", fn.Name, createErr)
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, fn := range fns {
+		img := imgs[i]
 		var stalePool int64
 		for pg := img.StatePages; pg < img.NrPages; pg++ {
 			if img.PageTags[pg] != 0 {
 				stalePool++
 			}
 		}
-		o.progress("ext-snapshot-creation %-10s create=%v", fn.Name, createTime)
+		o.progress("ext-snapshot-creation %-10s create=%v", fn.Name, times[i])
 		t.AddRow(fn.Name,
-			secs(createTime),
+			secs(times[i]),
 			fmt.Sprintf("%.0f", float64(img.NrPages)*4096/(1<<20)),
 			fmt.Sprintf("%.0f", float64(img.StatePages)*4096/(1<<20)),
 			fmt.Sprintf("%.0f", float64(stalePool)*4096/(1<<20)),
@@ -217,12 +262,26 @@ func ExtSteadyState(o Options) (*Table, error) {
 		Columns: []string{"Function", "scheme", "wave 1", "wave 2", "wave 3",
 			"device (MiB)", "peak mem (GiB)"},
 	}
-	for _, fn := range o.functions() {
-		for _, s := range []Scheme{SchemeREAP, SchemeSnapBPF} {
-			res, err := RunWaves(fn, s, waves, perWave, 2*time.Second, blockdev.MicronSATA5300())
-			if err != nil {
-				return nil, err
-			}
+	fns := o.functions()
+	schemes := []Scheme{SchemeREAP, SchemeSnapBPF}
+	// Wave runs are independent per (function, scheme); fan them out
+	// on the job pool and render from the index-ordered results.
+	results := make([]*WavesResult, len(fns)*len(schemes))
+	err := o.runJobs(len(results), func(i int) error {
+		fn, s := fns[i/len(schemes)], schemes[i%len(schemes)]
+		res, err := RunWaves(fn, s, waves, perWave, 2*time.Second, blockdev.MicronSATA5300())
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for fi, fn := range fns {
+		for si, s := range schemes {
+			res := results[fi*len(schemes)+si]
 			o.progress("ext-steady-state %-10s %-8s waves=%v", fn.Name, s.Name, res.WaveE2E)
 			t.AddRow(fn.Name, res.Scheme,
 				secs(res.WaveE2E[0]), secs(res.WaveE2E[1]), secs(res.WaveE2E[2]),
@@ -247,35 +306,44 @@ func ExtCachePressure(o Options) (*Table, error) {
 		Columns: []string{"Function/limit", "Linux-RA", "SnapBPF", "REAP",
 			"SnapBPF evictions", "SnapBPF refetch (MiB)"},
 	}
-	for _, fn := range o.functions() {
+	fns := o.functions()
+	mults := []float64{0, 2.0, 1.0, 0.5}
+	schemes := []Scheme{SchemeLinuxRA, SchemeSnapBPF, SchemeREAP}
+	label := func(mult float64) string {
+		if mult > 0 {
+			return fmt.Sprintf("%.1fx", mult)
+		}
+		return "inf"
+	}
+	var cells []Cell
+	for _, fn := range fns {
 		wsPages := fn.WSPages()
-		for _, mult := range []float64{0, 2.0, 1.0, 0.5} {
+		for _, mult := range mults {
 			limit := int64(0)
-			label := "inf"
 			if mult > 0 {
 				limit = int64(float64(wsPages) * mult)
-				label = fmt.Sprintf("%.1fx", mult)
 			}
-			cfg := Config{N: 10, CacheLimitPages: limit}
-			ra, err := Run(fn, SchemeLinuxRA, cfg)
-			if err != nil {
-				return nil, err
+			for _, s := range schemes {
+				cells = append(cells, Cell{Fn: fn, Scheme: s, Cfg: Config{N: 10, CacheLimitPages: limit}})
 			}
-			sb, err := Run(fn, SchemeSnapBPF, cfg)
-			if err != nil {
-				return nil, err
-			}
-			rp, err := Run(fn, SchemeREAP, cfg)
-			if err != nil {
-				return nil, err
-			}
+		}
+	}
+	rs, err := RunCells(o, cells)
+	if err != nil {
+		return nil, err
+	}
+	for fi, fn := range fns {
+		wsPages := fn.WSPages()
+		for mi, mult := range mults {
+			base := (fi*len(mults) + mi) * len(schemes)
+			ra, sb, rp := rs[base], rs[base+1], rs[base+2]
 			refetch := float64(sb.DeviceBytes-int64(wsPages)*4096) / (1 << 20)
 			if refetch < 0 {
 				refetch = 0
 			}
 			o.progress("ext-cache-pressure %-10s limit=%-4s snapbpf=%v evict=%d",
-				fn.Name, label, sb.MeanE2E, sb.Evictions)
-			t.AddRow(fmt.Sprintf("%s/%s", fn.Name, label),
+				fn.Name, label(mult), sb.MeanE2E, sb.Evictions)
+			t.AddRow(fmt.Sprintf("%s/%s", fn.Name, label(mult)),
 				secs(ra.MeanE2E), secs(sb.MeanE2E), secs(rp.MeanE2E),
 				fmt.Sprintf("%d", sb.Evictions),
 				fmt.Sprintf("%.1f", refetch))
@@ -298,11 +366,21 @@ func ExtColocation(o Options) (*Table, error) {
 		Columns: []string{"Scheme", "host memory (GiB)", "device (MiB)",
 			"mean E2E across functions (s)"},
 	}
-	for _, s := range []Scheme{SchemeREAP, SchemeSnapBPF} {
-		res, err := RunMixed(fns, s, 2, blockdev.MicronSATA5300())
+	schemes := []Scheme{SchemeREAP, SchemeSnapBPF}
+	results := make([]*MixedResult, len(schemes))
+	err := o.runJobs(len(schemes), func(i int) error {
+		res, err := RunMixed(fns, schemes[i], 2, blockdev.MicronSATA5300())
 		if err != nil {
-			return nil, err
+			return err
 		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, s := range schemes {
+		res := results[si]
 		var sum time.Duration
 		for _, d := range res.PerFunction {
 			sum += d

@@ -160,25 +160,34 @@ func Run(fn workload.Function, scheme Scheme, cfg Config) (*RunResult, error) {
 		E2E: make([]time.Duration, cfg.N)}
 	vms := make([]*vmm.MicroVM, cfg.N)
 	var prepSum time.Duration
+	// Several sandboxes can fail; keep the *first* failure (and the
+	// failing VM's index) so diagnostics are stable — within one engine
+	// the dispatch order, and therefore "first", is deterministic.
 	var invErr error
+	invErrVM := -1
+	fail := func(i int, err error) {
+		if invErr == nil {
+			invErr, invErrVM = err, i
+		}
+	}
 	for i := 0; i < cfg.N; i++ {
 		i := i
 		h.Eng.Go(fmt.Sprintf("vm%d", i), func(p *sim.Proc) {
 			vm, err := h.Restore(p, fmt.Sprintf("%s-vm%d", fn.Name, i), fn, img, snapInode,
 				pf.RestoreConfig(cfg.AllocDrift*(1+i)))
 			if err != nil {
-				invErr = err
+				fail(i, err)
 				return
 			}
 			vms[i] = vm
 			if err := pf.PrepareVM(p, env, vm); err != nil {
-				invErr = err
+				fail(i, err)
 				return
 			}
 			vm.MarkPrepared(p)
 			st, err := vm.Invoke(p, cfg.invokeTrace(env, i))
 			if err != nil {
-				invErr = err
+				fail(i, err)
 				return
 			}
 			res.E2E[i] = st.E2E
@@ -188,7 +197,7 @@ func Run(fn workload.Function, scheme Scheme, cfg Config) (*RunResult, error) {
 	}
 	h.Eng.Run()
 	if invErr != nil {
-		return nil, fmt.Errorf("invoke %s/%s: %w", scheme.Name, fn.Name, invErr)
+		return nil, fmt.Errorf("invoke %s/%s: vm%d: %w", scheme.Name, fn.Name, invErrVM, invErr)
 	}
 
 	// Memory before teardown: everything sandboxes still hold.
@@ -274,8 +283,14 @@ func RunWaves(fn workload.Function, scheme Scheme, waves, perWave int, gap time.
 
 	res := &WavesResult{Scheme: pf.Name()}
 	var invErr error
+	fail := func(w, i int, err error) {
+		if invErr == nil {
+			invErr = fmt.Errorf("wave %d vm%d: %w", w, i, err)
+		}
+	}
 	start := h.Eng.Now()
 	for w := 0; w < waves; w++ {
+		w := w
 		var sum time.Duration
 		vms := make([]*vmm.MicroVM, perWave)
 		for i := 0; i < perWave; i++ {
@@ -285,18 +300,18 @@ func RunWaves(fn workload.Function, scheme Scheme, waves, perWave int, gap time.
 					vm, err := h.Restore(p, fmt.Sprintf("w%d-vm%d", w, i), fn, img, snapInode,
 						pf.RestoreConfig(0))
 					if err != nil {
-						invErr = err
+						fail(w, i, err)
 						return
 					}
 					vms[i] = vm
 					if err := pf.PrepareVM(p, env, vm); err != nil {
-						invErr = err
+						fail(w, i, err)
 						return
 					}
 					vm.MarkPrepared(p)
 					st, err := vm.Invoke(p, env.InvokeTrace)
 					if err != nil {
-						invErr = err
+						fail(w, i, err)
 						return
 					}
 					sum += st.E2E
@@ -384,6 +399,11 @@ func RunMixed(fns []workload.Function, scheme Scheme, perFn int, device blockdev
 	sums := make([]time.Duration, len(fns))
 	var vms []*vmm.MicroVM
 	var invErr error
+	fail := func(fn string, k int, err error) {
+		if invErr == nil {
+			invErr = fmt.Errorf("%s-vm%d: %w", fn, k, err)
+		}
+	}
 	for i := range ctxs {
 		for k := 0; k < perFn; k++ {
 			i, k := i, k
@@ -392,18 +412,18 @@ func RunMixed(fns []workload.Function, scheme Scheme, perFn int, device blockdev
 				vm, err := h.Restore(p, fmt.Sprintf("%s-vm%d", c.env.Fn.Name, k),
 					c.env.Fn, c.env.Image, c.env.SnapInode, c.pf.RestoreConfig(0))
 				if err != nil {
-					invErr = err
+					fail(c.env.Fn.Name, k, err)
 					return
 				}
 				vms = append(vms, vm)
 				if err := c.pf.PrepareVM(p, c.env, vm); err != nil {
-					invErr = err
+					fail(c.env.Fn.Name, k, err)
 					return
 				}
 				vm.MarkPrepared(p)
 				st, err := vm.Invoke(p, c.env.InvokeTrace)
 				if err != nil {
-					invErr = err
+					fail(c.env.Fn.Name, k, err)
 					return
 				}
 				sums[i] += st.E2E

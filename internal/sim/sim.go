@@ -13,7 +13,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -40,31 +39,13 @@ type event struct {
 	fn  func()
 }
 
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
-}
-
 // Engine is a discrete-event simulation engine. The zero value is not
 // usable; create engines with NewEngine.
 type Engine struct {
 	now    Time
-	queue  eventQueue
+	queue  []*event // binary min-heap ordered by (at, seq)
+	free   []*event // recycled events, so steady-state dispatch allocates nothing
+	batch  []*event // reusable buffer for same-timestamp dispatch
 	seq    uint64
 	nprocs int // live (not yet finished) processes
 
@@ -76,9 +57,86 @@ type Engine struct {
 
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine {
-	e := &Engine{yield: make(chan struct{})}
-	heap.Init(&e.queue)
-	return e
+	return &Engine{yield: make(chan struct{})}
+}
+
+// eventLess orders the heap by timestamp, FIFO among equal timestamps.
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// push inserts ev into the heap.
+func (e *Engine) push(ev *event) {
+	q := append(e.queue, ev)
+	// Sift up.
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(q[i], q[parent]) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+	e.queue = q
+}
+
+// pop removes and returns the earliest event. The caller recycles it
+// via recycle once the callback has run.
+func (e *Engine) pop() *event {
+	q := e.queue
+	ev := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = nil
+	q = q[:n]
+	// Sift down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && eventLess(q[l], q[smallest]) {
+			smallest = l
+		}
+		if r < n && eventLess(q[r], q[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		q[i], q[smallest] = q[smallest], q[i]
+		i = smallest
+	}
+	e.queue = q
+	return ev
+}
+
+// alloc returns a zeroed event, reusing a recycled one when available.
+func (e *Engine) alloc() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// maxFree bounds the free list: steady-state simulations interleave
+// scheduling and dispatch, so a small pool captures nearly all reuse,
+// while a burst of one-shot events (everything scheduled up front)
+// must not leave a queue-sized pool behind.
+const maxFree = 1024
+
+// recycle returns a dispatched event to the free list.
+func (e *Engine) recycle(ev *event) {
+	ev.fn = nil
+	if len(e.free) < maxFree {
+		e.free = append(e.free, ev)
+	}
 }
 
 // Now returns the current virtual time.
@@ -91,7 +149,9 @@ func (e *Engine) Schedule(delay Duration, fn func()) {
 		delay = 0
 	}
 	e.seq++
-	heap.Push(&e.queue, &event{at: e.now.Add(delay), seq: e.seq, fn: fn})
+	ev := e.alloc()
+	ev.at, ev.seq, ev.fn = e.now.Add(delay), e.seq, fn
+	e.push(ev)
 }
 
 // ScheduleAt runs fn at absolute time at (clamped to now).
@@ -100,7 +160,37 @@ func (e *Engine) ScheduleAt(at Time, fn func()) {
 		at = e.now
 	}
 	e.seq++
-	heap.Push(&e.queue, &event{at: at, seq: e.seq, fn: fn})
+	ev := e.alloc()
+	ev.at, ev.seq, ev.fn = at, e.seq, fn
+	e.push(ev)
+}
+
+// dispatchBatch pops every event carrying the head timestamp and runs
+// them in sequence order. Batching advances the clock once per distinct
+// timestamp and lets events scheduled *during* the batch (which always
+// carry higher sequence numbers) land in the heap without disturbing
+// the events already drained for this instant.
+func (e *Engine) dispatchBatch() {
+	ev := e.pop()
+	e.now = ev.at
+	if len(e.queue) == 0 || e.queue[0].at != ev.at {
+		// Fast path: a lone event at this instant.
+		ev.fn()
+		e.recycle(ev)
+		return
+	}
+	t := ev.at
+	batch := append(e.batch[:0], ev)
+	e.batch = nil // reentrant dispatch (an fn draining the engine) gets its own buffer
+	for len(e.queue) > 0 && e.queue[0].at == t {
+		batch = append(batch, e.pop())
+	}
+	for i, ev := range batch {
+		ev.fn()
+		batch[i] = nil
+		e.recycle(ev)
+	}
+	e.batch = batch[:0]
 }
 
 // Run processes events until the queue is empty. It returns the final
@@ -108,9 +198,7 @@ func (e *Engine) ScheduleAt(at Time, fn func()) {
 // queue drains (a deadlock in the simulated system).
 func (e *Engine) Run() Time {
 	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*event)
-		e.now = ev.at
-		ev.fn()
+		e.dispatchBatch()
 	}
 	if e.nprocs > 0 {
 		panic(fmt.Sprintf("sim: deadlock: %d process(es) blocked with no pending events at t=%v", e.nprocs, e.now))
@@ -122,9 +210,7 @@ func (e *Engine) Run() Time {
 // setting the clock to deadline. Blocked processes are left blocked.
 func (e *Engine) RunUntil(deadline Time) Time {
 	for len(e.queue) > 0 && e.queue[0].at <= deadline {
-		ev := heap.Pop(&e.queue).(*event)
-		e.now = ev.at
-		ev.fn()
+		e.dispatchBatch()
 	}
 	if e.now < deadline {
 		e.now = deadline

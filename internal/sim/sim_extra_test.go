@@ -120,3 +120,45 @@ func TestRunUntilThenResume(t *testing.T) {
 		t.Fatalf("marks after Run = %v", marks)
 	}
 }
+
+func TestSameTimestampBatchFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	// A burst of events at one instant, some of which schedule further
+	// zero-delay events mid-batch: dispatch must stay strictly FIFO.
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() {
+			order = append(order, i)
+			if i < 3 {
+				e.Schedule(0, func() { order = append(order, 100+i) })
+			}
+		})
+	}
+	e.Run()
+	want := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 100, 101, 102}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestEventReuseAcrossRuns(t *testing.T) {
+	// Interleaved schedule/run cycles exercise the free list; events
+	// must never fire twice or be lost after recycling.
+	e := NewEngine()
+	fired := 0
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 40; i++ {
+			e.Schedule(Duration(i%7), func() { fired++ })
+		}
+		e.Run()
+	}
+	if fired != 50*40 {
+		t.Fatalf("fired = %d, want %d", fired, 50*40)
+	}
+}
