@@ -56,7 +56,7 @@ func runExperiment(b *testing.B, id string) *Table {
 	}
 	opts := ExperimentOptions{Functions: benchFunctions(b)}
 	if env := os.Getenv("SNAPBPF_BENCH_PARALLEL"); env != "" {
-		n, err := strconv.Atoi(env)
+		n, err := ParseParallel(env)
 		if err != nil {
 			b.Fatalf("SNAPBPF_BENCH_PARALLEL: %v", err)
 		}

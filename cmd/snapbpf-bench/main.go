@@ -10,6 +10,8 @@
 //	snapbpf-bench -csv out/            # also write CSV per experiment
 //	snapbpf-bench -parallel 4          # 4 workers (0 = one per CPU)
 //	snapbpf-bench -timing t.json       # write wall-clock timings as JSON
+//	snapbpf-bench -faults heavy        # inject storage faults everywhere
+//	snapbpf-bench -fault-seed 7        # reseed the injection streams
 //	snapbpf-bench -list                # list experiment ids
 //	snapbpf-bench -v                   # per-cell progress on stderr
 package main
@@ -25,23 +27,29 @@ import (
 	"time"
 
 	"snapbpf/internal/experiments"
+	"snapbpf/internal/faults"
 	"snapbpf/internal/paper"
 	"snapbpf/internal/workload"
 )
 
 func main() {
 	var (
-		expFlag  = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
-		fnFlag   = flag.String("funcs", "", "comma-separated function names (default: full suite)")
-		csvDir   = flag.String("csv", "", "directory to write per-experiment CSV files")
-		report   = flag.String("report", "", "write a combined markdown report to this file")
-		verify   = flag.Bool("verify", false, "check the paper's claims against the results")
-		list     = flag.Bool("list", false, "list experiment ids and exit")
-		verbose  = flag.Bool("v", false, "per-cell progress on stderr")
-		parallel = flag.Int("parallel", 0, "measurement-cell workers: 0 = one per CPU, 1 = serial")
-		timing   = flag.String("timing", "", "write per-experiment wall-clock timings to this JSON file")
+		expFlag   = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		fnFlag    = flag.String("funcs", "", "comma-separated function names (default: full suite)")
+		csvDir    = flag.String("csv", "", "directory to write per-experiment CSV files")
+		report    = flag.String("report", "", "write a combined markdown report to this file")
+		verify    = flag.Bool("verify", false, "check the paper's claims against the results")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		verbose   = flag.Bool("v", false, "per-cell progress on stderr")
+		parallel  = flag.Int("parallel", 0, "measurement-cell workers: 0 = one per CPU, 1 = serial")
+		timing    = flag.String("timing", "", "write per-experiment wall-clock timings to this JSON file")
+		faultsLvl = flag.String("faults", "none", "fault injection level for every experiment: none, light, heavy")
+		faultSeed = flag.Int64("fault-seed", 1, "seed for the fault-injection streams (same seed = byte-identical run)")
 	)
 	flag.Parse()
+	if *parallel < 0 {
+		fatal(fmt.Errorf("-parallel must be >= 0, got %d", *parallel))
+	}
 
 	all := experiments.All()
 	if *list {
@@ -52,6 +60,17 @@ func main() {
 	}
 
 	opts := experiments.Options{Parallel: *parallel}
+	switch *faultsLvl {
+	case "none", "":
+	case "light":
+		plan := faults.Light(*faultSeed)
+		opts.Faults = &plan
+	case "heavy":
+		plan := faults.Heavy(*faultSeed)
+		opts.Faults = &plan
+	default:
+		fatal(fmt.Errorf("-faults must be none, light or heavy, got %q", *faultsLvl))
+	}
 	if *verbose {
 		opts.Progress = func(msg string) { fmt.Fprintln(os.Stderr, "  "+msg) }
 	}

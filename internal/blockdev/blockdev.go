@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"time"
 
+	"snapbpf/internal/faults"
 	"snapbpf/internal/sim"
 	"snapbpf/internal/units"
 )
@@ -133,13 +134,42 @@ type Device struct {
 	// resource becomes free.
 	busUntil sim.Time
 
+	// faults, when non-nil, draws a deterministic fault treatment for
+	// every serviced request (see internal/faults).
+	faults *faults.Injector
+
 	stats Stats
+}
+
+// IO is the handle for one submission: a completion Waiter plus the
+// submission's error status, valid once the Waiter has fired. A
+// submission split into parts completes once all parts do; the first
+// part to fail sets the error.
+type IO struct {
+	done *sim.Waiter
+	err  error
+}
+
+// Done returns the completion Waiter.
+func (io *IO) Done() *sim.Waiter { return io.done }
+
+// Err returns the submission's error, valid after Done() has fired.
+// Injected errors are transient: resubmitting at a higher attempt
+// index eventually succeeds (see faults.MaxErrorAttempts).
+func (io *IO) Err() error { return io.err }
+
+func (io *IO) fail(err error) {
+	if io.err == nil {
+		io.err = err
+	}
 }
 
 type request struct {
 	off, len int64
-	done     *sim.Waiter
+	io       *IO
 	remain   *int // outstanding split-parts counter shared by one submission
+	sync     bool
+	attempt  int // retry index forwarded to the fault injector
 }
 
 // New creates a device on the given engine.
@@ -159,6 +189,14 @@ func New(eng *sim.Engine, p Params) *Device {
 // Params returns the device parameters.
 func (d *Device) Params() Params { return d.p }
 
+// SetFaults attaches a fault injector; nil detaches. Must be set
+// before the first request is submitted so draw streams line up across
+// identically-seeded runs.
+func (d *Device) SetFaults(in *faults.Injector) { d.faults = in }
+
+// Faults returns the attached injector (nil when healthy).
+func (d *Device) Faults() *faults.Injector { return d.faults }
+
 // Stats returns a snapshot of the accumulated counters.
 func (d *Device) Stats() Stats { return d.stats }
 
@@ -177,33 +215,55 @@ func (d *Device) mediaTime(off, length int64) time.Duration {
 }
 
 // Read performs a synchronous read of length bytes at byte offset off,
-// blocking the calling process for queueing plus service time.
-func (d *Device) Read(p *sim.Proc, off, length int64) {
-	w := d.SubmitRead(off, length)
-	p.Wait(w)
+// blocking the calling process for queueing plus service time. The
+// returned error is non-nil when the device injected a transient media
+// error; retry via ReadAttempt with an incremented attempt index.
+func (d *Device) Read(p *sim.Proc, off, length int64) error {
+	return d.ReadAttempt(p, off, length, 0)
+}
+
+// ReadAttempt is Read with an explicit retry index, forwarded to the
+// fault injector so its transient-error guarantee applies.
+func (d *Device) ReadAttempt(p *sim.Proc, off, length int64, attempt int) error {
+	io := d.SubmitReadIO(off, length, attempt)
+	p.Wait(io.Done())
+	return io.Err()
 }
 
 // SubmitRead enqueues a synchronous-class read and returns a Waiter
-// that fires on completion.
+// that fires on completion. Use SubmitReadIO to observe errors.
 func (d *Device) SubmitRead(off, length int64) *sim.Waiter {
-	return d.submit(off, length, true)
+	return d.submit(off, length, true, 0).done
 }
 
 // SubmitReadahead enqueues an asynchronous-class (REQ_RAHEAD) read:
-// it yields dispatch priority to synchronous reads.
+// it yields dispatch priority to synchronous reads. Use
+// SubmitReadaheadIO to observe errors.
 func (d *Device) SubmitReadahead(off, length int64) *sim.Waiter {
-	return d.submit(off, length, false)
+	return d.submit(off, length, false, 0).done
 }
 
-func (d *Device) submit(off, length int64, sync bool) *sim.Waiter {
+// SubmitReadIO enqueues a synchronous-class read and returns its IO
+// handle. attempt is the caller's retry index (0 first).
+func (d *Device) SubmitReadIO(off, length int64, attempt int) *IO {
+	return d.submit(off, length, true, attempt)
+}
+
+// SubmitReadaheadIO enqueues an asynchronous-class read and returns
+// its IO handle. attempt is the caller's retry index (0 first).
+func (d *Device) SubmitReadaheadIO(off, length int64, attempt int) *IO {
+	return d.submit(off, length, false, attempt)
+}
+
+func (d *Device) submit(off, length int64, sync bool, attempt int) *IO {
 	if length <= 0 {
 		panic(fmt.Sprintf("blockdev: non-positive read length %d", length))
 	}
-	done := d.eng.NewWaiter()
+	io := &IO{done: d.eng.NewWaiter()}
 	parts := splitRequest(off, length, d.p.MaxRequestBytes)
 	remain := len(parts)
 	for _, part := range parts {
-		r := &request{off: part.off, len: part.len, done: done, remain: &remain}
+		r := &request{off: part.off, len: part.len, io: io, remain: &remain, sync: sync, attempt: attempt}
 		if sync {
 			d.syncQ = append(d.syncQ, r)
 		} else {
@@ -211,7 +271,7 @@ func (d *Device) submit(off, length int64, sync bool) *sim.Waiter {
 		}
 	}
 	d.pump()
-	return done
+	return io
 }
 
 // pump dispatches queued requests into free NCQ slots, synchronous
@@ -235,9 +295,33 @@ func (d *Device) pump() {
 }
 
 // service runs one request to completion: it reserves the serialized
-// media window and schedules the completion event.
+// media window and schedules the completion event. With an injector
+// attached, the drawn fault treatment is applied here: a spike extends
+// the serialized media window (slowing every later request), a stuck
+// slot delays completion and the NCQ slot without occupying the bus, a
+// short read transfers only the leading half and requeues the tail at
+// the head of its class queue, and a transient error marks the IO
+// failed (it still consumes media time — the device tried).
 func (d *Device) service(r *request) {
-	mt := d.mediaTime(r.off, r.len)
+	out := d.faults.ReadOutcome(r.attempt)
+	if out.Err {
+		r.io.fail(fmt.Errorf("blockdev %s: transient media error reading [%d,%d) attempt %d",
+			d.p.Name, r.off, r.off+r.len, r.attempt))
+	}
+	if out.Short && r.len >= 2*int64(units.PageSize) {
+		half := r.len / 2
+		half -= half % int64(units.PageSize)
+		tail := &request{off: r.off + half, len: r.len - half, io: r.io,
+			remain: r.remain, sync: r.sync, attempt: r.attempt}
+		*r.remain++
+		r.len = half
+		if r.sync {
+			d.syncQ = append([]*request{tail}, d.syncQ...)
+		} else {
+			d.asyncQ = append([]*request{tail}, d.asyncQ...)
+		}
+	}
+	mt := d.mediaTime(r.off, r.len) + out.ExtraMediaTime
 	if r.off == d.lastEnd {
 		d.stats.Sequential++
 	}
@@ -251,12 +335,12 @@ func (d *Device) service(r *request) {
 		start = now
 	}
 	d.busUntil = start.Add(mt)
-	completeAt := d.busUntil.Add(d.p.AccessLatency)
+	completeAt := d.busUntil.Add(d.p.AccessLatency + out.HoldSlot)
 	d.eng.ScheduleAt(completeAt, func() {
 		d.inFlight--
 		*r.remain--
 		if *r.remain == 0 {
-			r.done.Fire()
+			r.io.done.Fire()
 		}
 		d.pump()
 	})
@@ -264,8 +348,8 @@ func (d *Device) service(r *request) {
 
 // ReadPages is a convenience wrapper reading n pages starting at page
 // index idx.
-func (d *Device) ReadPages(p *sim.Proc, idx, n int64) {
-	d.Read(p, units.PageOffset(idx), n*int64(units.PageSize))
+func (d *Device) ReadPages(p *sim.Proc, idx, n int64) error {
+	return d.Read(p, units.PageOffset(idx), n*int64(units.PageSize))
 }
 
 type span struct{ off, len int64 }

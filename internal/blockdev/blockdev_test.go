@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"snapbpf/internal/faults"
 	"snapbpf/internal/sim"
 )
 
@@ -287,4 +288,132 @@ func TestZeroLengthReadPanics(t *testing.T) {
 	eng := sim.NewEngine()
 	d := New(eng, testParams())
 	d.SubmitRead(0, 0)
+}
+
+// --- fault injection ---
+
+func faultyDevice(t *testing.T, eng *sim.Engine, plan faults.Plan) *Device {
+	t.Helper()
+	d := New(eng, testParams())
+	d.SetFaults(faults.NewInjector(plan))
+	return d
+}
+
+func TestInjectedErrorSurfacesOnIO(t *testing.T) {
+	eng := sim.NewEngine()
+	d := faultyDevice(t, eng, faults.Plan{Seed: 1, ReadErrorRate: 1.0})
+	var err0, errCap error
+	eng.Go("r", func(p *sim.Proc) {
+		err0 = d.ReadAttempt(p, 0, 4096, 0)
+		errCap = d.ReadAttempt(p, 0, 4096, faults.MaxErrorAttempts)
+	})
+	eng.Run()
+	if err0 == nil {
+		t.Fatal("rate-1.0 plan did not fail attempt 0")
+	}
+	if errCap != nil {
+		t.Fatalf("error injected past the attempt cap: %v", errCap)
+	}
+	if got := d.Faults().Report().IOErrors; got != 1 {
+		t.Fatalf("IOErrors = %d, want 1", got)
+	}
+}
+
+func TestLatencySpikeExtendsRead(t *testing.T) {
+	spike := 2 * time.Millisecond
+	run := func(rate float64) time.Duration {
+		eng := sim.NewEngine()
+		d := New(eng, testParams())
+		if rate > 0 {
+			d.SetFaults(faults.NewInjector(faults.Plan{Seed: 1, LatencySpikeRate: rate, LatencySpike: spike}))
+		}
+		var took time.Duration
+		eng.Go("r", func(p *sim.Proc) {
+			start := p.Now()
+			if err := d.Read(p, 0, 4096); err != nil {
+				t.Errorf("read: %v", err)
+			}
+			took = p.Now().Sub(start)
+		})
+		eng.Run()
+		return took
+	}
+	if got, want := run(1.0), run(0)+spike; got != want {
+		t.Fatalf("spiked read took %v, want %v", got, want)
+	}
+}
+
+func TestStuckSlotDelaysCompletionNotBus(t *testing.T) {
+	// First request's slot hangs; the second (QD=2) still gets the bus
+	// and completes on time, while the stuck one completes late.
+	hold := 10 * time.Millisecond
+	eng := sim.NewEngine()
+	d := New(eng, testParams())
+	in := faults.NewInjector(faults.Plan{Seed: 1, StuckSlotRate: 1.0, StuckSlotDelay: hold})
+	var ends [2]sim.Time
+	eng.Go("a", func(p *sim.Proc) {
+		d.SetFaults(in)
+		w := d.SubmitReadIO(0, 4096, 0)
+		d.SetFaults(nil) // only the first request draws the stuck slot
+		p.Wait(w.Done())
+		ends[0] = p.Now()
+	})
+	eng.Go("b", func(p *sim.Proc) {
+		d.Read(p, 4096, 4096)
+		ends[1] = p.Now()
+	})
+	eng.Run()
+	if ends[0].Sub(ends[1]) < hold/2 {
+		t.Fatalf("stuck request (%v) did not lag healthy one (%v) by ~%v", ends[0], ends[1], hold)
+	}
+}
+
+func TestShortReadsPreserveByteCount(t *testing.T) {
+	eng := sim.NewEngine()
+	d := faultyDevice(t, eng, faults.Plan{Seed: 9, ShortReadRate: 1.0})
+	const total = 64 << 10
+	eng.Go("r", func(p *sim.Proc) {
+		if err := d.Read(p, 0, total); err != nil {
+			t.Errorf("read: %v", err)
+		}
+	})
+	eng.Run()
+	st := d.Stats()
+	if st.BytesRead != total {
+		t.Fatalf("BytesRead = %d, want %d", st.BytesRead, total)
+	}
+	if st.Requests < 2 {
+		t.Fatalf("rate-1.0 short reads produced %d requests, want splits", st.Requests)
+	}
+	if got := d.Faults().Report().ShortReads; got == 0 {
+		t.Fatal("no short reads counted")
+	}
+}
+
+func TestFaultedDeviceDeterministic(t *testing.T) {
+	run := func() (Stats, faults.Report, sim.Time) {
+		eng := sim.NewEngine()
+		d := faultyDevice(t, eng, faults.Heavy(42))
+		for i := 0; i < 8; i++ {
+			off := int64(i) * (128 << 10)
+			eng.Go("r", func(p *sim.Proc) {
+				for attempt := 0; ; attempt++ {
+					if err := d.ReadAttempt(p, off, 128<<10, attempt); err == nil {
+						return
+					}
+					p.Sleep(faults.Backoff(attempt))
+				}
+			})
+		}
+		eng.Run()
+		return d.Stats(), d.Faults().Report(), eng.Now()
+	}
+	s1, r1, t1 := run()
+	s2, r2, t2 := run()
+	if s1 != s2 || r1 != r2 || t1 != t2 {
+		t.Fatalf("same seed diverged:\n%+v %+v %v\n%+v %+v %v", s1, r1, t1, s2, r2, t2)
+	}
+	if r1.Injected() == 0 {
+		t.Fatal("heavy plan injected nothing")
+	}
 }

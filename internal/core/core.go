@@ -250,6 +250,14 @@ func (s *SnapBPF) PrepareVM(p *sim.Proc, env *prefetch.Env, vm *vmm.MicroVM) err
 	if len(s.ws.Groups) == 0 {
 		return nil
 	}
+	if env.Faults.MapLoadFails() {
+		// The eBPF map/program load failed for this sandbox (memlock
+		// pressure, verifier regression): skip the kernel prefetch and
+		// fall back to plain demand paging from the snapshot mapping —
+		// the invocation completes, just without the §3.1 speedup.
+		env.Faults.CountFallback()
+		return nil
+	}
 	h := env.Host
 	EnsureKfunc(h)
 

@@ -155,3 +155,52 @@ func TestVerifierRejectsMutatedValidPrograms(t *testing.T) {
 		}
 	}
 }
+
+// FuzzVerifier is the native fuzz target behind the two tests above:
+// arbitrary bytes are decoded into an instruction stream and verified.
+// Verify must never panic — malformed streams produce verification
+// errors — and anything it accepts must run without memory-safety
+// violations (only the dynamic instruction-budget abort is allowed).
+// The seed corpus covers the marshalled bench program, a trivial
+// return, and a spread of generator output.
+func FuzzVerifier(f *testing.F) {
+	vm := NewVM()
+	m := MustNewMap(MapTypeHash, "fuzz", 1024)
+	fd := vm.RegisterMap(m)
+
+	addProgram := func(insns []Instruction) {
+		if data, err := MarshalInstructions(insns); err == nil {
+			f.Add(data)
+		}
+	}
+	addProgram(benchProgram())
+	addProgram([]Instruction{
+		{Op: ClassALU64 | OpMov | SrcK, Dst: R0, Imm: 0},
+		{Op: ClassJMP | OpExit},
+	})
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 16; i++ {
+		addProgram(randomProgram(rng, fd))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		insns, err := UnmarshalInstructions(data)
+		if err != nil {
+			return
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on %d-instruction stream: %v", len(insns), r)
+			}
+		}()
+		if err := Verify(insns, vm); err != nil {
+			return
+		}
+		prog := &Program{Name: "fuzz", insns: insns, vm: vm, Enabled: true}
+		if _, err := prog.Run(nil, 1, 2); err != nil &&
+			!strings.Contains(err.Error(), "instruction budget") {
+			t.Fatalf("verifier accepted a program that failed at runtime: %v\n%s",
+				err, Disassemble(insns))
+		}
+	})
+}

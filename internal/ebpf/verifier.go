@@ -190,6 +190,9 @@ func Verify(insns []Instruction, res helperResolver) error {
 				return fail("R10 is read-only")
 			}
 			op := in.aluOp()
+			if op > OpArsh {
+				return fail("unsupported alu op %#x", op)
+			}
 			if in.usesRegSrc() && st.regs[in.Src].kind == kindUninit {
 				return fail("read of uninitialized register %s", in.Src)
 			}
@@ -339,6 +342,12 @@ func Verify(insns []Instruction, res helperResolver) error {
 					return vErr
 				}
 			default:
+				if in.aluOp() > OpJsle {
+					return fail("unsupported jmp op %#x", in.aluOp())
+				}
+				if in.Dst >= numRegisters || (in.usesRegSrc() && in.Src >= numRegisters) {
+					return fail("register out of range in conditional jump")
+				}
 				if st.regs[in.Dst].kind == kindUninit {
 					return fail("read of uninitialized register %s", in.Dst)
 				}

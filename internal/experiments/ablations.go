@@ -323,6 +323,7 @@ func All() []struct {
 		{"ablation-rawindow", AblationRAWindow},
 		{"ablation-drift", AblationDrift},
 		{"ablation-hdd", AblationHDD},
+		{"chaos", Chaos},
 		{"ext-varying-inputs", ExtVaryingInputs},
 		{"ext-concurrency", ExtConcurrency},
 		{"ext-cost-analysis", ExtCostAnalysis},

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"snapbpf/internal/faults"
 	"snapbpf/internal/workload"
 )
 
@@ -21,6 +22,12 @@ type Options struct {
 	// serially. Results are identical either way; only wall-clock
 	// time changes.
 	Parallel int
+
+	// Faults, when non-nil, is applied to every cell whose Config does
+	// not set its own plan — the -faults CLI flags route here. Cells
+	// that must stay healthy (or sweep their own plans, like the chaos
+	// experiment) set Config.Faults explicitly and win.
+	Faults *faults.Plan
 }
 
 func (o Options) functions() []workload.Function {

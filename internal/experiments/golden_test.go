@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"testing"
+
+	"snapbpf/internal/workload"
+)
+
+// Golden-output regression tests: the simulation is deterministic, so
+// these experiments' CSV output is pinned byte for byte. A diff here
+// means a change shifted the paper's reproduced results — either a bug,
+// or an intentional model change whose new numbers must be reviewed
+// and re-pinned.
+
+func goldenFunctions(t *testing.T) []workload.Function {
+	t.Helper()
+	var fns []workload.Function
+	for _, f := range workload.Suite() {
+		if f.Name == "json" || f.Name == "image" {
+			fns = append(fns, f)
+		}
+	}
+	if len(fns) != 2 {
+		t.Fatalf("expected json+image in suite, got %d functions", len(fns))
+	}
+	return fns
+}
+
+const goldenTable1CSV = `Scheme,Mechanism,On-disk WS serialization,In-memory WS dedup,Stateless VM alloc filtering
+REAP,Userfaultfd (User-space),Yes,No,No
+Faast,Userfaultfd (User-space),Yes,No,No
+FaaSnap,mincore / mmap (User-space),Yes,Yes,No
+SnapBPF,eBPF (Kernel-space),No,Yes,Yes
+`
+
+const goldenFig3aCSV = `Function,REAP,FaaSnap,SnapBPF,SnapBPF (s)
+image,2.16,0.96,1.00,0.343
+json,0.99,1.08,1.00,0.116
+`
+
+func TestGoldenTable1(t *testing.T) {
+	tbl, err := Table1(Options{Functions: goldenFunctions(t), Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl.CSV(); got != goldenTable1CSV {
+		t.Errorf("table1 CSV drifted:\n--- got ---\n%s--- want ---\n%s", got, goldenTable1CSV)
+	}
+}
+
+func TestGoldenFig3a(t *testing.T) {
+	tbl, err := Fig3a(Options{Functions: goldenFunctions(t), Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl.CSV(); got != goldenFig3aCSV {
+		t.Errorf("fig3a CSV drifted:\n--- got ---\n%s--- want ---\n%s", got, goldenFig3aCSV)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -19,6 +21,22 @@ type Cell struct {
 	Fn     workload.Function
 	Scheme Scheme
 	Cfg    Config
+}
+
+// ParseParallel parses a worker-count setting (the -parallel flag or
+// the SNAPBPF_BENCH_PARALLEL environment variable): a non-negative
+// integer, where 0 means one worker per CPU. Non-integers and
+// negative counts are rejected rather than silently treated as the
+// default.
+func ParseParallel(s string) (int, error) {
+	n, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil {
+		return 0, fmt.Errorf("parallel: %q is not an integer", s)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("parallel: worker count must be >= 0, got %d", n)
+	}
+	return n, nil
 }
 
 // workers resolves the pool width: Options.Parallel if positive,
@@ -98,7 +116,11 @@ func runJob(job func(i int) error, i int) (err error) {
 func RunCells(o Options, cells []Cell) ([]*RunResult, error) {
 	out := make([]*RunResult, len(cells))
 	err := o.runJobs(len(cells), func(i int) error {
-		r, err := Run(cells[i].Fn, cells[i].Scheme, cells[i].Cfg)
+		cfg := cells[i].Cfg
+		if cfg.Faults == nil {
+			cfg.Faults = o.Faults
+		}
+		r, err := Run(cells[i].Fn, cells[i].Scheme, cfg)
 		if err != nil {
 			return err
 		}

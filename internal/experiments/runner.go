@@ -16,6 +16,7 @@ import (
 
 	"snapbpf/internal/blockdev"
 	"snapbpf/internal/core"
+	"snapbpf/internal/faults"
 	"snapbpf/internal/prefetch"
 	"snapbpf/internal/prefetch/faasnap"
 	"snapbpf/internal/prefetch/faast"
@@ -81,6 +82,11 @@ type RunResult struct {
 	// Evictions counts page-cache reclaim events during the
 	// invocation phase (nonzero only with CacheLimitPages set).
 	Evictions int64
+
+	// Faults reports what the run's fault injector did (zero value
+	// when the run was healthy): injected events, plus the retries and
+	// demand-paging fallbacks the stack absorbed them with.
+	Faults faults.Report
 }
 
 // Config tunes a run.
@@ -108,6 +114,12 @@ type Config struct {
 	// invocation phase (0 = unlimited, the paper's 128GiB-per-socket
 	// testbed is effectively unconstrained).
 	CacheLimitPages int64
+
+	// Faults, when non-nil and enabled, injects storage and
+	// scheme-level faults for the whole run (record + invocation
+	// phases), seeded by the plan — reruns with an equal plan are
+	// byte-identical. Nil or a disabled plan means a healthy run.
+	Faults *faults.Plan
 }
 
 // invokeTrace returns sandbox i's trace under the configured variance.
@@ -121,13 +133,26 @@ func (cfg Config) invokeTrace(env *prefetch.Env, i int) *trace.Trace {
 // Run executes one cell: record once, then N concurrent invocations
 // of fn under the scheme.
 func Run(fn workload.Function, scheme Scheme, cfg Config) (*RunResult, error) {
-	if cfg.N <= 0 {
+	if cfg.N < 0 {
+		return nil, fmt.Errorf("run %s/%s: negative sandbox count %d", scheme.Name, fn.Name, cfg.N)
+	}
+	if cfg.N == 0 {
 		cfg.N = 1
 	}
 	if cfg.Device.Name == "" {
 		cfg.Device = blockdev.MicronSATA5300()
 	}
+	var inj *faults.Injector
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(); err != nil {
+			return nil, fmt.Errorf("run %s/%s: %w", scheme.Name, fn.Name, err)
+		}
+		if cfg.Faults.Enabled() {
+			inj = faults.NewInjector(*cfg.Faults)
+		}
+	}
 	h := vmm.NewHost(cfg.Device)
+	h.Dev.SetFaults(inj)
 	pf := scheme.New()
 
 	zeroOnFree := pf.RestoreConfig(0).ZeroOnFree
@@ -140,6 +165,7 @@ func Run(fn workload.Function, scheme Scheme, cfg Config) (*RunResult, error) {
 		SnapInode:   snapInode,
 		RecordTrace: fn.GenTrace(),
 		InvokeTrace: fn.GenTrace(),
+		Faults:      inj,
 	}
 
 	// --- Record phase ---
@@ -220,6 +246,7 @@ func Run(fn workload.Function, scheme Scheme, cfg Config) (*RunResult, error) {
 	res.DeviceBytes = h.Dev.Stats().BytesRead
 	res.DeviceRequests = h.Dev.Stats().Requests
 	res.Evictions = h.Cache.Evictions()
+	res.Faults = inj.Report()
 
 	if s, ok := pf.(*core.SnapBPF); ok {
 		if len(s.OffsetLoads) > 0 {
@@ -352,6 +379,9 @@ type MixedResult struct {
 // of *each* function concurrently on one shared host — the
 // multi-tenant co-location scenario a FaaS node actually faces.
 func RunMixed(fns []workload.Function, scheme Scheme, perFn int, device blockdev.Params) (*MixedResult, error) {
+	if len(fns) == 0 {
+		return nil, fmt.Errorf("mixed %s: no functions given", scheme.Name)
+	}
 	if perFn <= 0 {
 		perFn = 1
 	}

@@ -1,0 +1,355 @@
+// Package faults implements deterministic fault injection for the
+// simulated storage stack.
+//
+// The paper's evaluation assumes a healthy SSD; a production FaaS node
+// does not get that luxury. A Plan describes a device's misbehaviour —
+// transient read errors, latency spikes, stuck queue slots, short
+// reads — plus scheme-level failures (corrupt or truncated working-set
+// artifacts, eBPF map-load failures). An Injector draws every fault
+// decision from seeded counter-hashed streams, so a chaos run is a
+// pure function of the plan: two runs with the same seed inject the
+// same faults at the same points and produce byte-identical results.
+//
+// Determinism contract:
+//
+//   - Each fault class draws from its own stream, keyed by
+//     (seed, class, draw counter). Draws of one class never perturb
+//     another class's stream.
+//   - Injected read errors are transient: the injector never fails a
+//     request whose attempt index is >= MaxErrorAttempts, so any retry
+//     loop of more than MaxErrorAttempts tries is guaranteed to
+//     succeed. Faults degrade latency; they never fail an invocation.
+//   - The Injector is confined to one simulation engine (one Run), so
+//     cells running on parallel workers stay independent.
+package faults
+
+import (
+	"fmt"
+	"time"
+
+	"snapbpf/internal/sim"
+)
+
+// MaxErrorAttempts bounds transient read errors per logical request:
+// the injector never injects an error into an attempt with index >=
+// MaxErrorAttempts, so bounded retry loops always terminate
+// successfully under injection.
+const MaxErrorAttempts = 3
+
+// MaxRetryAttempts is the attempt budget retry loops use; it exceeds
+// MaxErrorAttempts so injected faults alone can never exhaust it.
+const MaxRetryAttempts = 8
+
+// Plan describes the fault workload for one run. All rates are
+// per-draw probabilities in [0, 1]; the zero value injects nothing.
+type Plan struct {
+	// Seed keys every injection stream. Two runs with equal plans are
+	// byte-identical.
+	Seed int64
+
+	// ReadErrorRate is the probability a device read request completes
+	// with a (transient) media error instead of data.
+	ReadErrorRate float64
+
+	// LatencySpikeRate is the probability a request's media time is
+	// extended by LatencySpike (controller hiccup, internal GC).
+	LatencySpikeRate float64
+	LatencySpike     time.Duration
+
+	// StuckSlotRate is the probability a request's NCQ slot hangs for
+	// StuckSlotDelay after the media time: completion (and the slot)
+	// arrive late, but the shared bus is free for other requests.
+	StuckSlotRate  float64
+	StuckSlotDelay time.Duration
+
+	// ShortReadRate is the probability a multi-sector request transfers
+	// only part of its payload; the device requeues the remainder as a
+	// fresh request (extra command overhead, degraded latency).
+	ShortReadRate float64
+
+	// ArtifactCorruptionRate is the per-sandbox probability that a
+	// scheme's on-disk working-set artifact is corrupt or truncated at
+	// PrepareVM time, forcing the scheme to degrade to demand paging.
+	ArtifactCorruptionRate float64
+
+	// MapLoadFailureRate is the per-sandbox probability that SnapBPF's
+	// eBPF map/program load fails, forcing fallback from eBPF prefetch
+	// to demand paging.
+	MapLoadFailureRate float64
+}
+
+// Enabled reports whether the plan injects anything at all.
+func (p Plan) Enabled() bool {
+	return p.ReadErrorRate > 0 || p.LatencySpikeRate > 0 || p.StuckSlotRate > 0 ||
+		p.ShortReadRate > 0 || p.ArtifactCorruptionRate > 0 || p.MapLoadFailureRate > 0
+}
+
+// Validate rejects out-of-range rates and missing durations.
+func (p Plan) Validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{
+		{"ReadErrorRate", p.ReadErrorRate},
+		{"LatencySpikeRate", p.LatencySpikeRate},
+		{"StuckSlotRate", p.StuckSlotRate},
+		{"ShortReadRate", p.ShortReadRate},
+		{"ArtifactCorruptionRate", p.ArtifactCorruptionRate},
+		{"MapLoadFailureRate", p.MapLoadFailureRate},
+	} {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("faults: %s %v outside [0,1]", r.name, r.v)
+		}
+	}
+	if p.LatencySpikeRate > 0 && p.LatencySpike <= 0 {
+		return fmt.Errorf("faults: LatencySpikeRate set but LatencySpike is %v", p.LatencySpike)
+	}
+	if p.StuckSlotRate > 0 && p.StuckSlotDelay <= 0 {
+		return fmt.Errorf("faults: StuckSlotRate set but StuckSlotDelay is %v", p.StuckSlotDelay)
+	}
+	return nil
+}
+
+// Light returns a mildly unhealthy device: rare errors and spikes, the
+// regime a production fleet sees on an ageing but serviceable SSD.
+func Light(seed int64) Plan {
+	return Plan{
+		Seed:                   seed,
+		ReadErrorRate:          0.01,
+		LatencySpikeRate:       0.05,
+		LatencySpike:           2 * time.Millisecond,
+		StuckSlotRate:          0.01,
+		StuckSlotDelay:         5 * time.Millisecond,
+		ShortReadRate:          0.02,
+		ArtifactCorruptionRate: 0.05,
+		MapLoadFailureRate:     0.05,
+	}
+}
+
+// Heavy returns a degrading device: frequent errors, long spikes, and
+// routinely unreadable working-set artifacts.
+func Heavy(seed int64) Plan {
+	return Plan{
+		Seed:                   seed,
+		ReadErrorRate:          0.05,
+		LatencySpikeRate:       0.20,
+		LatencySpike:           5 * time.Millisecond,
+		StuckSlotRate:          0.05,
+		StuckSlotDelay:         20 * time.Millisecond,
+		ShortReadRate:          0.10,
+		ArtifactCorruptionRate: 0.25,
+		MapLoadFailureRate:     0.25,
+	}
+}
+
+// Report accumulates what an Injector did during one run. Injection
+// counters are incremented by the injector at draw time; Retries and
+// Fallbacks are incremented by the consumers that absorbed the fault.
+type Report struct {
+	IOErrors            int64 // read requests failed with a media error
+	LatencySpikes       int64 // requests with extended media time
+	StuckSlots          int64 // requests whose NCQ slot hung
+	ShortReads          int64 // requests that transferred partially
+	ArtifactCorruptions int64 // working-set artifacts found unreadable
+	MapLoadFailures     int64 // eBPF map/program loads failed
+
+	Retries   int64 // read attempts re-issued after an error
+	Fallbacks int64 // sandboxes degraded to demand paging
+}
+
+// Injected returns the total number of injected fault events.
+func (r Report) Injected() int64 {
+	return r.IOErrors + r.LatencySpikes + r.StuckSlots + r.ShortReads +
+		r.ArtifactCorruptions + r.MapLoadFailures
+}
+
+// Add accumulates other into r (aggregating across cells).
+func (r *Report) Add(other Report) {
+	r.IOErrors += other.IOErrors
+	r.LatencySpikes += other.LatencySpikes
+	r.StuckSlots += other.StuckSlots
+	r.ShortReads += other.ShortReads
+	r.ArtifactCorruptions += other.ArtifactCorruptions
+	r.MapLoadFailures += other.MapLoadFailures
+	r.Retries += other.Retries
+	r.Fallbacks += other.Fallbacks
+}
+
+// Fault classes: each owns an independent draw stream.
+const (
+	classReadError = iota
+	classSpike
+	classStuck
+	classShort
+	classArtifact
+	classMapLoad
+	nClasses
+)
+
+// Injector draws fault decisions for one run. All methods are nil-safe
+// so healthy runs pay no conditionals at call sites. An Injector must
+// be confined to a single simulation engine; it is not safe for use
+// from multiple OS threads.
+type Injector struct {
+	plan   Plan
+	draws  [nClasses]uint64
+	report Report
+}
+
+// NewInjector returns an injector for the plan. It panics on an
+// invalid plan (programming error: plans cross API boundaries
+// validated).
+func NewInjector(plan Plan) *Injector {
+	if err := plan.Validate(); err != nil {
+		panic(err)
+	}
+	return &Injector{plan: plan}
+}
+
+// Plan returns the plan this injector draws from.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// Report returns a snapshot of the accumulated counters. Nil-safe.
+func (in *Injector) Report() Report {
+	if in == nil {
+		return Report{}
+	}
+	return in.report
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator: a cheap,
+// high-quality 64-bit mix used to derive independent streams from
+// (seed, class, counter).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// draw returns a uniform float64 in [0, 1) from the class's stream.
+func (in *Injector) draw(class int) float64 {
+	in.draws[class]++
+	h := splitmix64(uint64(in.plan.Seed)*0x9e3779b97f4a7c15 ^
+		uint64(class)<<56 ^ in.draws[class])
+	return float64(h>>11) / (1 << 53)
+}
+
+// ReadOutcome is the device-level fault decision for one read request.
+type ReadOutcome struct {
+	// Err fails the request with a transient media error.
+	Err bool
+	// ExtraMediaTime extends the serialized media window (spike).
+	ExtraMediaTime time.Duration
+	// HoldSlot delays completion and the NCQ slot without occupying
+	// the shared bus (stuck slot).
+	HoldSlot time.Duration
+	// Short requeues the tail half of the request.
+	Short bool
+}
+
+// ReadOutcome draws the fault treatment for a read request at the
+// given attempt index (0 for the first submission). Errors are never
+// injected at attempt >= MaxErrorAttempts — the transient-fault
+// guarantee retry loops rely on. Nil-safe.
+func (in *Injector) ReadOutcome(attempt int) ReadOutcome {
+	if in == nil {
+		return ReadOutcome{}
+	}
+	var out ReadOutcome
+	p := in.plan
+	if p.ReadErrorRate > 0 && attempt < MaxErrorAttempts && in.draw(classReadError) < p.ReadErrorRate {
+		out.Err = true
+		in.report.IOErrors++
+	}
+	if p.LatencySpikeRate > 0 && in.draw(classSpike) < p.LatencySpikeRate {
+		out.ExtraMediaTime = p.LatencySpike
+		in.report.LatencySpikes++
+	}
+	if p.StuckSlotRate > 0 && in.draw(classStuck) < p.StuckSlotRate {
+		out.HoldSlot = p.StuckSlotDelay
+		in.report.StuckSlots++
+	}
+	if p.ShortReadRate > 0 && in.draw(classShort) < p.ShortReadRate {
+		out.Short = true
+		in.report.ShortReads++
+	}
+	return out
+}
+
+// ArtifactCorrupt draws whether a scheme's working-set artifact is
+// unreadable for this sandbox. Nil-safe.
+func (in *Injector) ArtifactCorrupt() bool {
+	if in == nil || in.plan.ArtifactCorruptionRate <= 0 {
+		return false
+	}
+	if in.draw(classArtifact) < in.plan.ArtifactCorruptionRate {
+		in.report.ArtifactCorruptions++
+		return true
+	}
+	return false
+}
+
+// MapLoadFails draws whether this sandbox's eBPF map/program load
+// fails. Nil-safe.
+func (in *Injector) MapLoadFails() bool {
+	if in == nil || in.plan.MapLoadFailureRate <= 0 {
+		return false
+	}
+	if in.draw(classMapLoad) < in.plan.MapLoadFailureRate {
+		in.report.MapLoadFailures++
+		return true
+	}
+	return false
+}
+
+// CountRetry records one re-issued read attempt. Nil-safe.
+func (in *Injector) CountRetry() {
+	if in != nil {
+		in.report.Retries++
+	}
+}
+
+// CountFallback records one sandbox degrading to demand paging.
+// Nil-safe.
+func (in *Injector) CountFallback() {
+	if in != nil {
+		in.report.Fallbacks++
+	}
+}
+
+// Backoff returns the delay before re-issuing attempt (0-based):
+// exponential from 100µs, capped at 5ms — long enough to model error
+// recovery, short enough that degraded invocations still complete in
+// simulated milliseconds.
+func Backoff(attempt int) time.Duration {
+	if attempt < 0 {
+		attempt = 0
+	}
+	if attempt > 6 { // 100µs << 6 already exceeds the cap
+		attempt = 6
+	}
+	d := 100 * time.Microsecond << uint(attempt)
+	if d > 5*time.Millisecond {
+		d = 5 * time.Millisecond
+	}
+	return d
+}
+
+// Retry runs attempt(try) until it succeeds, sleeping Backoff between
+// tries and counting retries on in (nil-safe). The try index must be
+// forwarded to the storage layer so the injector's transient-fault
+// guarantee applies; under injection alone Retry always returns nil.
+// A persistent (non-injected) error is returned after MaxRetryAttempts
+// tries.
+func Retry(p *sim.Proc, in *Injector, attempt func(try int) error) error {
+	var err error
+	for try := 0; try < MaxRetryAttempts; try++ {
+		if err = attempt(try); err == nil {
+			return nil
+		}
+		in.CountRetry()
+		p.Sleep(Backoff(try))
+	}
+	return err
+}

@@ -1,0 +1,215 @@
+package faults
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"snapbpf/internal/sim"
+)
+
+func TestZeroPlanInjectsNothing(t *testing.T) {
+	in := NewInjector(Plan{Seed: 1})
+	for i := 0; i < 1000; i++ {
+		if out := in.ReadOutcome(0); out != (ReadOutcome{}) {
+			t.Fatalf("zero plan injected %+v", out)
+		}
+		if in.ArtifactCorrupt() || in.MapLoadFails() {
+			t.Fatal("zero plan injected a scheme-level fault")
+		}
+	}
+	if got := in.Report(); got != (Report{}) {
+		t.Fatalf("zero plan accumulated %+v", got)
+	}
+}
+
+func TestNilInjectorIsSafe(t *testing.T) {
+	var in *Injector
+	if out := in.ReadOutcome(0); out != (ReadOutcome{}) {
+		t.Fatalf("nil injector returned %+v", out)
+	}
+	if in.ArtifactCorrupt() || in.MapLoadFails() {
+		t.Fatal("nil injector injected")
+	}
+	in.CountRetry()
+	in.CountFallback()
+	if got := in.Report(); got != (Report{}) {
+		t.Fatalf("nil injector report %+v", got)
+	}
+}
+
+func TestSameSeedSameDraws(t *testing.T) {
+	run := func() []ReadOutcome {
+		in := NewInjector(Heavy(42))
+		out := make([]ReadOutcome, 500)
+		for i := range out {
+			out[i] = in.ReadOutcome(i % 4)
+			in.ArtifactCorrupt() // interleave other streams
+			in.MapLoadFails()
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := NewInjector(Heavy(1)), NewInjector(Heavy(2))
+	same := 0
+	const n = 500
+	for i := 0; i < n; i++ {
+		if a.ReadOutcome(0) == b.ReadOutcome(0) {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatal("seeds 1 and 2 produced identical outcome streams")
+	}
+}
+
+// TestStreamsIndependent checks the per-class stream property: adding
+// draws of one class must not shift another class's sequence.
+func TestStreamsIndependent(t *testing.T) {
+	plain := NewInjector(Heavy(7))
+	mixed := NewInjector(Heavy(7))
+	for i := 0; i < 200; i++ {
+		want := plain.ArtifactCorrupt()
+		mixed.ReadOutcome(0) // extra device draws on the mixed injector
+		mixed.ReadOutcome(0)
+		if got := mixed.ArtifactCorrupt(); got != want {
+			t.Fatalf("draw %d: artifact stream perturbed by device draws", i)
+		}
+	}
+}
+
+func TestErrorsCappedByAttempt(t *testing.T) {
+	in := NewInjector(Plan{Seed: 3, ReadErrorRate: 1.0})
+	for i := 0; i < 100; i++ {
+		if !in.ReadOutcome(0).Err {
+			t.Fatal("rate-1.0 plan did not inject at attempt 0")
+		}
+		if in.ReadOutcome(MaxErrorAttempts).Err {
+			t.Fatalf("error injected at attempt %d", MaxErrorAttempts)
+		}
+	}
+}
+
+func TestRatesRoughlyHonoured(t *testing.T) {
+	in := NewInjector(Plan{Seed: 11, ReadErrorRate: 0.1})
+	errs := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if in.ReadOutcome(0).Err {
+			errs++
+		}
+	}
+	if errs < n/20 || errs > n/5 {
+		t.Fatalf("rate 0.1 produced %d/%d errors", errs, n)
+	}
+	if got := in.Report().IOErrors; got != int64(errs) {
+		t.Fatalf("report counted %d errors, observed %d", got, errs)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Plan{
+		{ReadErrorRate: -0.1},
+		{ShortReadRate: 1.5},
+		{LatencySpikeRate: 0.5},     // missing spike duration
+		{StuckSlotRate: 0.5},        // missing hold duration
+		{ArtifactCorruptionRate: 2}, // out of range
+		{MapLoadFailureRate: -1},    // out of range
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("plan %d validated: %+v", i, p)
+		}
+	}
+	for _, p := range []Plan{{}, Light(0), Heavy(1)} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("good plan rejected: %v", err)
+		}
+	}
+	if (Plan{}).Enabled() {
+		t.Error("zero plan reports enabled")
+	}
+	if !Light(0).Enabled() || !Heavy(0).Enabled() {
+		t.Error("preset plan reports disabled")
+	}
+}
+
+func TestRetryAlwaysSucceedsUnderInjection(t *testing.T) {
+	// A failure source honouring the injector contract (no failure at
+	// try >= MaxErrorAttempts) must always be absorbed by Retry.
+	in := NewInjector(Plan{Seed: 5, ReadErrorRate: 1.0})
+	eng := sim.NewEngine()
+	var retErr error
+	var tries int
+	eng.Go("retry", func(p *sim.Proc) {
+		retErr = Retry(p, in, func(try int) error {
+			tries++
+			if in.ReadOutcome(try).Err {
+				return fmt.Errorf("injected")
+			}
+			return nil
+		})
+	})
+	eng.Run()
+	if retErr != nil {
+		t.Fatalf("retry failed under injection: %v", retErr)
+	}
+	if tries != MaxErrorAttempts+1 {
+		t.Fatalf("rate-1.0 retry took %d tries, want %d", tries, MaxErrorAttempts+1)
+	}
+	if got := in.Report().Retries; got != int64(MaxErrorAttempts) {
+		t.Fatalf("counted %d retries, want %d", got, MaxErrorAttempts)
+	}
+}
+
+func TestRetryGivesUpOnPersistentError(t *testing.T) {
+	eng := sim.NewEngine()
+	var retErr error
+	tries := 0
+	eng.Go("retry", func(p *sim.Proc) {
+		retErr = Retry(p, nil, func(try int) error {
+			tries++
+			return fmt.Errorf("persistent")
+		})
+	})
+	eng.Run()
+	if retErr == nil {
+		t.Fatal("persistent error swallowed")
+	}
+	if tries != MaxRetryAttempts {
+		t.Fatalf("took %d tries, want %d", tries, MaxRetryAttempts)
+	}
+}
+
+func TestBackoffBounded(t *testing.T) {
+	if Backoff(0) <= 0 {
+		t.Fatal("zero backoff")
+	}
+	for a := 0; a < 64; a++ {
+		if d := Backoff(a); d <= 0 || d > 5*time.Millisecond {
+			t.Fatalf("backoff(%d) = %v out of bounds", a, d)
+		}
+	}
+}
+
+func TestReportAddAndInjected(t *testing.T) {
+	a := Report{IOErrors: 1, LatencySpikes: 2, StuckSlots: 3, ShortReads: 4,
+		ArtifactCorruptions: 5, MapLoadFailures: 6, Retries: 7, Fallbacks: 8}
+	var sum Report
+	sum.Add(a)
+	sum.Add(a)
+	if sum.IOErrors != 2 || sum.Fallbacks != 16 {
+		t.Fatalf("add broken: %+v", sum)
+	}
+	if got, want := a.Injected(), int64(1+2+3+4+5+6); got != want {
+		t.Fatalf("injected = %d, want %d", got, want)
+	}
+}

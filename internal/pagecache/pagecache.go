@@ -16,6 +16,7 @@ import (
 
 	"snapbpf/internal/blockdev"
 	"snapbpf/internal/costmodel"
+	"snapbpf/internal/faults"
 	"snapbpf/internal/kprobe"
 	"snapbpf/internal/sim"
 )
@@ -260,19 +261,29 @@ func (i *Inode) submitRuns(p *sim.Proc, indices []int64, readahead bool) {
 				i.insert(p, start+k, done)
 			}
 		}
-		var w *sim.Waiter
+		off, length := start*4096, runLen*4096
+		submit := i.c.dev.SubmitReadIO
 		if readahead {
-			w = i.c.dev.SubmitReadahead(start*4096, runLen*4096)
-		} else {
-			w = i.c.dev.SubmitRead(start*4096, runLen*4096)
+			submit = i.c.dev.SubmitReadaheadIO
 		}
-		// Relay device completion to the shared page waiter. Reclaim
-		// runs again once pages become uptodate: in-flight pages are
-		// not evictable, so an insertion burst can overshoot the
-		// limit until its reads land (as direct reclaim does while
-		// waiting out in-flight folios).
+		io := submit(off, length, 0)
+		// Relay device completion to the shared page waiter, retrying
+		// failed reads with backoff — the kernel's path re-issues a
+		// failed bio before declaring the folio in error, and injected
+		// errors are transient (never at attempt >= MaxErrorAttempts),
+		// so the pages always come uptodate eventually. Reclaim runs
+		// again once pages become uptodate: in-flight pages are not
+		// evictable, so an insertion burst can overshoot the limit
+		// until its reads land (as direct reclaim does while waiting
+		// out in-flight folios).
 		i.c.eng.Go("io-complete", func(proc *sim.Proc) {
-			proc.Wait(w)
+			proc.Wait(io.Done())
+			for attempt := 1; io.Err() != nil && attempt < faults.MaxRetryAttempts; attempt++ {
+				i.c.dev.Faults().CountRetry()
+				proc.Sleep(faults.Backoff(attempt - 1))
+				io = submit(off, length, attempt)
+				proc.Wait(io.Done())
+			}
 			done.Fire()
 			i.c.reclaim()
 		})
@@ -381,11 +392,19 @@ func (i *Inode) BufferedRead(p *sim.Proc, startPage, nPages int64) {
 
 // DirectRead models an O_DIRECT read: it goes straight to the device,
 // bypassing the cache entirely — no insertion, no kprobe firing, no
-// sharing. REAP and Faast fetch working sets this way (§2.1).
-func (i *Inode) DirectRead(p *sim.Proc, startPage, nPages int64) {
+// sharing. REAP and Faast fetch working sets this way (§2.1). The
+// error is non-nil when the device injected a transient media error;
+// unlike the buffered path, O_DIRECT surfaces it to userspace, so the
+// scheme owns the retry (via DirectReadAttempt).
+func (i *Inode) DirectRead(p *sim.Proc, startPage, nPages int64) error {
+	return i.DirectReadAttempt(p, startPage, nPages, 0)
+}
+
+// DirectReadAttempt is DirectRead with an explicit retry index.
+func (i *Inode) DirectReadAttempt(p *sim.Proc, startPage, nPages int64, attempt int) error {
 	p.Sleep(i.c.cm.Syscall)
 	i.c.stats.DirectReads++
-	i.c.dev.Read(p, startPage*4096, nPages*4096)
+	return i.c.dev.ReadAttempt(p, startPage*4096, nPages*4096, attempt)
 }
 
 // Mincore returns the residency bitmap for [start, start+n): true for

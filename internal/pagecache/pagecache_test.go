@@ -6,6 +6,7 @@ import (
 
 	"snapbpf/internal/blockdev"
 	"snapbpf/internal/costmodel"
+	"snapbpf/internal/faults"
 	"snapbpf/internal/kprobe"
 	"snapbpf/internal/sim"
 )
@@ -278,5 +279,54 @@ func TestSharedPagesAcrossFaulters(t *testing.T) {
 	}
 	if c.NrCachedPages() != 100 {
 		t.Fatalf("NrCachedPages = %d, want 100", c.NrCachedPages())
+	}
+}
+
+// TestFaultPathRetriesInjectedErrors drives the demand-fault and
+// buffered-read paths against a device that fails every first, second
+// and third attempt: the kernel relay must retry until the transient
+// errors clear, every page must come uptodate, and the invocation must
+// complete rather than error.
+func TestFaultPathRetriesInjectedErrors(t *testing.T) {
+	eng, c, _ := newTestCache(8)
+	in := faults.NewInjector(faults.Plan{Seed: 3, ReadErrorRate: 1.0, ShortReadRate: 0.5})
+	c.Device().SetFaults(in)
+	ino := c.NewInode("snap", 64)
+	var done bool
+	eng.Go("reader", func(p *sim.Proc) {
+		ino.BufferedRead(p, 0, 64)
+		done = true
+	})
+	eng.Run()
+	if !done {
+		t.Fatal("buffered read did not complete under injection")
+	}
+	if got := ino.ResidentPages(); got != 64 {
+		t.Fatalf("resident pages = %d, want 64", got)
+	}
+	rep := in.Report()
+	if rep.IOErrors == 0 || rep.Retries == 0 {
+		t.Fatalf("no retries recorded: %+v", rep)
+	}
+}
+
+// TestDirectReadSurfacesInjectedError checks O_DIRECT semantics: the
+// error reaches the caller (the scheme owns the retry), and a later
+// attempt past the cap succeeds.
+func TestDirectReadSurfacesInjectedError(t *testing.T) {
+	eng, c, _ := newTestCache(0)
+	c.Device().SetFaults(faults.NewInjector(faults.Plan{Seed: 3, ReadErrorRate: 1.0}))
+	ino := c.NewInode("ws", 16)
+	var first, capped error
+	eng.Go("reader", func(p *sim.Proc) {
+		first = ino.DirectRead(p, 0, 16)
+		capped = ino.DirectReadAttempt(p, 0, 16, faults.MaxErrorAttempts)
+	})
+	eng.Run()
+	if first == nil {
+		t.Fatal("rate-1.0 direct read did not fail")
+	}
+	if capped != nil {
+		t.Fatalf("direct read failed past the attempt cap: %v", capped)
 	}
 }

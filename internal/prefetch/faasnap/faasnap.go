@@ -143,6 +143,15 @@ func (f *FaaSnap) PrepareVM(p *sim.Proc, env *prefetch.Env, vm *vmm.MicroVM) err
 	}
 	f.mapSandbox(p, env, vm)
 
+	if env.Faults.ArtifactCorrupt() {
+		// The WS file is unreadable: skip the overlays and the prefetch
+		// thread. The plain snapshot layout (with zero regions) demand
+		// pages through the cache, whose buffered path absorbs device
+		// errors with kernel-level retries.
+		env.Faults.CountFallback()
+		return nil
+	}
+
 	// Each region becomes its own mapping of the WS file — the mmap
 	// count FaaSnap's coalescing exists to bound.
 	fileOff := int64(0)

@@ -9,6 +9,7 @@ package faast
 import (
 	"fmt"
 
+	"snapbpf/internal/faults"
 	"snapbpf/internal/pagecache"
 	"snapbpf/internal/prefetch"
 	"snapbpf/internal/sim"
@@ -81,7 +82,9 @@ func (f *Faast) Record(p *sim.Proc, env *prefetch.Env) error {
 			u.ZeroPage(hp, page)
 			return
 		}
-		env.SnapInode.DirectRead(hp, page, 1)
+		faults.Retry(hp, env.Faults, func(try int) error {
+			return env.SnapInode.DirectReadAttempt(hp, page, 1, try)
+		})
 		u.Copy(hp, page)
 		order = append(order, page)
 	}
@@ -111,6 +114,28 @@ func (f *Faast) PrepareVM(p *sim.Proc, env *prefetch.Env, vm *vmm.MicroVM) error
 	vma := vm.AS.MMapAnon(p, 0, env.Image.NrPages)
 	u := vm.AS.RegisterUffd(vma)
 
+	demandFetch := func(hp *sim.Proc, page int64) {
+		faults.Retry(hp, env.Faults, func(try int) error {
+			return env.SnapInode.DirectReadAttempt(hp, page, 1, try)
+		})
+		u.Copy(hp, page)
+	}
+
+	if env.Faults.ArtifactCorrupt() {
+		// The WS file is unreadable: degrade to demand paging. The
+		// free-frame set survives (it came from the snapshot scan, not
+		// the WS file), so metadata-free faults still get zero pages.
+		env.Faults.CountFallback()
+		u.Handler = func(hp *sim.Proc, page int64) {
+			if f.freeSet[page] {
+				u.ZeroPage(hp, page)
+				return
+			}
+			demandFetch(hp, page)
+		}
+		return nil
+	}
+
 	pending := make(map[int64]*sim.Waiter, len(f.ws.Pages))
 	for _, pg := range f.ws.Pages {
 		pending[pg] = env.Host.Eng.NewWaiter()
@@ -128,8 +153,7 @@ func (f *Faast) PrepareVM(p *sim.Proc, env *prefetch.Env, vm *vmm.MicroVM) error
 			}
 			return
 		}
-		env.SnapInode.DirectRead(hp, page, 1)
-		u.Copy(hp, page)
+		demandFetch(hp, page)
 	}
 
 	ws, wsInode, chunk := f.ws, f.wsInode, f.ChunkPages
@@ -140,7 +164,9 @@ func (f *Faast) PrepareVM(p *sim.Proc, env *prefetch.Env, vm *vmm.MicroVM) error
 			if base+l > n {
 				l = n - base
 			}
-			wsInode.DirectRead(pp, base, l)
+			faults.Retry(pp, env.Faults, func(try int) error {
+				return wsInode.DirectReadAttempt(pp, base, l, try)
+			})
 			for i := base; i < base+l; i++ {
 				page := ws.Pages[i]
 				u.Copy(pp, page)

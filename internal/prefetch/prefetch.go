@@ -15,6 +15,7 @@
 package prefetch
 
 import (
+	"snapbpf/internal/faults"
 	"snapbpf/internal/pagecache"
 	"snapbpf/internal/sim"
 	"snapbpf/internal/snapshot"
@@ -56,6 +57,12 @@ type Env struct {
 	// sandboxes, as in the paper's methodology).
 	RecordTrace *trace.Trace
 	InvokeTrace *trace.Trace
+
+	// Faults is the run's fault injector (nil when healthy). Schemes
+	// consult it in PrepareVM for scheme-level failures — corrupt
+	// working-set artifacts, eBPF map-load failures — and degrade to
+	// demand paging instead of failing the invocation.
+	Faults *faults.Injector
 }
 
 // Prefetcher is one snapshot-prefetching scheme.

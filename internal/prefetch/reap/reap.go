@@ -11,6 +11,7 @@ package reap
 import (
 	"fmt"
 
+	"snapbpf/internal/faults"
 	"snapbpf/internal/pagecache"
 	"snapbpf/internal/prefetch"
 	"snapbpf/internal/sim"
@@ -99,10 +100,14 @@ func (r *REAP) Record(p *sim.Proc, env *prefetch.Env) error {
 }
 
 // readSnapshotPage fetches one page of the snapshot during fault
-// handling, honouring the DirectIO setting.
+// handling, honouring the DirectIO setting. O_DIRECT surfaces
+// transient media errors to userspace, so REAP retries with backoff;
+// the buffered path retries inside the kernel.
 func (r *REAP) readSnapshotPage(p *sim.Proc, env *prefetch.Env, page int64) {
 	if r.DirectIO {
-		env.SnapInode.DirectRead(p, page, 1)
+		faults.Retry(p, env.Faults, func(try int) error {
+			return env.SnapInode.DirectReadAttempt(p, page, 1, try)
+		})
 	} else {
 		env.SnapInode.BufferedRead(p, page, 1)
 	}
@@ -125,6 +130,19 @@ func (r *REAP) PrepareVM(p *sim.Proc, env *prefetch.Env, vm *vmm.MicroVM) error 
 	}
 	vma := vm.AS.MMapAnon(p, 0, env.Image.NrPages)
 	u := vm.AS.RegisterUffd(vma)
+
+	if env.Faults.ArtifactCorrupt() {
+		// The WS file is corrupt or truncated: degrade to pure demand
+		// paging from the snapshot — the same handler the record phase
+		// uses, minus the logging. Every fault costs a round trip to
+		// userspace plus a snapshot read, but the invocation completes.
+		env.Faults.CountFallback()
+		u.Handler = func(hp *sim.Proc, page int64) {
+			r.readSnapshotPage(hp, env, page)
+			u.Copy(hp, page)
+		}
+		return nil
+	}
 
 	st := &vmState{pending: make(map[int64]*sim.Waiter, len(r.ws.Pages))}
 	for _, pg := range r.ws.Pages {
@@ -159,7 +177,9 @@ func (r *REAP) PrepareVM(p *sim.Proc, env *prefetch.Env, vm *vmm.MicroVM) error 
 			}
 			// The WS file is read sequentially by file offset.
 			if r.DirectIO {
-				wsInode.DirectRead(pp, base, len_)
+				faults.Retry(pp, env.Faults, func(try int) error {
+					return wsInode.DirectReadAttempt(pp, base, len_, try)
+				})
 			} else {
 				wsInode.BufferedRead(pp, base, len_)
 			}

@@ -29,6 +29,7 @@ import (
 	"snapbpf/internal/blockdev"
 	"snapbpf/internal/core"
 	"snapbpf/internal/experiments"
+	"snapbpf/internal/faults"
 	"snapbpf/internal/prefetch"
 	"snapbpf/internal/prefetch/faasnap"
 	"snapbpf/internal/prefetch/faast"
@@ -92,6 +93,15 @@ type (
 
 	// SnapBPF is the paper's prefetcher with its mechanism toggles.
 	SnapBPF = core.SnapBPF
+
+	// FaultPlan describes seeded storage/scheme fault injection for a
+	// run (RunConfig.Faults, ExperimentOptions.Faults); the zero value
+	// injects nothing.
+	FaultPlan = faults.Plan
+
+	// FaultReport summarizes what a run's fault injector did
+	// (RunResult.Faults): injected events, retries, fallbacks.
+	FaultReport = faults.Report
 )
 
 // Predefined schemes, as named in the paper's figures.
@@ -166,6 +176,19 @@ func SpindleHDD() DeviceParams { return blockdev.SpindleHDD() }
 
 // NVMeGen4 returns a modern datacenter NVMe model.
 func NVMeGen4() DeviceParams { return blockdev.NVMeGen4() }
+
+// LightFaults returns the ageing-but-serviceable device fault plan;
+// HeavyFaults the degrading-device plan. Both are reproducible from
+// the seed: equal plans yield byte-identical runs.
+func LightFaults(seed int64) FaultPlan { return faults.Light(seed) }
+
+// HeavyFaults returns the degrading-device fault plan.
+func HeavyFaults(seed int64) FaultPlan { return faults.Heavy(seed) }
+
+// ParseParallel parses a worker-count setting (the -parallel flag or
+// SNAPBPF_BENCH_PARALLEL), rejecting non-integers and negative counts.
+// 0 means one worker per CPU.
+func ParseParallel(s string) (int, error) { return experiments.ParseParallel(s) }
 
 // BuildImage constructs a function's snapshot memory image directly
 // (the fast path used by the experiment harness).

@@ -178,3 +178,104 @@ func TestBuildImageFacade(t *testing.T) {
 		t.Fatal("zero-on-free image has no zero pages")
 	}
 }
+
+// tinyFn is a minimal function model for fast facade-level runs.
+func tinyFn() snapbpf.Function {
+	return snapbpf.Function{
+		Name: "facade-tiny", MemMiB: 32, StateMiB: 16, WSMiB: 4, WSRegions: 6,
+		AllocMiB: 2, ComputeMs: 5, WriteFrac: 0.1, Seed: 1,
+	}
+}
+
+func TestFunctionByNameUnknown(t *testing.T) {
+	_, err := snapbpf.FunctionByName("no-such-function")
+	if err == nil {
+		t.Fatal("unknown function accepted")
+	}
+	if !strings.Contains(err.Error(), "no-such-function") {
+		t.Fatalf("error does not name the function: %v", err)
+	}
+}
+
+func TestSchemeByNameUnknownNamesScheme(t *testing.T) {
+	_, err := snapbpf.SchemeByName("no-such-scheme")
+	if err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+	if !strings.Contains(err.Error(), "no-such-scheme") {
+		t.Fatalf("error does not name the scheme: %v", err)
+	}
+}
+
+func TestRunNValidation(t *testing.T) {
+	if _, err := snapbpf.Run(tinyFn(), snapbpf.SchemeLinuxRA, snapbpf.RunConfig{N: -3}); err == nil {
+		t.Fatal("negative N accepted")
+	}
+	res, err := snapbpf.Run(tinyFn(), snapbpf.SchemeLinuxRA, snapbpf.RunConfig{})
+	if err != nil {
+		t.Fatalf("zero N (default 1) rejected: %v", err)
+	}
+	if len(res.E2E) != 1 {
+		t.Fatalf("zero N ran %d sandboxes, want 1", len(res.E2E))
+	}
+}
+
+func TestRunWavesEmptyInputs(t *testing.T) {
+	if _, err := snapbpf.RunWaves(tinyFn(), snapbpf.SchemeLinuxRA, 0, 1, 0, snapbpf.MicronSATA5300()); err == nil {
+		t.Fatal("zero waves accepted")
+	}
+	if _, err := snapbpf.RunWaves(tinyFn(), snapbpf.SchemeLinuxRA, 1, 0, 0, snapbpf.MicronSATA5300()); err == nil {
+		t.Fatal("zero perWave accepted")
+	}
+}
+
+func TestRunMixedEmptyInputs(t *testing.T) {
+	if _, err := snapbpf.RunMixed(nil, snapbpf.SchemeLinuxRA, 1, snapbpf.MicronSATA5300()); err == nil {
+		t.Fatal("empty function list accepted")
+	}
+}
+
+func TestFaultInjectionThroughFacade(t *testing.T) {
+	plan := snapbpf.HeavyFaults(3)
+	res, err := snapbpf.Run(tinyFn(), snapbpf.SchemeSnapBPF, snapbpf.RunConfig{N: 2, Faults: &plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.Injected() == 0 {
+		t.Fatalf("heavy plan injected nothing: %+v", res.Faults)
+	}
+	for i, e := range res.E2E {
+		if e <= 0 {
+			t.Fatalf("vm%d did not complete under faults", i)
+		}
+	}
+	bad := snapbpf.FaultPlan{ReadErrorRate: -1}
+	if _, err := snapbpf.Run(tinyFn(), snapbpf.SchemeSnapBPF, snapbpf.RunConfig{N: 1, Faults: &bad}); err == nil {
+		t.Fatal("invalid plan accepted")
+	}
+}
+
+func TestParseParallel(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want int
+		ok   bool
+	}{
+		{"0", 0, true},
+		{"1", 1, true},
+		{" 8 ", 8, true},
+		{"-1", 0, false},
+		{"-100", 0, false},
+		{"two", 0, false},
+		{"", 0, false},
+		{"1.5", 0, false},
+	} {
+		got, err := snapbpf.ParseParallel(tc.in)
+		if tc.ok && (err != nil || got != tc.want) {
+			t.Errorf("ParseParallel(%q) = %d, %v; want %d", tc.in, got, err, tc.want)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("ParseParallel(%q) accepted", tc.in)
+		}
+	}
+}
