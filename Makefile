@@ -22,8 +22,10 @@ check: build vet fmtcheck test
 test:
 	$(GO) test ./...
 
+# The race detector slows the suite ~4x; the explicit timeout keeps the
+# experiments package clear of go test's 10-minute default.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 25m ./...
 
 cover:
 	$(GO) test -cover ./...

@@ -12,6 +12,7 @@
 //	snapbpf-bench -timing t.json       # write wall-clock timings as JSON
 //	snapbpf-bench -faults heavy        # inject storage faults everywhere
 //	snapbpf-bench -fault-seed 7        # reseed the injection streams
+//	snapbpf-bench -check               # arm the invariant-checking harness
 //	snapbpf-bench -list                # list experiment ids
 //	snapbpf-bench -v                   # per-cell progress on stderr
 package main
@@ -45,6 +46,7 @@ func main() {
 		timing    = flag.String("timing", "", "write per-experiment wall-clock timings to this JSON file")
 		faultsLvl = flag.String("faults", "none", "fault injection level for every experiment: none, light, heavy")
 		faultSeed = flag.Int64("fault-seed", 1, "seed for the fault-injection streams (same seed = byte-identical run)")
+		checkInv  = flag.Bool("check", false, "arm the invariant-checking harness on every cell (fails on violations)")
 	)
 	flag.Parse()
 	if *parallel < 0 {
@@ -59,7 +61,7 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{Parallel: *parallel}
+	opts := experiments.Options{Parallel: *parallel, Check: *checkInv}
 	switch *faultsLvl {
 	case "none", "":
 	case "light":

@@ -138,8 +138,34 @@ type Device struct {
 	// every serviced request (see internal/faults).
 	faults *faults.Injector
 
+	obs Observer
+
 	stats Stats
 }
+
+// Observer receives device-level events for the correctness harness
+// (internal/check). Observers must not mutate device state; a nil
+// observer costs one branch per event.
+type Observer interface {
+	// IOSubmitted fires once per submission, after it was split into
+	// parts requests.
+	IOSubmitted(off, length int64, sync bool, attempt, parts int)
+	// RequestServiced fires when one request (split part) enters an NCQ
+	// slot, after the drawn fault treatment was applied. inFlight
+	// includes the request itself. out.Short implies the tail was
+	// requeued as an extra part (the injector only draws Short for
+	// requests spanning at least two pages).
+	RequestServiced(off, length int64, attempt, inFlight int, out faults.ReadOutcome)
+	// RequestCompleted fires when a request leaves its NCQ slot;
+	// inFlight is the post-completion count.
+	RequestCompleted(inFlight int)
+	// IOCompleted fires when the last part of a submission completes,
+	// immediately before the submission's Waiter.
+	IOCompleted(failed bool)
+}
+
+// SetObserver installs obs (nil disables observation).
+func (d *Device) SetObserver(obs Observer) { d.obs = obs }
 
 // IO is the handle for one submission: a completion Waiter plus the
 // submission's error status, valid once the Waiter has fired. A
@@ -262,6 +288,9 @@ func (d *Device) submit(off, length int64, sync bool, attempt int) *IO {
 	io := &IO{done: d.eng.NewWaiter()}
 	parts := splitRequest(off, length, d.p.MaxRequestBytes)
 	remain := len(parts)
+	if d.obs != nil {
+		d.obs.IOSubmitted(off, length, sync, attempt, len(parts))
+	}
 	for _, part := range parts {
 		r := &request{off: part.off, len: part.len, io: io, remain: &remain, sync: sync, attempt: attempt}
 		if sync {
@@ -303,12 +332,12 @@ func (d *Device) pump() {
 // the head of its class queue, and a transient error marks the IO
 // failed (it still consumes media time — the device tried).
 func (d *Device) service(r *request) {
-	out := d.faults.ReadOutcome(r.attempt)
+	out := d.faults.ReadOutcome(r.attempt, r.len/int64(units.PageSize))
 	if out.Err {
 		r.io.fail(fmt.Errorf("blockdev %s: transient media error reading [%d,%d) attempt %d",
 			d.p.Name, r.off, r.off+r.len, r.attempt))
 	}
-	if out.Short && r.len >= 2*int64(units.PageSize) {
+	if out.Short {
 		half := r.len / 2
 		half -= half % int64(units.PageSize)
 		tail := &request{off: r.off + half, len: r.len - half, io: r.io,
@@ -320,6 +349,9 @@ func (d *Device) service(r *request) {
 		} else {
 			d.asyncQ = append([]*request{tail}, d.asyncQ...)
 		}
+	}
+	if d.obs != nil {
+		d.obs.RequestServiced(r.off, r.len, r.attempt, d.inFlight, out)
 	}
 	mt := d.mediaTime(r.off, r.len) + out.ExtraMediaTime
 	if r.off == d.lastEnd {
@@ -339,7 +371,13 @@ func (d *Device) service(r *request) {
 	d.eng.ScheduleAt(completeAt, func() {
 		d.inFlight--
 		*r.remain--
+		if d.obs != nil {
+			d.obs.RequestCompleted(d.inFlight)
+		}
 		if *r.remain == 0 {
+			if d.obs != nil {
+				d.obs.IOCompleted(r.io.err != nil)
+			}
 			r.io.done.Fire()
 		}
 		d.pump()

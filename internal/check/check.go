@@ -1,0 +1,764 @@
+// Package check is the correctness harness for the simulated
+// storage/restore stack: a single Checker implements the observer
+// interfaces of every layer (sim, blockdev, pagecache, hostmm, kvm,
+// prefetch) and evaluates invariants online as events arrive, instead
+// of sampling state after the fact.
+//
+// The harness maintains shadow state fed exclusively by events:
+//
+//   - a per-address-space page table mirroring every PTE transition
+//     (file mappings, anonymous installs, CoW breaks), including the
+//     content tag of every anonymous page;
+//   - derived rmap reference counts built from address-space events —
+//     deliberately NOT from page-cache map/unmap calls — so a
+//     corrupted Inode map count is caught by cross-checking, not
+//     mirrored;
+//   - block-device queue occupancy and split-part accounting;
+//   - the fault injector's applied treatments, balanced against its
+//     Report counters at the end of the run.
+//
+// On top of the shadow page tables sits the differential oracle: the
+// repo models page contents as uint64 tags, so after an invocation the
+// checker can fold the guest-visible content of every snapshot state
+// page into a digest. Every scheme — SnapBPF, REAP, Faast, FaaSnap,
+// and the Linux baselines — must produce the same digest as a pure
+// demand-paging run under the same trace, healthy or faulted; see the
+// differential tests in internal/experiments.
+package check
+
+import (
+	"fmt"
+
+	"snapbpf/internal/faults"
+	"snapbpf/internal/hostmm"
+	"snapbpf/internal/kvm"
+	"snapbpf/internal/pagecache"
+	"snapbpf/internal/sim"
+	"snapbpf/internal/units"
+	"snapbpf/internal/vmm"
+)
+
+// maxViolations caps recorded violations so a systemically broken run
+// does not accumulate unbounded diagnostics; further ones are counted.
+const maxViolations = 64
+
+// Violation is one observed invariant breach.
+type Violation struct {
+	// At is the virtual time the violation was detected.
+	At sim.Time
+	// Invariant is a stable identifier ("rmap-dedup-accounting", ...).
+	Invariant string
+	// Detail is the human-readable diagnosis.
+	Detail string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("[%v] %s: %s", v.At, v.Invariant, v.Detail)
+}
+
+// pageKey identifies one page-cache page.
+type pageKey struct {
+	ino *pagecache.Inode
+	idx int64
+}
+
+// anonPage is the shadow of one anonymous PTE: the content tag the
+// page carries, and whether the tag is known (untagged UFFDIO_COPY
+// installs content the harness cannot model).
+type anonPage struct {
+	tag   uint64
+	known bool
+}
+
+// filePage is the shadow of one file-backed PTE.
+type filePage struct {
+	ino     *pagecache.Inode
+	fileIdx int64
+}
+
+// spaceShadow mirrors one address space's page table.
+type spaceShadow struct {
+	released bool
+	anon     map[int64]anonPage
+	file     map[int64]filePage
+}
+
+// accessCtx is one in-progress guest access (AccessBegin..AccessEnd),
+// used to attribute host-level events (CoW breaks) to the guest access
+// that caused them.
+type accessCtx struct {
+	vm    *kvm.VM
+	pfn   int64
+	write bool
+}
+
+// Checker implements every layer's Observer interface and accumulates
+// violations. It must be confined to one simulated host; attach it
+// with New before the first simulated event.
+type Checker struct {
+	h   *vmm.Host
+	inj *faults.Injector
+
+	// sim shadow.
+	lastNow sim.Time
+
+	// blockdev shadow.
+	qdepth      int
+	inFlight    int
+	outstanding int // split parts submitted but not yet completed
+	// Applied fault treatments, balanced against inj.Report in Finish.
+	erroredServices int64
+	spikedServices  int64
+	stuckServices   int64
+	shortServices   int64
+	failedIOs       int64 // submissions whose final completion errored
+
+	// pagecache shadow: presence of every cached page.
+	cached map[pageKey]bool
+
+	// fileTags holds the content-tag table of every file whose
+	// contents the harness knows: the snapshot memory file plus every
+	// working-set artifact declared via ArtifactRegistered.
+	fileTags map[*pagecache.Inode][]uint64
+
+	// fileRefs is the derived rmap: reference counts built from
+	// FilePageMapped/FilePageUnmapped events only.
+	fileRefs map[pageKey]int
+
+	// spaces shadows every address space's page table.
+	spaces map[*hostmm.AddressSpace]*spaceShadow
+
+	// access tracks in-progress guest accesses per simulated task.
+	access map[*sim.Proc][]accessCtx
+
+	// vms lists every restored sandbox in creation order, including
+	// scheme-internal record VMs.
+	vms []*vmm.MicroVM
+
+	// prefetch-level counters.
+	recordsDone  int
+	preparesDone int
+	degraded     int64
+
+	violations []Violation
+	dropped    int
+}
+
+// New attaches a fresh checker to every layer of the host: the
+// engine, block device, page cache and memory manager immediately,
+// and each sandbox's KVM instance as it is restored (via
+// Host.OnRestore, chaining any existing hook). Call before the first
+// simulated event of the run.
+func New(h *vmm.Host, inj *faults.Injector) *Checker {
+	c := &Checker{
+		h:        h,
+		inj:      inj,
+		qdepth:   h.Dev.Params().QueueDepth,
+		cached:   make(map[pageKey]bool),
+		fileTags: make(map[*pagecache.Inode][]uint64),
+		fileRefs: make(map[pageKey]int),
+		spaces:   make(map[*hostmm.AddressSpace]*spaceShadow),
+		access:   make(map[*sim.Proc][]accessCtx),
+	}
+	c.lastNow = h.Eng.Now()
+	h.Eng.SetObserver(c)
+	h.Dev.SetObserver(c)
+	h.Cache.SetObserver(c)
+	h.MM.SetObserver(c)
+	prev := h.OnRestore
+	h.OnRestore = func(vm *vmm.MicroVM) {
+		if prev != nil {
+			prev(vm)
+		}
+		c.vms = append(c.vms, vm)
+		vm.KVM.SetObserver(c)
+	}
+	return c
+}
+
+// RegisterFileTags declares the content-tag table of a file: tags[i]
+// is the content of file page i. The experiment runner registers the
+// snapshot memory file; schemes register their working-set artifacts
+// through the prefetch.Observer ArtifactRegistered event.
+func (c *Checker) RegisterFileTags(ino *pagecache.Inode, tags []uint64) {
+	if int64(len(tags)) != ino.NrPages() {
+		c.violatef("artifact-size", "%s: %d tags declared for %d file pages",
+			ino.Name(), len(tags), ino.NrPages())
+	}
+	c.fileTags[ino] = append([]uint64(nil), tags...)
+}
+
+// Violations returns the recorded breaches (capped at maxViolations).
+func (c *Checker) Violations() []Violation { return c.violations }
+
+func (c *Checker) violatef(invariant, format string, args ...any) {
+	if len(c.violations) >= maxViolations {
+		c.dropped++
+		return
+	}
+	c.violations = append(c.violations, Violation{
+		At:        c.h.Eng.Now(),
+		Invariant: invariant,
+		Detail:    fmt.Sprintf(format, args...),
+	})
+}
+
+func (c *Checker) shadow(as *hostmm.AddressSpace) *spaceShadow {
+	s, ok := c.spaces[as]
+	if !ok {
+		// Address space created before the checker attached — only
+		// possible if New was called mid-run, which is a harness bug.
+		c.violatef("space-untracked", "%s observed before SpaceCreated", as.Name())
+		s = &spaceShadow{anon: make(map[int64]anonPage), file: make(map[int64]filePage)}
+		c.spaces[as] = s
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// sim.Observer: event causality and clock monotonicity.
+
+// EventScheduled implements sim.Observer.
+func (c *Checker) EventScheduled(at sim.Time) {
+	if at < c.lastNow {
+		c.violatef("sim-causality", "event scheduled at %v before now %v", at, c.lastNow)
+	}
+}
+
+// ClockAdvanced implements sim.Observer.
+func (c *Checker) ClockAdvanced(now sim.Time) {
+	if now < c.lastNow {
+		c.violatef("sim-monotonic-clock", "clock moved backwards: %v -> %v", c.lastNow, now)
+	}
+	c.lastNow = now
+}
+
+// ---------------------------------------------------------------------------
+// blockdev.Observer: NCQ slot and split-part conservation, applied
+// fault treatments.
+
+// IOSubmitted implements blockdev.Observer.
+func (c *Checker) IOSubmitted(off, length int64, sync bool, attempt, parts int) {
+	if parts <= 0 || length <= 0 {
+		c.violatef("io-submit", "submission [%d,%d) with %d parts", off, off+length, parts)
+		return
+	}
+	max := c.h.Dev.Params().MaxRequestBytes
+	if want := int((length + max - 1) / max); parts != want {
+		c.violatef("io-split", "submission of %d bytes split into %d parts, want %d (max %d)",
+			length, parts, want, max)
+	}
+	c.outstanding += parts
+}
+
+// RequestServiced implements blockdev.Observer.
+func (c *Checker) RequestServiced(off, length int64, attempt, inFlight int, out faults.ReadOutcome) {
+	c.inFlight++
+	if inFlight != c.inFlight {
+		c.violatef("ncq-slot-conservation", "device reports %d in flight, shadow %d", inFlight, c.inFlight)
+		c.inFlight = inFlight
+	}
+	if c.inFlight > c.qdepth {
+		c.violatef("ncq-depth", "%d requests in flight exceeds queue depth %d", c.inFlight, c.qdepth)
+	}
+	if out.Err {
+		c.erroredServices++
+		if attempt >= faults.MaxErrorAttempts {
+			c.violatef("fault-transience", "error injected at attempt %d (>= %d)",
+				attempt, faults.MaxErrorAttempts)
+		}
+	}
+	if out.ExtraMediaTime > 0 {
+		c.spikedServices++
+	}
+	if out.HoldSlot > 0 {
+		c.stuckServices++
+	}
+	if out.Short {
+		c.shortServices++
+		c.outstanding++ // the requeued tail is an extra part
+		if length < int64(units.PageSize) {
+			c.violatef("short-read-applicability", "short read left a %d-byte head", length)
+		}
+	}
+}
+
+// RequestCompleted implements blockdev.Observer.
+func (c *Checker) RequestCompleted(inFlight int) {
+	c.inFlight--
+	c.outstanding--
+	if inFlight != c.inFlight || c.inFlight < 0 {
+		c.violatef("ncq-slot-conservation", "completion: device reports %d in flight, shadow %d",
+			inFlight, c.inFlight)
+		c.inFlight = inFlight
+	}
+	if c.outstanding < 0 {
+		c.violatef("io-part-conservation", "more completions than submitted parts")
+		c.outstanding = 0
+	}
+}
+
+// IOCompleted implements blockdev.Observer.
+func (c *Checker) IOCompleted(failed bool) {
+	if failed {
+		c.failedIOs++
+	}
+}
+
+// ---------------------------------------------------------------------------
+// pagecache.Observer: presence/count accounting and eviction safety.
+
+func (c *Checker) checkCachedCount(context string) {
+	if got, want := c.h.Cache.NrCachedPages(), int64(len(c.cached)); got != want {
+		c.violatef("cache-count-accounting", "%s: cache reports %d pages, shadow %d",
+			context, got, want)
+	}
+}
+
+// PageInserted implements pagecache.Observer.
+func (c *Checker) PageInserted(ino *pagecache.Inode, idx int64, readahead bool) {
+	k := pageKey{ino, idx}
+	if c.cached[k] {
+		c.violatef("cache-double-insert", "%s page %d inserted while present", ino.Name(), idx)
+	}
+	c.cached[k] = true
+	c.checkCachedCount("insert")
+}
+
+// PageEvicted implements pagecache.Observer.
+func (c *Checker) PageEvicted(ino *pagecache.Inode, idx int64) {
+	c.pageGone(ino, idx, "evict")
+	if refs := c.fileRefs[pageKey{ino, idx}]; refs != 0 {
+		c.violatef("evict-mapped-page", "%s page %d reclaimed with %d derived rmap refs",
+			ino.Name(), idx, refs)
+	}
+}
+
+// PageRemoved implements pagecache.Observer.
+func (c *Checker) PageRemoved(ino *pagecache.Inode, idx int64) {
+	c.pageGone(ino, idx, "remove")
+	if refs := c.fileRefs[pageKey{ino, idx}]; refs != 0 {
+		c.violatef("remove-mapped-page", "%s page %d dropped with %d derived rmap refs",
+			ino.Name(), idx, refs)
+	}
+}
+
+func (c *Checker) pageGone(ino *pagecache.Inode, idx int64, context string) {
+	k := pageKey{ino, idx}
+	if !c.cached[k] {
+		c.violatef("cache-"+context+"-absent", "%s page %d %sed while absent",
+			ino.Name(), idx, context)
+	}
+	delete(c.cached, k)
+	c.checkCachedCount(context)
+}
+
+// ---------------------------------------------------------------------------
+// hostmm.Observer: PTE shadowing, derived rmap, anonymous accounting,
+// CoW attribution.
+
+// SpaceCreated implements hostmm.Observer.
+func (c *Checker) SpaceCreated(as *hostmm.AddressSpace) {
+	if _, ok := c.spaces[as]; ok {
+		c.violatef("space-recreated", "%s created twice", as.Name())
+	}
+	c.spaces[as] = &spaceShadow{anon: make(map[int64]anonPage), file: make(map[int64]filePage)}
+}
+
+// SpaceReleased implements hostmm.Observer.
+func (c *Checker) SpaceReleased(as *hostmm.AddressSpace) {
+	s := c.shadow(as)
+	// Release fires per-page events (FilePageUnmapped/AnonDropped)
+	// before SpaceReleased, so the shadow must already be empty.
+	if n := len(s.anon) + len(s.file); n != 0 {
+		c.violatef("space-release-leak", "%s released with %d shadow PTEs live", as.Name(), n)
+	}
+	if got := as.AnonPages(); got != 0 {
+		c.violatef("anon-accounting", "%s released with AnonPages=%d", as.Name(), got)
+	}
+	s.released = true
+}
+
+// FilePageMapped implements hostmm.Observer.
+func (c *Checker) FilePageMapped(as *hostmm.AddressSpace, page int64, ino *pagecache.Inode, fileIdx int64) {
+	s := c.shadow(as)
+	if _, ok := s.file[page]; ok {
+		c.violatef("pte-double-map", "%s page %d file-mapped twice", as.Name(), page)
+	}
+	if _, ok := s.anon[page]; ok {
+		c.violatef("pte-state", "%s page %d file-mapped over an anonymous page", as.Name(), page)
+	}
+	k := pageKey{ino, fileIdx}
+	if !c.cached[k] {
+		c.violatef("map-uncached-page", "%s page %d maps %s page %d which is not cached",
+			as.Name(), page, ino.Name(), fileIdx)
+	}
+	s.file[page] = filePage{ino, fileIdx}
+	c.fileRefs[k]++
+}
+
+// FilePageUnmapped implements hostmm.Observer.
+func (c *Checker) FilePageUnmapped(as *hostmm.AddressSpace, page int64, ino *pagecache.Inode, fileIdx int64) {
+	s := c.shadow(as)
+	fp, ok := s.file[page]
+	if !ok || fp.ino != ino || fp.fileIdx != fileIdx {
+		c.violatef("pte-unmap-mismatch", "%s page %d unmapped from %s page %d but shadow has %+v",
+			as.Name(), page, ino.Name(), fileIdx, fp)
+		return
+	}
+	delete(s.file, page)
+	k := pageKey{ino, fileIdx}
+	if c.fileRefs[k] <= 0 {
+		c.violatef("rmap-underflow", "%s page %d unmapped below zero refs", ino.Name(), fileIdx)
+		return
+	}
+	c.fileRefs[k]--
+	if c.fileRefs[k] == 0 {
+		delete(c.fileRefs, k)
+	}
+}
+
+// AnonInstalled implements hostmm.Observer.
+func (c *Checker) AnonInstalled(as *hostmm.AddressSpace, page int64, content uint64, known bool) {
+	s := c.shadow(as)
+	if _, ok := s.anon[page]; ok {
+		c.violatef("anon-double-install", "%s page %d installed while already anonymous", as.Name(), page)
+	}
+	if _, ok := s.file[page]; ok {
+		c.violatef("pte-state", "%s page %d anonymous install over a live file mapping", as.Name(), page)
+	}
+	s.anon[page] = anonPage{tag: content, known: known}
+}
+
+// AnonDropped implements hostmm.Observer.
+func (c *Checker) AnonDropped(as *hostmm.AddressSpace, page int64) {
+	s := c.shadow(as)
+	if _, ok := s.anon[page]; !ok {
+		c.violatef("anon-drop-absent", "%s page %d dropped while not anonymous", as.Name(), page)
+		return
+	}
+	delete(s.anon, page)
+}
+
+// FaultResolved implements hostmm.Observer.
+func (c *Checker) FaultResolved(p *sim.Proc, as *hostmm.AddressSpace, page int64, write bool, kind hostmm.FaultKind) {
+	s := c.shadow(as)
+	_, isAnon := s.anon[page]
+	_, isFile := s.file[page]
+	switch kind {
+	case hostmm.FaultMinor:
+		if !isAnon && !isFile {
+			c.violatef("minor-fault-unmapped", "%s page %d minor fault on unmapped page", as.Name(), page)
+		}
+		if write && !isAnon {
+			c.violatef("minor-write-shared", "%s page %d write minor fault on a shared file page",
+				as.Name(), page)
+		}
+	case hostmm.FaultFile:
+		// FilePageMapped fired before this event.
+		if !isFile {
+			c.violatef("file-fault-unmapped", "%s page %d file fault left no file PTE", as.Name(), page)
+		}
+	case hostmm.FaultZeroFill:
+		// installAnon on an anonymous VMA bypasses AnonInstalled;
+		// mirror it here. Fresh anonymous memory is zero.
+		if isFile {
+			c.violatef("pte-state", "%s page %d zero-fill over a live file mapping", as.Name(), page)
+		}
+		s.anon[page] = anonPage{tag: 0, known: true}
+	case hostmm.FaultCoW:
+		// The broken file PTE (if any) already fired FilePageUnmapped.
+		// The copied content is the backing file page's.
+		if isFile {
+			c.violatef("cow-file-pte-live", "%s page %d CoW left the file PTE mapped", as.Name(), page)
+		}
+		s.anon[page] = c.cowContent(as, page)
+		c.checkCoWAttribution(p, as, page)
+	case hostmm.FaultUffd:
+		// The handler must have installed the page (hostmm panics
+		// otherwise); the install fired AnonInstalled.
+		if _, ok := s.anon[page]; !ok {
+			c.violatef("uffd-left-unmapped", "%s page %d uffd fault left no anonymous PTE",
+				as.Name(), page)
+		}
+	}
+	if got, want := as.AnonPages(), int64(len(s.anon)); got != want {
+		c.violatef("anon-accounting", "%s: AnonPages=%d but shadow has %d anonymous pages",
+			as.Name(), got, want)
+	}
+}
+
+// cowContent resolves the content a CoW break copies: the backing file
+// page of the VMA covering the faulted page.
+func (c *Checker) cowContent(as *hostmm.AddressSpace, page int64) anonPage {
+	v := as.FindVMA(page)
+	if v == nil || v.Inode == nil {
+		c.violatef("cow-without-file-vma", "%s page %d broke CoW outside a file mapping",
+			as.Name(), page)
+		return anonPage{}
+	}
+	fi := v.FilePage(page)
+	tags := c.fileTags[v.Inode]
+	if fi < 0 || fi >= int64(len(tags)) {
+		return anonPage{} // unknown file contents
+	}
+	return anonPage{tag: tags[fi], known: true}
+}
+
+// checkCoWAttribution enforces that CoW breaks are only ever triggered
+// by guest writes: a CoW during a read access is legal only on a VM
+// running the unpatched KVM (ForceWriteMapping), which is exactly the
+// §4 pathology the paper's patch removes.
+func (c *Checker) checkCoWAttribution(p *sim.Proc, as *hostmm.AddressSpace, page int64) {
+	st := c.access[p]
+	if len(st) == 0 {
+		c.violatef("cow-outside-guest-access", "%s page %d broke CoW outside any guest access",
+			as.Name(), page)
+		return
+	}
+	ctx := st[len(st)-1]
+	if !ctx.write && !ctx.vm.ForceWriteMapping {
+		c.violatef("cow-under-read", "%s page %d broke CoW under a guest read with patched KVM",
+			as.Name(), page)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// kvm.Observer: access bracketing, PV-mirror consistency, and the
+// guest-write content evolution that drives the differential oracle.
+
+// AccessBegin implements kvm.Observer.
+func (c *Checker) AccessBegin(p *sim.Proc, v *kvm.VM, pfn int64, write bool) {
+	c.access[p] = append(c.access[p], accessCtx{vm: v, pfn: pfn, write: write})
+}
+
+// AccessEnd implements kvm.Observer.
+func (c *Checker) AccessEnd(p *sim.Proc, v *kvm.VM, pfn int64, write, mirror bool) {
+	st := c.access[p]
+	if len(st) == 0 {
+		c.violatef("access-unbalanced", "AccessEnd pfn %d without AccessBegin", pfn)
+		return
+	}
+	ctx := st[len(st)-1]
+	if len(st) == 1 {
+		delete(c.access, p)
+	} else {
+		c.access[p] = st[:len(st)-1]
+	}
+	if ctx.vm != v || ctx.pfn != pfn || ctx.write != write {
+		c.violatef("access-mismatch", "AccessEnd (pfn %d write %v) does not match AccessBegin (pfn %d write %v)",
+			pfn, write, ctx.pfn, ctx.write)
+	}
+	host := v.HostBase + pfn
+	s := c.shadow(v.AS)
+	if mirror {
+		// PV-mirror consistency: the mirrored gPFN and its original
+		// must resolve to the same host page, which the mirror fault
+		// backed with anonymous memory.
+		if _, ok := s.anon[host]; !ok {
+			c.violatef("pv-mirror-anon", "mirror access to pfn %d left host page %d non-anonymous",
+				pfn, host)
+		}
+	}
+	if write {
+		ap, ok := s.anon[host]
+		if !ok {
+			// A guest write must always land on private memory; a write
+			// into a shared page-cache page corrupts every other sandbox.
+			c.violatef("write-on-shared-page", "guest write to pfn %d landed on non-anonymous host page %d",
+				pfn, host)
+			return
+		}
+		s.anon[host] = anonPage{tag: evolveTag(ap.tag, pfn), known: ap.known}
+	}
+}
+
+// evolveTag is the deterministic content transition of one guest write:
+// it depends only on the prior content and the written frame, so any
+// two runs replaying the same trace over the same initial contents
+// converge to the same tags regardless of scheme, timing or fault plan.
+func evolveTag(tag uint64, pfn int64) uint64 {
+	x := tag ^ (uint64(pfn)*0x9e3779b97f4a7c15 + 0xbf58476d1ce4e5b9)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	if x == 0 {
+		x = 1 // keep zero reserved for "never written / zero page"
+	}
+	return x
+}
+
+// ---------------------------------------------------------------------------
+// prefetch.Observer: scheme-level lifecycle and degradation counting.
+
+// RecordDone implements prefetch.Observer.
+func (c *Checker) RecordDone(scheme string, wsPages int64) {
+	if wsPages < 0 {
+		c.violatef("record-ws", "%s recorded negative working set %d", scheme, wsPages)
+	}
+	c.recordsDone++
+}
+
+// ArtifactRegistered implements prefetch.Observer.
+func (c *Checker) ArtifactRegistered(ino *pagecache.Inode, tags []uint64) {
+	c.RegisterFileTags(ino, tags)
+}
+
+// PrepareDone implements prefetch.Observer.
+func (c *Checker) PrepareDone(scheme string, vm *vmm.MicroVM) { c.preparesDone++ }
+
+// Degraded implements prefetch.Observer.
+func (c *Checker) Degraded(scheme string, vm *vmm.MicroVM, reason string) { c.degraded++ }
+
+// ---------------------------------------------------------------------------
+// Digest: the differential oracle.
+
+// VMDone runs the per-sandbox end-of-invocation checks and returns the
+// digest of the sandbox's guest-visible memory. Call after Invoke and
+// before Shutdown (the shadow page table dies with the address space).
+//
+// The digest folds, in frame order, the content tag of every snapshot
+// *state* page as the guest would read it: anonymous pages contribute
+// their tracked tag, file-mapped pages the backing file content, and
+// untouched pages the snapshot image content they would demand-fault
+// to. Free-pool frames are excluded — their content legitimately
+// differs across schemes (stale garbage, zero-on-free, PV anonymous
+// backing) precisely because no correct guest reads them before
+// writing.
+func (c *Checker) VMDone(vm *vmm.MicroVM) uint64 {
+	s := c.shadow(vm.AS)
+	if got, want := vm.AS.AnonPages(), int64(len(s.anon)); got != want {
+		c.violatef("anon-accounting", "%s: AnonPages=%d but shadow has %d anonymous pages",
+			vm.Name, got, want)
+	}
+	var total int64
+	for _, sh := range c.spaces {
+		if !sh.released {
+			total += int64(len(sh.anon))
+		}
+	}
+	if got := c.h.MM.TotalAnonPages(); got != total {
+		c.violatef("anon-total-accounting", "MM reports %d anonymous pages, shadows hold %d",
+			got, total)
+	}
+
+	const fnvOffset, fnvPrime = 0xcbf29ce484222325, 0x100000001b3
+	digest := uint64(fnvOffset)
+	fold := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			digest ^= (x >> (8 * i)) & 0xff
+			digest *= fnvPrime
+		}
+	}
+	for pfn := int64(0); pfn < vm.Image.StatePages; pfn++ {
+		tag, known := c.resolveContent(vm, s, pfn)
+		if !known {
+			c.violatef("digest-unknown-content", "%s: state pfn %d has untracked content", vm.Name, pfn)
+		}
+		fold(uint64(pfn))
+		fold(tag)
+	}
+	return digest
+}
+
+// resolveContent returns the content tag guest frame pfn reads as.
+func (c *Checker) resolveContent(vm *vmm.MicroVM, s *spaceShadow, pfn int64) (uint64, bool) {
+	host := vm.KVM.HostBase + pfn
+	if ap, ok := s.anon[host]; ok {
+		return ap.tag, ap.known
+	}
+	if fp, ok := s.file[host]; ok {
+		tags := c.fileTags[fp.ino]
+		if fp.fileIdx >= 0 && fp.fileIdx < int64(len(tags)) {
+			return tags[fp.fileIdx], true
+		}
+		return 0, false
+	}
+	// Unmapped: a demand fault — through any correct scheme's handler —
+	// would yield the snapshot content.
+	return vm.Image.PageTags[pfn], true
+}
+
+// ---------------------------------------------------------------------------
+// Finish: end-of-run conservation checks.
+
+// Finish runs the whole-run invariants — storage quiescence, fault
+// conservation against the injector's report, and the rmap dedup
+// cross-check — and returns an error summarizing every recorded
+// violation, or nil if the run was clean. Call after all sandboxes
+// have shut down.
+func (c *Checker) Finish() error {
+	if c.inFlight != 0 || c.outstanding != 0 {
+		c.violatef("storage-quiesce", "run ended with %d requests in flight, %d parts outstanding",
+			c.inFlight, c.outstanding)
+	}
+	for p, st := range c.access {
+		_ = p
+		if len(st) != 0 {
+			c.violatef("access-unbalanced", "run ended with %d guest accesses still open", len(st))
+		}
+	}
+
+	// Fault conservation: every drawn treatment was applied exactly
+	// once, every failure was absorbed exactly once.
+	rep := c.inj.Report()
+	conserve := func(name string, reported, observed int64) {
+		if reported != observed {
+			c.violatef("fault-conservation", "%s: injector reports %d, stack observed %d",
+				name, reported, observed)
+		}
+	}
+	conserve("io-errors", rep.IOErrors, c.erroredServices)
+	conserve("latency-spikes", rep.LatencySpikes, c.spikedServices)
+	conserve("stuck-slots", rep.StuckSlots, c.stuckServices)
+	conserve("short-reads", rep.ShortReads, c.shortServices)
+	conserve("retries", rep.Retries, c.failedIOs)
+	conserve("fallbacks", rep.Fallbacks, c.degraded)
+	conserve("degradations", rep.ArtifactCorruptions+rep.MapLoadFailures, c.degraded)
+
+	// Rmap dedup cross-check: the cache's per-page map counts must
+	// match the reference counts derived purely from address-space
+	// events. A dedup accounting bug on either side breaks equality.
+	c.h.Cache.ForEachInode(func(ino *pagecache.Inode) {
+		ino.ForEachPage(func(idx int64, uptodate bool, mapCount int) {
+			if derived := c.fileRefs[pageKey{ino, idx}]; mapCount != derived {
+				c.violatef("rmap-dedup-accounting", "%s page %d: MapCount=%d, derived rmap refs=%d",
+					ino.Name(), idx, mapCount, derived)
+			}
+		})
+	})
+	for k, n := range c.fileRefs {
+		if n != 0 && !c.cached[k] {
+			c.violatef("rmap-uncached-ref", "%s page %d holds %d rmap refs but is not cached",
+				k.ino.Name(), k.idx, n)
+		}
+	}
+	c.checkCachedCount("finish")
+
+	if len(c.violations) == 0 {
+		return nil
+	}
+	return &Error{Violations: c.violations, Dropped: c.dropped}
+}
+
+// Error aggregates a run's violations.
+type Error struct {
+	Violations []Violation
+	Dropped    int
+}
+
+func (e *Error) Error() string {
+	const show = 5
+	msg := fmt.Sprintf("check: %d invariant violation(s)", len(e.Violations)+e.Dropped)
+	n := len(e.Violations)
+	if n > show {
+		n = show
+	}
+	for _, v := range e.Violations[:n] {
+		msg += "\n  " + v.String()
+	}
+	if rest := len(e.Violations) + e.Dropped - n; rest > 0 {
+		msg += fmt.Sprintf("\n  ... and %d more", rest)
+	}
+	return msg
+}

@@ -1,0 +1,23 @@
+package check
+
+import (
+	"snapbpf/internal/blockdev"
+	"snapbpf/internal/hostmm"
+	"snapbpf/internal/kvm"
+	"snapbpf/internal/pagecache"
+	"snapbpf/internal/prefetch"
+	"snapbpf/internal/sim"
+)
+
+// One Checker implements every layer's observer interface; the method
+// sets are disjoint by construction. Keep these assertions in sync
+// with the hook surface — a signature drift in any layer fails here
+// rather than silently detaching the harness.
+var (
+	_ sim.Observer       = (*Checker)(nil)
+	_ blockdev.Observer  = (*Checker)(nil)
+	_ pagecache.Observer = (*Checker)(nil)
+	_ hostmm.Observer    = (*Checker)(nil)
+	_ kvm.Observer       = (*Checker)(nil)
+	_ prefetch.Observer  = (*Checker)(nil)
+)

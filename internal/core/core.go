@@ -186,6 +186,7 @@ func (s *SnapBPF) Record(p *sim.Proc, env *prefetch.Env) (err error) {
 	if err := s.ws.Validate(env.Image.NrPages); err != nil {
 		return fmt.Errorf("snapbpf: captured invalid working set: %w", err)
 	}
+	env.NotifyRecordDone(s.Name(), s.ws.TotalPages())
 	return nil
 }
 
@@ -242,12 +243,14 @@ func buildSchedule(entries []ebpf.Entry, perPage, offsetOrder bool) *snapshot.Of
 func (s *SnapBPF) PrepareVM(p *sim.Proc, env *prefetch.Env, vm *vmm.MicroVM) error {
 	vm.MapSnapshotDefault(p)
 	if !s.EnablePrefetch {
+		env.NotifyPrepareDone(s.Name(), vm)
 		return nil
 	}
 	if s.ws == nil {
 		return fmt.Errorf("snapbpf: PrepareVM before Record")
 	}
 	if len(s.ws.Groups) == 0 {
+		env.NotifyPrepareDone(s.Name(), vm)
 		return nil
 	}
 	if env.Faults.MapLoadFails() {
@@ -256,6 +259,8 @@ func (s *SnapBPF) PrepareVM(p *sim.Proc, env *prefetch.Env, vm *vmm.MicroVM) err
 		// fall back to plain demand paging from the snapshot mapping —
 		// the invocation completes, just without the §3.1 speedup.
 		env.Faults.CountFallback()
+		env.NotifyDegraded(s.Name(), vm, "ebpf map load failure")
+		env.NotifyPrepareDone(s.Name(), vm)
 		return nil
 	}
 	h := env.Host
@@ -314,6 +319,7 @@ func (s *SnapBPF) PrepareVM(p *sim.Proc, env *prefetch.Env, vm *vmm.MicroVM) err
 	// inserted and the program simply fires on the sandbox's first
 	// demand miss instead.
 	vm.AS.HandleFault(p, s.ws.Groups[0].Start, false)
+	env.NotifyPrepareDone(s.Name(), vm)
 	return nil
 }
 

@@ -28,6 +28,11 @@ type Options struct {
 	// that must stay healthy (or sweep their own plans, like the chaos
 	// experiment) set Config.Faults explicitly and win.
 	Faults *faults.Plan
+
+	// Check arms the invariant-checking harness (internal/check) on
+	// every cell — the -check CLI flag routes here. Any invariant
+	// violation fails the cell's Run.
+	Check bool
 }
 
 func (o Options) functions() []workload.Function {

@@ -38,6 +38,16 @@ image,2.16,0.96,1.00,0.343
 json,0.99,1.08,1.00,0.116
 `
 
+const goldenFig4CSV = `Function,Linux-RA,PVPTEs,SnapBPF
+image,1.00,0.42,0.32
+json,1.00,0.90,0.57
+`
+
+const goldenOverheadsCSV = `Function,WS groups,Load (ms),E2E (s),Load/E2E
+image,240,0.218,0.343,0.06%
+json,160,0.146,0.116,0.13%
+`
+
 func TestGoldenTable1(t *testing.T) {
 	tbl, err := Table1(Options{Functions: goldenFunctions(t), Parallel: 1})
 	if err != nil {
@@ -55,5 +65,31 @@ func TestGoldenFig3a(t *testing.T) {
 	}
 	if got := tbl.CSV(); got != goldenFig3aCSV {
 		t.Errorf("fig3a CSV drifted:\n--- got ---\n%s--- want ---\n%s", got, goldenFig3aCSV)
+	}
+}
+
+func TestGoldenFig4(t *testing.T) {
+	if raceEnabled {
+		t.Skip("byte-pinning is value-level; the non-race suite covers it")
+	}
+	tbl, err := Fig4(Options{Functions: goldenFunctions(t), Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl.CSV(); got != goldenFig4CSV {
+		t.Errorf("fig4 CSV drifted:\n--- got ---\n%s--- want ---\n%s", got, goldenFig4CSV)
+	}
+}
+
+func TestGoldenOverheads(t *testing.T) {
+	if raceEnabled {
+		t.Skip("byte-pinning is value-level; the non-race suite covers it")
+	}
+	tbl, err := Overheads(Options{Functions: goldenFunctions(t), Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl.CSV(); got != goldenOverheadsCSV {
+		t.Errorf("overheads CSV drifted:\n--- got ---\n%s--- want ---\n%s", got, goldenOverheadsCSV)
 	}
 }

@@ -120,6 +120,9 @@ func RunCells(o Options, cells []Cell) ([]*RunResult, error) {
 		if cfg.Faults == nil {
 			cfg.Faults = o.Faults
 		}
+		if o.Check {
+			cfg.Check = true
+		}
 		r, err := Run(cells[i].Fn, cells[i].Scheme, cfg)
 		if err != nil {
 			return err

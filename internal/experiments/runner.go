@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"snapbpf/internal/blockdev"
+	"snapbpf/internal/check"
 	"snapbpf/internal/core"
 	"snapbpf/internal/faults"
 	"snapbpf/internal/prefetch"
@@ -87,6 +88,13 @@ type RunResult struct {
 	// when the run was healthy): injected events, plus the retries and
 	// demand-paging fallbacks the stack absorbed them with.
 	Faults faults.Report
+
+	// Digest is the checker's fold of final guest-visible memory
+	// (state pages only), recorded when Config.Check is set and
+	// InputVariance is 0 so all sandboxes replay the same trace. Any
+	// two correct schemes produce equal digests for the same cell —
+	// the differential-testing oracle.
+	Digest uint64
 }
 
 // Config tunes a run.
@@ -120,6 +128,13 @@ type Config struct {
 	// phases), seeded by the plan — reruns with an equal plan are
 	// byte-identical. Nil or a disabled plan means a healthy run.
 	Faults *faults.Plan
+
+	// Check arms the invariant-checking harness (internal/check): a
+	// Checker observes every layer of the run, Run fails with the
+	// collected violations if any invariant breaks, and — when
+	// InputVariance is 0 — the final guest-memory digest is recorded
+	// in RunResult.Digest and checked for equality across sandboxes.
+	Check bool
 }
 
 // invokeTrace returns sandbox i's trace under the configured variance.
@@ -153,11 +168,20 @@ func Run(fn workload.Function, scheme Scheme, cfg Config) (*RunResult, error) {
 	}
 	h := vmm.NewHost(cfg.Device)
 	h.Dev.SetFaults(inj)
+	// Arm the harness before any simulated event so the shadow state
+	// observes the run from the very first page-cache insert.
+	var chk *check.Checker
+	if cfg.Check {
+		chk = check.New(h, inj)
+	}
 	pf := scheme.New()
 
 	zeroOnFree := pf.RestoreConfig(0).ZeroOnFree
 	img := vmm.BuildImage(fn, zeroOnFree)
 	snapInode := h.RegisterSnapshot(fn.Name+".snapmem", img)
+	if chk != nil {
+		chk.RegisterFileTags(snapInode, img.PageTags)
+	}
 	env := &prefetch.Env{
 		Host:        h,
 		Fn:          fn,
@@ -166,6 +190,9 @@ func Run(fn workload.Function, scheme Scheme, cfg Config) (*RunResult, error) {
 		RecordTrace: fn.GenTrace(),
 		InvokeTrace: fn.GenTrace(),
 		Faults:      inj,
+	}
+	if chk != nil {
+		env.Check = chk
 	}
 
 	// --- Record phase ---
@@ -185,6 +212,7 @@ func Run(fn workload.Function, scheme Scheme, cfg Config) (*RunResult, error) {
 	res := &RunResult{Scheme: pf.Name(), Function: fn.Name, N: cfg.N,
 		E2E: make([]time.Duration, cfg.N)}
 	vms := make([]*vmm.MicroVM, cfg.N)
+	digests := make([]uint64, cfg.N)
 	var prepSum time.Duration
 	// Several sandboxes can fail; keep the *first* failure (and the
 	// failing VM's index) so diagnostics are stable — within one engine
@@ -219,6 +247,11 @@ func Run(fn workload.Function, scheme Scheme, cfg Config) (*RunResult, error) {
 			res.E2E[i] = st.E2E
 			prepSum += st.Prepare
 			pf.FinishVM(env, vm)
+			if chk != nil {
+				// Digest before Shutdown: the shadow page table is
+				// consumed with the address space.
+				digests[i] = chk.VMDone(vm)
+			}
 		})
 	}
 	h.Eng.Run()
@@ -231,6 +264,22 @@ func Run(fn workload.Function, scheme Scheme, cfg Config) (*RunResult, error) {
 	for _, vm := range vms {
 		if vm != nil {
 			vm.Shutdown()
+		}
+	}
+	if chk != nil {
+		if cfg.InputVariance == 0 {
+			// Identical inputs: every sandbox must converge to the same
+			// guest-visible memory, whatever the scheme did to get there.
+			for i := 1; i < cfg.N; i++ {
+				if digests[i] != digests[0] {
+					return nil, fmt.Errorf("check %s/%s: vm%d digest %016x != vm0 digest %016x",
+						scheme.Name, fn.Name, i, digests[i], digests[0])
+				}
+			}
+			res.Digest = digests[0]
+		}
+		if err := chk.Finish(); err != nil {
+			return nil, fmt.Errorf("check %s/%s: %w", scheme.Name, fn.Name, err)
 		}
 	}
 

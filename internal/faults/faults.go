@@ -248,11 +248,14 @@ type ReadOutcome struct {
 	Short bool
 }
 
-// ReadOutcome draws the fault treatment for a read request at the
-// given attempt index (0 for the first submission). Errors are never
-// injected at attempt >= MaxErrorAttempts — the transient-fault
-// guarantee retry loops rely on. Nil-safe.
-func (in *Injector) ReadOutcome(attempt int) ReadOutcome {
+// ReadOutcome draws the fault treatment for a read request of `pages`
+// pages at the given attempt index (0 for the first submission).
+// Errors are never injected at attempt >= MaxErrorAttempts — the
+// transient-fault guarantee retry loops rely on. A short-read draw is
+// always consumed (keeping the class stream aligned across devices),
+// but only applied — and counted — when the request spans at least two
+// pages, since a single-page transfer cannot be split. Nil-safe.
+func (in *Injector) ReadOutcome(attempt int, pages int64) ReadOutcome {
 	if in == nil {
 		return ReadOutcome{}
 	}
@@ -270,7 +273,7 @@ func (in *Injector) ReadOutcome(attempt int) ReadOutcome {
 		out.HoldSlot = p.StuckSlotDelay
 		in.report.StuckSlots++
 	}
-	if p.ShortReadRate > 0 && in.draw(classShort) < p.ShortReadRate {
+	if p.ShortReadRate > 0 && in.draw(classShort) < p.ShortReadRate && pages >= 2 {
 		out.Short = true
 		in.report.ShortReads++
 	}

@@ -11,7 +11,7 @@ import (
 func TestZeroPlanInjectsNothing(t *testing.T) {
 	in := NewInjector(Plan{Seed: 1})
 	for i := 0; i < 1000; i++ {
-		if out := in.ReadOutcome(0); out != (ReadOutcome{}) {
+		if out := in.ReadOutcome(0, 128); out != (ReadOutcome{}) {
 			t.Fatalf("zero plan injected %+v", out)
 		}
 		if in.ArtifactCorrupt() || in.MapLoadFails() {
@@ -25,7 +25,7 @@ func TestZeroPlanInjectsNothing(t *testing.T) {
 
 func TestNilInjectorIsSafe(t *testing.T) {
 	var in *Injector
-	if out := in.ReadOutcome(0); out != (ReadOutcome{}) {
+	if out := in.ReadOutcome(0, 128); out != (ReadOutcome{}) {
 		t.Fatalf("nil injector returned %+v", out)
 	}
 	if in.ArtifactCorrupt() || in.MapLoadFails() {
@@ -43,7 +43,7 @@ func TestSameSeedSameDraws(t *testing.T) {
 		in := NewInjector(Heavy(42))
 		out := make([]ReadOutcome, 500)
 		for i := range out {
-			out[i] = in.ReadOutcome(i % 4)
+			out[i] = in.ReadOutcome(i%4, 128)
 			in.ArtifactCorrupt() // interleave other streams
 			in.MapLoadFails()
 		}
@@ -62,7 +62,7 @@ func TestDifferentSeedsDiffer(t *testing.T) {
 	same := 0
 	const n = 500
 	for i := 0; i < n; i++ {
-		if a.ReadOutcome(0) == b.ReadOutcome(0) {
+		if a.ReadOutcome(0, 128) == b.ReadOutcome(0, 128) {
 			same++
 		}
 	}
@@ -78,8 +78,8 @@ func TestStreamsIndependent(t *testing.T) {
 	mixed := NewInjector(Heavy(7))
 	for i := 0; i < 200; i++ {
 		want := plain.ArtifactCorrupt()
-		mixed.ReadOutcome(0) // extra device draws on the mixed injector
-		mixed.ReadOutcome(0)
+		mixed.ReadOutcome(0, 128) // extra device draws on the mixed injector
+		mixed.ReadOutcome(0, 128)
 		if got := mixed.ArtifactCorrupt(); got != want {
 			t.Fatalf("draw %d: artifact stream perturbed by device draws", i)
 		}
@@ -89,10 +89,10 @@ func TestStreamsIndependent(t *testing.T) {
 func TestErrorsCappedByAttempt(t *testing.T) {
 	in := NewInjector(Plan{Seed: 3, ReadErrorRate: 1.0})
 	for i := 0; i < 100; i++ {
-		if !in.ReadOutcome(0).Err {
+		if !in.ReadOutcome(0, 128).Err {
 			t.Fatal("rate-1.0 plan did not inject at attempt 0")
 		}
-		if in.ReadOutcome(MaxErrorAttempts).Err {
+		if in.ReadOutcome(MaxErrorAttempts, 128).Err {
 			t.Fatalf("error injected at attempt %d", MaxErrorAttempts)
 		}
 	}
@@ -103,7 +103,7 @@ func TestRatesRoughlyHonoured(t *testing.T) {
 	errs := 0
 	const n = 10000
 	for i := 0; i < n; i++ {
-		if in.ReadOutcome(0).Err {
+		if in.ReadOutcome(0, 128).Err {
 			errs++
 		}
 	}
@@ -152,7 +152,7 @@ func TestRetryAlwaysSucceedsUnderInjection(t *testing.T) {
 	eng.Go("retry", func(p *sim.Proc) {
 		retErr = Retry(p, in, func(try int) error {
 			tries++
-			if in.ReadOutcome(try).Err {
+			if in.ReadOutcome(try, 128).Err {
 				return fmt.Errorf("injected")
 			}
 			return nil

@@ -29,7 +29,43 @@ type MM struct {
 
 	totalAnon int64
 	spaces    []*AddressSpace
+	obs       Observer
 }
+
+// Observer receives address-space events for the correctness harness
+// (internal/check). Observers must not mutate MM state; a nil observer
+// costs one branch per event. Together the events let a checker mirror
+// every PTE transition: file pages via FilePageMapped/FilePageUnmapped,
+// anonymous pages via AnonInstalled/AnonDropped plus the CoW and
+// zero-fill cases of FaultResolved.
+type Observer interface {
+	// SpaceCreated/SpaceReleased bracket an address space's lifetime.
+	SpaceCreated(as *AddressSpace)
+	SpaceReleased(as *AddressSpace)
+	// FilePageMapped fires when a PTE starts referencing a shared
+	// page-cache page (rmap reference taken); FilePageUnmapped fires
+	// when that reference is dropped (munmap, CoW break, or release).
+	FilePageMapped(as *AddressSpace, page int64, ino *pagecache.Inode, fileIdx int64)
+	FilePageUnmapped(as *AddressSpace, page int64, ino *pagecache.Inode, fileIdx int64)
+	// AnonInstalled fires for anonymous installs that bypass the fault
+	// path: PV mirror installs (InstallAnonZeroPage), UFFDIO_ZEROPAGE
+	// and UFFDIO_COPY. content is the installed page's content tag;
+	// known is false for untagged UFFDIO_COPY (Uffd.Copy).
+	AnonInstalled(as *AddressSpace, page int64, content uint64, known bool)
+	// AnonDropped fires when an anonymous page is freed (munmap or
+	// address-space release).
+	AnonDropped(as *AddressSpace, page int64)
+	// FaultResolved fires after HandleFault resolves, in the faulting
+	// task's context.
+	FaultResolved(p *sim.Proc, as *AddressSpace, page int64, write bool, kind FaultKind)
+}
+
+// SetObserver installs obs (nil disables observation).
+func (mm *MM) SetObserver(obs Observer) { mm.obs = obs }
+
+// Spaces returns every address space ever created on this MM,
+// including released ones, in creation order.
+func (mm *MM) Spaces() []*AddressSpace { return mm.spaces }
 
 // New creates a host MM on top of the given page cache.
 func New(eng *sim.Engine, cache *pagecache.Cache, cm costmodel.Model) *MM {
@@ -91,6 +127,10 @@ func (v *VMA) End() int64 { return v.Start + v.NPages }
 
 // filePage translates an address-space page to a file page index.
 func (v *VMA) filePage(page int64) int64 { return v.FileOff + (page - v.Start) }
+
+// FilePage is the exported form of filePage, for observers that need
+// to resolve a faulted page to its backing file index.
+func (v *VMA) FilePage(page int64) int64 { return v.filePage(page) }
 
 // pte is the per-page mapping state of an address space.
 type pte uint8
@@ -160,6 +200,9 @@ func (mm *MM) NewAddressSpace(name string, nrPages int64) *AddressSpace {
 		pt:      make([]pte, nrPages),
 	}
 	mm.spaces = append(mm.spaces, as)
+	if mm.obs != nil {
+		mm.obs.SpaceCreated(as)
+	}
 	return as
 }
 
@@ -189,12 +232,20 @@ func (as *AddressSpace) Release() {
 	as.mm.totalAnon -= as.anonPages
 	as.anonPages = 0
 	for pg := range as.pt {
-		if as.pt[pg] == pteFileRO {
+		switch as.pt[pg] {
+		case pteFileRO:
 			as.unmapFilePage(int64(pg))
+		case pteAnon:
+			if as.mm.obs != nil {
+				as.mm.obs.AnonDropped(as, int64(pg))
+			}
 		}
 		as.pt[pg] = pteNone
 	}
 	as.vmas = nil
+	if as.mm.obs != nil {
+		as.mm.obs.SpaceReleased(as)
+	}
 }
 
 // unmapFilePage drops the rmap reference a pteFileRO entry holds on
@@ -202,6 +253,9 @@ func (as *AddressSpace) Release() {
 func (as *AddressSpace) unmapFilePage(page int64) {
 	if v := as.FindVMA(page); v != nil && v.Inode != nil {
 		v.Inode.UnmapPage(v.filePage(page))
+		if as.mm.obs != nil {
+			as.mm.obs.FilePageUnmapped(as, page, v.Inode, v.filePage(page))
+		}
 	}
 }
 
@@ -250,6 +304,9 @@ func (as *AddressSpace) unmapRange(start, n int64) {
 		if as.pt[pg] == pteAnon {
 			as.anonPages--
 			as.mm.totalAnon--
+			if as.mm.obs != nil {
+				as.mm.obs.AnonDropped(as, pg)
+			}
 		}
 		as.pt[pg] = pteNone
 	}
@@ -328,6 +385,9 @@ func (as *AddressSpace) InstallAnonZeroPage(p *sim.Proc, page int64) bool {
 		p.Sleep(as.mm.cm.ZeroFillPage)
 	}
 	as.installAnon(page)
+	if as.mm.obs != nil {
+		as.mm.obs.AnonInstalled(as, page, 0, true)
+	}
 	return true
 }
 
@@ -341,6 +401,16 @@ func (as *AddressSpace) HandleFault(p *sim.Proc, page int64, write bool) FaultKi
 		panic(fmt.Sprintf("hostmm: %s: segfault at page %d (no VMA)", as.name, page))
 	}
 
+	kind := as.resolveFault(p, page, write, v)
+	if as.mm.obs != nil {
+		as.mm.obs.FaultResolved(p, as, page, write, kind)
+	}
+	return kind
+}
+
+// resolveFault is the body of HandleFault, factored out so the
+// observer sees every resolution exactly once.
+func (as *AddressSpace) resolveFault(p *sim.Proc, page int64, write bool, v *VMA) FaultKind {
 	switch as.pt[page] {
 	case pteAnon:
 		as.stats.Minor++
@@ -381,16 +451,23 @@ func (as *AddressSpace) HandleFault(p *sim.Proc, page int64, write bool) FaultKi
 		as.stats.ZeroFill++
 		return FaultZeroFill
 	case VMAFilePrivate:
+		// FaultPage returns the cache page pinned, so reclaim cannot
+		// take it before it is copied (write) or mapped (read) below.
 		v.Inode.FaultPage(p, v.filePage(page))
 		if write {
 			// Write fault: fetch then immediately CoW.
 			p.Sleep(as.mm.cm.CoWCopyPage)
+			v.Inode.Unpin(v.filePage(page))
 			as.installAnon(page)
 			as.stats.CoW++
 			return FaultCoW
 		}
 		as.pt[page] = pteFileRO
 		v.Inode.MapPage(v.filePage(page))
+		v.Inode.Unpin(v.filePage(page))
+		if as.mm.obs != nil {
+			as.mm.obs.FilePageMapped(as, page, v.Inode, v.filePage(page))
+		}
 		as.stats.File++
 		return FaultFile
 	}
@@ -444,6 +521,9 @@ func (u *Uffd) ZeroPage(p *sim.Proc, page int64) bool {
 	}
 	u.as.installAnon(page)
 	u.copies++
+	if u.as.mm.obs != nil {
+		u.as.mm.obs.AnonInstalled(u.as, page, 0, true)
+	}
 	return true
 }
 
@@ -452,6 +532,17 @@ func (u *Uffd) ZeroPage(p *sim.Proc, page int64) bool {
 // page is already mapped. The copy cost covers allocation, data copy
 // and page-table install.
 func (u *Uffd) Copy(p *sim.Proc, page int64) bool {
+	return u.copy(p, page, 0, false)
+}
+
+// CopyTag is Copy with the installed content's tag declared, so the
+// correctness harness can track what the handler wrote. Schemes use
+// this; Copy remains for callers with untracked contents.
+func (u *Uffd) CopyTag(p *sim.Proc, page int64, content uint64) bool {
+	return u.copy(p, page, content, true)
+}
+
+func (u *Uffd) copy(p *sim.Proc, page int64, content uint64, known bool) bool {
 	if page < u.vma.Start || page >= u.vma.End() {
 		panic(fmt.Sprintf("hostmm: UFFDIO_COPY outside registered range: page %d", page))
 	}
@@ -463,5 +554,8 @@ func (u *Uffd) Copy(p *sim.Proc, page int64) bool {
 	}
 	u.as.installAnon(page)
 	u.copies++
+	if u.as.mm.obs != nil {
+		u.as.mm.obs.AnonInstalled(u.as, page, content, known)
+	}
 	return true
 }

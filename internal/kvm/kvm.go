@@ -51,8 +51,25 @@ type VM struct {
 	cm    costmodel.Model
 	ept   []eptPerm
 	dirty []bool // guest frames written since VM creation
+	obs   Observer
 	stats Stats
 }
+
+// Observer receives guest-access events for the correctness harness
+// (internal/check). Observers must not mutate VM state; a nil observer
+// costs one branch per access. AccessBegin/AccessEnd bracket the
+// access so host-level events (CoW breaks, uffd copies) occurring
+// in between can be attributed to the guest access that caused them.
+type Observer interface {
+	AccessBegin(p *sim.Proc, v *VM, pfn int64, write bool)
+	// AccessEnd fires once the access has a valid translation; mirror
+	// reports that the access was served through the PV mirror-PFN
+	// path.
+	AccessEnd(p *sim.Proc, v *VM, pfn int64, write, mirror bool)
+}
+
+// SetObserver installs obs (nil disables observation).
+func (v *VM) SetObserver(obs Observer) { v.obs = obs }
 
 // New creates the nested-paging state for a VM whose guest memory is
 // backed by as at host pages [hostBase, hostBase+g.Config().NrPages).
@@ -90,22 +107,37 @@ func (v *VM) Access(p *sim.Proc, pfn int64, write bool) {
 	if write {
 		v.dirty[pfn] = true
 	}
+	if v.obs != nil {
+		v.obs.AccessBegin(p, v, pfn, write)
+	}
 	gpfn := v.Guest.TouchPFN(pfn)
 	if guest.IsMirror(gpfn) {
 		v.handleMirrorFault(p, gpfn)
+		if v.obs != nil {
+			v.obs.AccessEnd(p, v, pfn, write, true)
+		}
 		return
 	}
 	switch v.ept[pfn] {
 	case eptRW:
 		v.stats.TLBHits++
+		v.accessEnd(p, pfn, write)
 		return
 	case eptRO:
 		if !write {
 			v.stats.TLBHits++
+			v.accessEnd(p, pfn, write)
 			return
 		}
 	}
 	v.handleNestedFault(p, pfn, write)
+	v.accessEnd(p, pfn, write)
+}
+
+func (v *VM) accessEnd(p *sim.Proc, pfn int64, write bool) {
+	if v.obs != nil {
+		v.obs.AccessEnd(p, v, pfn, write, false)
+	}
 }
 
 // handleMirrorFault serves a PV mirror-PFN fault: the host allocates

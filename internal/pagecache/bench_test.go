@@ -36,7 +36,7 @@ func BenchmarkFaultHit(b *testing.B) {
 	eng.Go("hits", func(p *sim.Proc) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			ino.FaultPage(p, int64(i%1024))
+			ino.FaultPageUnpinned(p, int64(i%1024))
 		}
 	})
 	eng.Run()

@@ -47,11 +47,14 @@ func (c *Cache) reclaim() {
 	for c.nrCached > c.memLimit && e != nil {
 		next := e.Next()
 		pg := e.Value.(*Page)
-		if pg.Uptodate() && pg.mapCount == 0 {
+		if pg.Uptodate() && pg.mapCount == 0 && pg.pins == 0 {
 			c.dropLRU(pg)
 			delete(pg.inode.pages, pg.index)
 			c.nrCached--
 			c.stats.Evicted++
+			if c.obs != nil {
+				c.obs.PageEvicted(pg.inode, pg.index)
+			}
 		}
 		e = next
 	}
@@ -71,6 +74,16 @@ func (i *Inode) UnmapPage(idx int64) {
 	if pg, ok := i.pages[idx]; ok && pg.mapCount > 0 {
 		pg.mapCount--
 	}
+}
+
+// Unpin releases the fault-path reference FaultPage took on the page.
+// Call once the page has been mapped or its content copied.
+func (i *Inode) Unpin(idx int64) {
+	pg, ok := i.pages[idx]
+	if !ok || pg.pins <= 0 {
+		panic("pagecache: unpin of a page that is not pinned")
+	}
+	pg.pins--
 }
 
 // MapCount returns the rmap reference count for tests.

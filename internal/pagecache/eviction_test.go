@@ -25,14 +25,14 @@ func TestReclaimIsLRU(t *testing.T) {
 	ino := c.NewInode("f", 4096)
 	eng.Go("warm", func(p *sim.Proc) {
 		for pg := int64(0); pg < 10; pg++ {
-			ino.FaultPage(p, pg)
+			ino.FaultPageUnpinned(p, pg)
 		}
 		// Touch page 0 again: it becomes MRU.
-		ino.FaultPage(p, 0)
+		ino.FaultPageUnpinned(p, 0)
 		// Now constrain and insert: LRU victims are 1, 2, ...
 		c.SetMemLimit(10)
-		ino.FaultPage(p, 100)
-		ino.FaultPage(p, 101)
+		ino.FaultPageUnpinned(p, 100)
+		ino.FaultPageUnpinned(p, 101)
 	})
 	eng.Run()
 	if !ino.Resident(0) {
@@ -48,13 +48,13 @@ func TestReclaimSkipsMappedPages(t *testing.T) {
 	ino := c.NewInode("f", 4096)
 	eng.Go("w", func(p *sim.Proc) {
 		for pg := int64(0); pg < 8; pg++ {
-			ino.FaultPage(p, pg)
+			ino.FaultPageUnpinned(p, pg)
 		}
 		for pg := int64(0); pg < 8; pg++ {
 			ino.MapPage(pg) // rmap reference
 		}
 		c.SetMemLimit(4)
-		ino.FaultPage(p, 100) // would reclaim, but everything is mapped
+		ino.FaultPageUnpinned(p, 100) // would reclaim, but everything is mapped
 	})
 	eng.Run()
 	for pg := int64(0); pg < 8; pg++ {
@@ -67,7 +67,7 @@ func TestReclaimSkipsMappedPages(t *testing.T) {
 		for pg := int64(0); pg < 8; pg++ {
 			ino.UnmapPage(pg)
 		}
-		ino.FaultPage(p, 200)
+		ino.FaultPageUnpinned(p, 200)
 	})
 	eng.Run()
 	if c.NrCachedPages() > 4 {
@@ -78,7 +78,7 @@ func TestReclaimSkipsMappedPages(t *testing.T) {
 func TestMapCountBalance(t *testing.T) {
 	eng, c, _ := newTestCache(0)
 	ino := c.NewInode("f", 64)
-	eng.Go("w", func(p *sim.Proc) { ino.FaultPage(p, 3) })
+	eng.Go("w", func(p *sim.Proc) { ino.FaultPageUnpinned(p, 3) })
 	eng.Run()
 	ino.MapPage(3)
 	ino.MapPage(3)
@@ -103,10 +103,10 @@ func TestEvictedPageRefetches(t *testing.T) {
 	c.SetMemLimit(2)
 	ino := c.NewInode("f", 64)
 	eng.Go("w", func(p *sim.Proc) {
-		ino.FaultPage(p, 0)
-		ino.FaultPage(p, 1)
-		ino.FaultPage(p, 2) // evicts 0
-		ino.FaultPage(p, 0) // must refetch
+		ino.FaultPageUnpinned(p, 0)
+		ino.FaultPageUnpinned(p, 1)
+		ino.FaultPageUnpinned(p, 2) // evicts 0
+		ino.FaultPageUnpinned(p, 0) // must refetch
 	})
 	eng.Run()
 	if c.Stats().Misses != 4 {

@@ -39,6 +39,12 @@ type Page struct {
 	// mapping this page), which exempts it from reclaim.
 	lruElem  *list.Element
 	mapCount int
+
+	// pins counts fault-path references (the folio refcount a faulting
+	// task holds from lookup until it has mapped or copied the page);
+	// pinned pages are exempt from reclaim, so a fault cannot lose its
+	// page to memory pressure between read completion and use.
+	pins int
 }
 
 // Uptodate reports whether the page content has arrived from storage.
@@ -80,7 +86,45 @@ type Cache struct {
 	// triggered the program. It is never read across a sleep.
 	cur *sim.Proc
 
+	obs Observer
+
 	stats Stats
+}
+
+// Observer receives cache-level events for the correctness harness
+// (internal/check). Observers must not mutate cache state; a nil
+// observer costs one branch per event. Rmap map/unmap is deliberately
+// NOT observed: the harness derives its own reference counts from
+// address-space events and cross-checks them against MapCount, so a
+// corrupted rmap counter cannot hide by also corrupting the shadow.
+type Observer interface {
+	// PageInserted fires for every page added to the cache (in-flight
+	// until its read lands); readahead marks the asynchronous path.
+	PageInserted(ino *Inode, idx int64, readahead bool)
+	// PageEvicted fires when reclaim removes a page under memory
+	// pressure.
+	PageEvicted(ino *Inode, idx int64)
+	// PageRemoved fires when DropCaches or Invalidate removes a page.
+	PageRemoved(ino *Inode, idx int64)
+}
+
+// SetObserver installs obs (nil disables observation).
+func (c *Cache) SetObserver(obs Observer) { c.obs = obs }
+
+// ForEachInode visits every registered inode (iteration order is
+// unspecified; callers that need determinism must sort).
+func (c *Cache) ForEachInode(f func(*Inode)) {
+	for _, ino := range c.inodes {
+		f(ino)
+	}
+}
+
+// ForEachPage visits every cached page of the inode with its uptodate
+// status and rmap map count (iteration order is unspecified).
+func (i *Inode) ForEachPage(f func(idx int64, uptodate bool, mapCount int)) {
+	for idx, pg := range i.pages {
+		f(idx, pg.Uptodate(), pg.mapCount)
+	}
 }
 
 // New creates a page cache backed by dev, firing probes on insertions.
@@ -138,6 +182,9 @@ func (c *Cache) DropCaches() {
 				c.dropLRU(pg)
 				delete(ino.pages, idx)
 				c.nrCached--
+				if c.obs != nil {
+					c.obs.PageRemoved(ino, idx)
+				}
 			}
 		}
 	}
@@ -220,11 +267,17 @@ func (i *Inode) ResidentPages() int64 {
 // caller guarantees the page is absent. The cache's current-task
 // pointer is set for the duration of the probe dispatch so kfuncs can
 // charge the same task.
-func (i *Inode) insert(p *sim.Proc, idx int64, done *sim.Waiter) *Page {
+func (i *Inode) insert(p *sim.Proc, idx int64, done *sim.Waiter, readahead bool) *Page {
 	pg := &Page{inode: i, index: idx, ioDone: done}
 	i.pages[idx] = pg
 	i.c.nrCached++
 	i.c.stats.Inserted++
+	// Observe before the kprobe dispatch below: an attached program can
+	// recursively insert further pages, and observers must see cache
+	// events in causal order.
+	if i.c.obs != nil {
+		i.c.obs.PageInserted(i, idx, readahead)
+	}
 	i.c.touchLRU(pg)
 	i.c.reclaim()
 	charge(p, i.c.cm.PageCacheInsert)
@@ -258,7 +311,7 @@ func (i *Inode) submitRuns(p *sim.Proc, indices []int64, readahead bool) {
 			// Re-check: a kprobe program fired by an earlier insert in
 			// this run may itself have inserted pages of this inode.
 			if !i.Present(start + k) {
-				i.insert(p, start+k, done)
+				i.insert(p, start+k, done, readahead)
 			}
 		}
 		off, length := start*4096, runLen*4096
@@ -295,19 +348,35 @@ func (i *Inode) submitRuns(p *sim.Proc, indices []int64, readahead bool) {
 // resident, starting a read (with the readahead window) if needed.
 // The process is charged fault-handling CPU time: a minor-fault cost
 // on hits, major-fault software overhead plus device wait on misses.
+//
+// The returned page is *pinned* — the folio reference a faulting task
+// holds from lookup until it has mapped or copied the page — so memory
+// pressure cannot reclaim it out from under the fault. The caller must
+// Unpin once done with the page.
 func (i *Inode) FaultPage(p *sim.Proc, idx int64) {
 	if idx < 0 || idx >= i.nrPages {
 		panic(fmt.Sprintf("pagecache: fault beyond EOF: %s page %d of %d", i.name, idx, i.nrPages))
 	}
+	for !i.faultPageOnce(p, idx) {
+	}
+}
+
+// faultPageOnce is one pass of the fault path. It returns true once
+// the page is resident and pinned; false means the page was read but
+// reclaimed again before it could be pinned (possible only when a
+// kprobe program inside the insert path yields), and the fault must
+// retry — filemap_fault's VM_FAULT_RETRY.
+func (i *Inode) faultPageOnce(p *sim.Proc, idx int64) bool {
 	if pg, ok := i.pages[idx]; ok {
+		pg.pins++
 		if pg.Uptodate() {
 			i.c.stats.Hits++
 			i.c.touchLRU(pg)
-			return
+			return true
 		}
 		i.c.stats.WaitHits++
 		p.Wait(pg.ioDone)
-		return
+		return true
 	}
 
 	p.Sleep(i.c.cm.MajorFaultSW)
@@ -315,13 +384,14 @@ func (i *Inode) FaultPage(p *sim.Proc, idx int64) {
 	// The sleep above is a scheduling point: another task may have
 	// started the read meanwhile. Re-check before submitting.
 	if pg, ok := i.pages[idx]; ok {
+		pg.pins++
 		if pg.Uptodate() {
 			i.c.stats.Hits++
-			return
+			return true
 		}
 		i.c.stats.WaitHits++
 		p.Wait(pg.ioDone)
-		return
+		return true
 	}
 	i.c.stats.Misses++
 
@@ -343,10 +413,23 @@ func (i *Inode) FaultPage(p *sim.Proc, idx int64) {
 	}
 	i.submitRuns(p, toRead, false)
 
-	pg := i.pages[idx]
+	pg, ok := i.pages[idx]
+	if !ok {
+		return false
+	}
+	pg.pins++
 	if !pg.Uptodate() {
 		p.Wait(pg.ioDone)
 	}
+	return true
+}
+
+// FaultPageUnpinned faults the page in and immediately drops the
+// fault pin — for callers that only want residency, not a reference
+// held across further work.
+func (i *Inode) FaultPageUnpinned(p *sim.Proc, idx int64) {
+	i.FaultPage(p, idx)
+	i.Unpin(idx)
 }
 
 // ReadaheadAsync is page_cache_ra_unbounded: it inserts the absent
@@ -387,6 +470,7 @@ func (i *Inode) BufferedRead(p *sim.Proc, startPage, nPages int64) {
 	for j := startPage; j < hi; j++ {
 		i.FaultPage(p, j)
 		p.Sleep(i.c.cm.CopyUserPage)
+		i.Unpin(j)
 	}
 }
 
@@ -426,6 +510,9 @@ func (i *Inode) Invalidate(start, n int64) {
 			i.c.dropLRU(pg)
 			delete(i.pages, j)
 			i.c.nrCached--
+			if i.c.obs != nil {
+				i.c.obs.PageRemoved(i, j)
+			}
 		}
 	}
 }

@@ -26,10 +26,10 @@ func TestFaultMissThenHit(t *testing.T) {
 	var missTime, hitTime time.Duration
 	eng.Go("f", func(p *sim.Proc) {
 		t0 := p.Now()
-		ino.FaultPage(p, 10)
+		ino.FaultPageUnpinned(p, 10)
 		missTime = p.Now().Sub(t0)
 		t1 := p.Now()
-		ino.FaultPage(p, 10)
+		ino.FaultPageUnpinned(p, 10)
 		hitTime = p.Now().Sub(t1)
 	})
 	eng.Run()
@@ -52,7 +52,7 @@ func TestReadaheadWindowFetchesAhead(t *testing.T) {
 	eng, c, _ := newTestCache(32)
 	ino := c.NewInode("snap", 1024)
 	eng.Go("f", func(p *sim.Proc) {
-		ino.FaultPage(p, 0)
+		ino.FaultPageUnpinned(p, 0)
 		p.Sleep(10 * time.Millisecond) // let readahead I/O land
 	})
 	eng.Run()
@@ -64,7 +64,7 @@ func TestReadaheadWindowFetchesAhead(t *testing.T) {
 func TestNoReadahead(t *testing.T) {
 	eng, c, _ := newTestCache(0)
 	ino := c.NewInode("snap", 1024)
-	eng.Go("f", func(p *sim.Proc) { ino.FaultPage(p, 0) })
+	eng.Go("f", func(p *sim.Proc) { ino.FaultPageUnpinned(p, 0) })
 	eng.Run()
 	if got := ino.ResidentPages(); got != 1 {
 		t.Fatalf("resident = %d, want 1 (NoRA)", got)
@@ -75,7 +75,7 @@ func TestPerInodeReadaheadOverride(t *testing.T) {
 	eng, c, _ := newTestCache(32)
 	ino := c.NewInode("snap", 1024)
 	ino.SetReadahead(0) // capture phase disables RA on the snapshot
-	eng.Go("f", func(p *sim.Proc) { ino.FaultPage(p, 5) })
+	eng.Go("f", func(p *sim.Proc) { ino.FaultPageUnpinned(p, 5) })
 	eng.Run()
 	if got := ino.ResidentPages(); got != 1 {
 		t.Fatalf("resident = %d, want 1 with per-inode override", got)
@@ -86,7 +86,7 @@ func TestReadaheadClampedAtEOF(t *testing.T) {
 	eng, c, _ := newTestCache(32)
 	ino := c.NewInode("snap", 10)
 	eng.Go("f", func(p *sim.Proc) {
-		ino.FaultPage(p, 8)
+		ino.FaultPageUnpinned(p, 8)
 		p.Sleep(10 * time.Millisecond)
 	})
 	eng.Run()
@@ -105,7 +105,7 @@ func TestFaultBeyondEOFPanics(t *testing.T) {
 				panicked = true
 			}
 		}()
-		ino.FaultPage(p, 10)
+		ino.FaultPageUnpinned(p, 10)
 	})
 	eng.Run()
 	if !panicked {
@@ -118,12 +118,12 @@ func TestWaitOnInFlightPage(t *testing.T) {
 	ino := c.NewInode("snap", 64)
 	var aDone, bDone sim.Time
 	eng.Go("a", func(p *sim.Proc) {
-		ino.FaultPage(p, 3)
+		ino.FaultPageUnpinned(p, 3)
 		aDone = p.Now()
 	})
 	// b faults the same page shortly after a started the read.
 	eng.GoAfter(time.Microsecond, "b", func(p *sim.Proc) {
-		ino.FaultPage(p, 3)
+		ino.FaultPageUnpinned(p, 3)
 		bDone = p.Now()
 	})
 	eng.Run()
@@ -155,7 +155,7 @@ func TestReadaheadAsyncSkipsPresent(t *testing.T) {
 	eng, c, _ := newTestCache(0)
 	ino := c.NewInode("snap", 4096)
 	eng.Go("setup", func(p *sim.Proc) {
-		ino.FaultPage(p, 102) // pre-populate middle page
+		ino.FaultPageUnpinned(p, 102) // pre-populate middle page
 		n := ino.ReadaheadAsync(100, 5)
 		if n != 4 {
 			t.Errorf("inserted = %d, want 4 (102 already present)", n)
@@ -210,8 +210,8 @@ func TestMincore(t *testing.T) {
 	eng, c, _ := newTestCache(0)
 	ino := c.NewInode("snap", 64)
 	eng.Go("f", func(p *sim.Proc) {
-		ino.FaultPage(p, 1)
-		ino.FaultPage(p, 3)
+		ino.FaultPageUnpinned(p, 1)
+		ino.FaultPageUnpinned(p, 3)
 	})
 	eng.Run()
 	bm := ino.Mincore(0, 5)
@@ -269,7 +269,7 @@ func TestSharedPagesAcrossFaulters(t *testing.T) {
 	for k := 0; k < 10; k++ {
 		eng.Go("vm", func(p *sim.Proc) {
 			for j := int64(0); j < 100; j++ {
-				ino.FaultPage(p, j)
+				ino.FaultPageUnpinned(p, j)
 			}
 		})
 	}

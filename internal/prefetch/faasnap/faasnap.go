@@ -130,6 +130,15 @@ func (f *FaaSnap) Record(p *sim.Proc, env *prefetch.Env) error {
 	}
 	f.ws = ws
 	f.wsInode = env.Host.Cache.NewInode(env.Fn.Name+".faasnap-ws", ws.TotalPages())
+	// The WS file stores the regions' snapshot contents back to back.
+	tags := make([]uint64, 0, ws.TotalPages())
+	for _, reg := range ws.Regions {
+		for k := int64(0); k < reg.NPages; k++ {
+			tags = append(tags, env.Image.PageTags[reg.Start+k])
+		}
+	}
+	env.NotifyArtifact(f.wsInode, tags)
+	env.NotifyRecordDone(f.Name(), ws.WSPages)
 	return nil
 }
 
@@ -149,6 +158,8 @@ func (f *FaaSnap) PrepareVM(p *sim.Proc, env *prefetch.Env, vm *vmm.MicroVM) err
 		// pages through the cache, whose buffered path absorbs device
 		// errors with kernel-level retries.
 		env.Faults.CountFallback()
+		env.NotifyDegraded(f.Name(), vm, "corrupt ws artifact")
+		env.NotifyPrepareDone(f.Name(), vm)
 		return nil
 	}
 
@@ -173,6 +184,7 @@ func (f *FaaSnap) PrepareVM(p *sim.Proc, env *prefetch.Env, vm *vmm.MicroVM) err
 			wsInode.BufferedRead(pp, base, l)
 		}
 	})
+	env.NotifyPrepareDone(f.Name(), vm)
 	return nil
 }
 

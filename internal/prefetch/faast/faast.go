@@ -85,7 +85,7 @@ func (f *Faast) Record(p *sim.Proc, env *prefetch.Env) error {
 		faults.Retry(hp, env.Faults, func(try int) error {
 			return env.SnapInode.DirectReadAttempt(hp, page, 1, try)
 		})
-		u.Copy(hp, page)
+		u.CopyTag(hp, page, env.Image.PageTags[page])
 		order = append(order, page)
 	}
 	vm.MarkPrepared(p)
@@ -103,6 +103,8 @@ func (f *Faast) Record(p *sim.Proc, env *prefetch.Env) error {
 	}
 	f.ws = ws
 	f.wsInode = env.Host.Cache.NewInode(env.Fn.Name+".faast-ws", ws.TotalPages())
+	env.NotifyArtifact(f.wsInode, ws.Tags)
+	env.NotifyRecordDone(f.Name(), ws.TotalPages())
 	return nil
 }
 
@@ -118,7 +120,7 @@ func (f *Faast) PrepareVM(p *sim.Proc, env *prefetch.Env, vm *vmm.MicroVM) error
 		faults.Retry(hp, env.Faults, func(try int) error {
 			return env.SnapInode.DirectReadAttempt(hp, page, 1, try)
 		})
-		u.Copy(hp, page)
+		u.CopyTag(hp, page, env.Image.PageTags[page])
 	}
 
 	if env.Faults.ArtifactCorrupt() {
@@ -126,6 +128,7 @@ func (f *Faast) PrepareVM(p *sim.Proc, env *prefetch.Env, vm *vmm.MicroVM) error
 		// free-frame set survives (it came from the snapshot scan, not
 		// the WS file), so metadata-free faults still get zero pages.
 		env.Faults.CountFallback()
+		env.NotifyDegraded(f.Name(), vm, "corrupt ws artifact")
 		u.Handler = func(hp *sim.Proc, page int64) {
 			if f.freeSet[page] {
 				u.ZeroPage(hp, page)
@@ -133,6 +136,7 @@ func (f *Faast) PrepareVM(p *sim.Proc, env *prefetch.Env, vm *vmm.MicroVM) error
 			}
 			demandFetch(hp, page)
 		}
+		env.NotifyPrepareDone(f.Name(), vm)
 		return nil
 	}
 
@@ -149,7 +153,7 @@ func (f *Faast) PrepareVM(p *sim.Proc, env *prefetch.Env, vm *vmm.MicroVM) error
 		if w, ok := pending[page]; ok {
 			hp.Wait(w)
 			if !vm.AS.Mapped(page) {
-				u.Copy(hp, page)
+				u.CopyTag(hp, page, env.Image.PageTags[page])
 			}
 			return
 		}
@@ -169,11 +173,12 @@ func (f *Faast) PrepareVM(p *sim.Proc, env *prefetch.Env, vm *vmm.MicroVM) error
 			})
 			for i := base; i < base+l; i++ {
 				page := ws.Pages[i]
-				u.Copy(pp, page)
+				u.CopyTag(pp, page, ws.Tags[i])
 				pending[page].Fire()
 			}
 		}
 	})
+	env.NotifyPrepareDone(f.Name(), vm)
 	return nil
 }
 

@@ -57,6 +57,7 @@ func (l *Linux) Record(p *sim.Proc, env *Env) error { return nil }
 func (l *Linux) PrepareVM(p *sim.Proc, env *Env, vm *vmm.MicroVM) error {
 	env.SnapInode.SetReadahead(l.Readahead)
 	vm.MapSnapshotDefault(p)
+	env.NotifyPrepareDone(l.Name(), vm)
 	return nil
 }
 

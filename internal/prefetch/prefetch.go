@@ -63,6 +63,58 @@ type Env struct {
 	// working-set artifacts, eBPF map-load failures — and degrade to
 	// demand paging instead of failing the invocation.
 	Faults *faults.Injector
+
+	// Check, when non-nil, observes scheme-level events for the
+	// correctness harness (internal/check). Schemes report through the
+	// nil-safe Notify* helpers below.
+	Check Observer
+}
+
+// Observer receives scheme-level events for the correctness harness.
+// Observers must not mutate scheme or VM state.
+type Observer interface {
+	// RecordDone fires when a scheme's record phase completes; wsPages
+	// is the captured working-set size (0 for schemes without one).
+	RecordDone(scheme string, wsPages int64)
+	// ArtifactRegistered declares the page contents of a scheme's
+	// on-disk working-set artifact: tags[i] is the content tag of file
+	// page i of ino. Fired before any sandbox reads or maps the file.
+	ArtifactRegistered(ino *pagecache.Inode, tags []uint64)
+	// PrepareDone fires when PrepareVM completes for one sandbox.
+	PrepareDone(scheme string, vm *vmm.MicroVM)
+	// Degraded fires each time a scheme falls back to demand paging
+	// after an injected scheme-level fault (corrupt artifact, eBPF
+	// map-load failure). The harness balances these against the
+	// injector's fallback counters.
+	Degraded(scheme string, vm *vmm.MicroVM, reason string)
+}
+
+// NotifyRecordDone reports a completed record phase (nil-safe).
+func (env *Env) NotifyRecordDone(scheme string, wsPages int64) {
+	if env.Check != nil {
+		env.Check.RecordDone(scheme, wsPages)
+	}
+}
+
+// NotifyArtifact declares a working-set artifact's contents (nil-safe).
+func (env *Env) NotifyArtifact(ino *pagecache.Inode, tags []uint64) {
+	if env.Check != nil {
+		env.Check.ArtifactRegistered(ino, tags)
+	}
+}
+
+// NotifyPrepareDone reports a completed PrepareVM (nil-safe).
+func (env *Env) NotifyPrepareDone(scheme string, vm *vmm.MicroVM) {
+	if env.Check != nil {
+		env.Check.PrepareDone(scheme, vm)
+	}
+}
+
+// NotifyDegraded reports a demand-paging fallback (nil-safe).
+func (env *Env) NotifyDegraded(scheme string, vm *vmm.MicroVM, reason string) {
+	if env.Check != nil {
+		env.Check.Degraded(scheme, vm, reason)
+	}
 }
 
 // Prefetcher is one snapshot-prefetching scheme.

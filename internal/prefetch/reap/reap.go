@@ -77,7 +77,7 @@ func (r *REAP) Record(p *sim.Proc, env *prefetch.Env) error {
 	var order []int64
 	u.Handler = func(hp *sim.Proc, page int64) {
 		r.readSnapshotPage(hp, env, page)
-		u.Copy(hp, page)
+		u.CopyTag(hp, page, env.Image.PageTags[page])
 		order = append(order, page)
 	}
 	vm.MarkPrepared(p)
@@ -96,6 +96,8 @@ func (r *REAP) Record(p *sim.Proc, env *prefetch.Env) error {
 	r.ws = ws
 	// Serialize the working set (with contents) to its own file.
 	r.wsInode = env.Host.Cache.NewInode(env.Fn.Name+".reap-ws", ws.TotalPages())
+	env.NotifyArtifact(r.wsInode, ws.Tags)
+	env.NotifyRecordDone(r.Name(), ws.TotalPages())
 	return nil
 }
 
@@ -137,10 +139,12 @@ func (r *REAP) PrepareVM(p *sim.Proc, env *prefetch.Env, vm *vmm.MicroVM) error 
 		// uses, minus the logging. Every fault costs a round trip to
 		// userspace plus a snapshot read, but the invocation completes.
 		env.Faults.CountFallback()
+		env.NotifyDegraded(r.Name(), vm, "corrupt ws artifact")
 		u.Handler = func(hp *sim.Proc, page int64) {
 			r.readSnapshotPage(hp, env, page)
-			u.Copy(hp, page)
+			u.CopyTag(hp, page, env.Image.PageTags[page])
 		}
+		env.NotifyPrepareDone(r.Name(), vm)
 		return nil
 	}
 
@@ -154,13 +158,13 @@ func (r *REAP) PrepareVM(p *sim.Proc, env *prefetch.Env, vm *vmm.MicroVM) error 
 			hp.Wait(w)
 			if !vm.AS.Mapped(page) {
 				// Extremely late fault raced the installer's map scan;
-				// install directly.
-				u.Copy(hp, page)
+				// install directly from the already-read WS chunk.
+				u.CopyTag(hp, page, env.Image.PageTags[page])
 			}
 			return
 		}
 		r.readSnapshotPage(hp, env, page)
-		u.Copy(hp, page)
+		u.CopyTag(hp, page, env.Image.PageTags[page])
 	}
 
 	// Prefetch thread: stream the WS file and install pages eagerly.
@@ -185,11 +189,12 @@ func (r *REAP) PrepareVM(p *sim.Proc, env *prefetch.Env, vm *vmm.MicroVM) error 
 			}
 			for i := base; i < base+len_; i++ {
 				page := ws.Pages[i]
-				u.Copy(pp, page)
+				u.CopyTag(pp, page, ws.Tags[i])
 				st.pending[page].Fire()
 			}
 		}
 	})
+	env.NotifyPrepareDone(r.Name(), vm)
 	return nil
 }
 

@@ -48,12 +48,29 @@ type Engine struct {
 	batch  []*event // reusable buffer for same-timestamp dispatch
 	seq    uint64
 	nprocs int // live (not yet finished) processes
+	obs    Observer
 
 	// running is closed-loop control for process handoff: the engine
 	// resumes a process by sending on its resume channel and waits on
 	// yield until the process blocks or finishes.
 	yield chan struct{}
 }
+
+// Observer receives engine scheduling events. It exists for the
+// correctness harness (internal/check): a nil observer costs one
+// branch per schedule/dispatch, and observers must not mutate
+// simulation state.
+type Observer interface {
+	// EventScheduled fires for every Schedule/ScheduleAt call with the
+	// clamped target time (always >= Now at call time).
+	EventScheduled(at Time)
+	// ClockAdvanced fires each time dispatch moves the clock to a new
+	// timestamp, before the events at that instant run.
+	ClockAdvanced(now Time)
+}
+
+// SetObserver installs obs (nil disables observation).
+func (e *Engine) SetObserver(obs Observer) { e.obs = obs }
 
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine {
@@ -151,6 +168,9 @@ func (e *Engine) Schedule(delay Duration, fn func()) {
 	e.seq++
 	ev := e.alloc()
 	ev.at, ev.seq, ev.fn = e.now.Add(delay), e.seq, fn
+	if e.obs != nil {
+		e.obs.EventScheduled(ev.at)
+	}
 	e.push(ev)
 }
 
@@ -162,6 +182,9 @@ func (e *Engine) ScheduleAt(at Time, fn func()) {
 	e.seq++
 	ev := e.alloc()
 	ev.at, ev.seq, ev.fn = at, e.seq, fn
+	if e.obs != nil {
+		e.obs.EventScheduled(ev.at)
+	}
 	e.push(ev)
 }
 
@@ -173,6 +196,9 @@ func (e *Engine) ScheduleAt(at Time, fn func()) {
 func (e *Engine) dispatchBatch() {
 	ev := e.pop()
 	e.now = ev.at
+	if e.obs != nil {
+		e.obs.ClockAdvanced(e.now)
+	}
 	if len(e.queue) == 0 || e.queue[0].at != ev.at {
 		// Fast path: a lone event at this instant.
 		ev.fn()

@@ -1,0 +1,83 @@
+package trace_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"snapbpf/internal/trace"
+	"snapbpf/internal/workload"
+)
+
+// seedTraces builds small hand-written traces plus real recorded ones
+// from the workload suite (external test package: workload depends on
+// trace, so the inner package cannot import it).
+func seedTraces() []*trace.Trace {
+	seeds := []*trace.Trace{
+		{},
+		{Ops: []trace.Op{
+			{Kind: trace.OpAccess, Page: 0},
+			{Kind: trace.OpAccess, Page: 17, Write: true},
+			{Kind: trace.OpCompute, Gap: 250 * time.Microsecond},
+			{Kind: trace.OpAlloc, Handle: 1, NPages: 4},
+			{Kind: trace.OpTouch, Handle: 1, Offset: 3},
+			{Kind: trace.OpFree, Handle: 1},
+		}},
+	}
+	for _, fn := range workload.Suite()[:2] {
+		seeds = append(seeds, fn.GenTrace())
+	}
+	return seeds
+}
+
+// FuzzTraceRoundTrip checks that serialization is a canonical fixed
+// point: any bytes Read accepts re-encode to a form that decodes to
+// the same trace and re-encodes byte-identically. Write normalizes
+// non-canonical input (reserved bytes, boolean flags), so the fixed
+// point is reached after one round trip, not zero.
+func FuzzTraceRoundTrip(f *testing.F) {
+	for _, t := range seedTraces() {
+		var buf bytes.Buffer
+		if err := t.Write(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	// Non-canonical and corrupt variants: flag byte 2, dirty reserved
+	// bytes, flipped payload bit — Read must either reject them or
+	// produce a trace that round-trips canonically.
+	var buf bytes.Buffer
+	if err := seedTraces()[1].Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	for _, mut := range []struct {
+		off int
+		val byte
+	}{{13, 2}, {14, 0x5a}, {20, 0xff}} {
+		b := append([]byte(nil), buf.Bytes()...)
+		b[mut.off] = mut.val
+		f.Add(b)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		t1, err := trace.Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input: nothing to round-trip
+		}
+		var b2 bytes.Buffer
+		if err := t1.Write(&b2); err != nil {
+			t.Fatalf("decoded trace does not re-encode: %v", err)
+		}
+		t2, err := trace.Read(bytes.NewReader(b2.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded trace does not decode: %v", err)
+		}
+		var b3 bytes.Buffer
+		if err := t2.Write(&b3); err != nil {
+			t.Fatalf("second re-encode failed: %v", err)
+		}
+		if !bytes.Equal(b2.Bytes(), b3.Bytes()) {
+			t.Fatalf("encoding is not a fixed point:\n b2=%x\n b3=%x", b2.Bytes(), b3.Bytes())
+		}
+	})
+}

@@ -77,12 +77,20 @@ func Read(r io.Reader) (*Trace, error) {
 	if n < 0 || n > 1<<28 {
 		return nil, fmt.Errorf("trace: implausible op count %d", n)
 	}
-	t := &Trace{Ops: make([]Op, n)}
+	// Grow incrementally rather than trusting the header's count for a
+	// single up-front allocation: a forged header must not make a
+	// 14-byte input allocate gigabytes before truncation is noticed.
+	alloc := n
+	if alloc > 1<<16 {
+		alloc = 1 << 16
+	}
+	t := &Trace{Ops: make([]Op, 0, alloc)}
 	var rec [opRecordSize]byte
 	for i := 0; i < n; i++ {
 		if _, err := io.ReadFull(tr, rec[:]); err != nil {
 			return nil, fmt.Errorf("trace: truncated at op %d: %w", i, err)
 		}
+		t.Ops = append(t.Ops, Op{})
 		op := &t.Ops[i]
 		op.Kind = OpKind(rec[0])
 		op.Write = rec[1] != 0

@@ -34,6 +34,12 @@ type Host struct {
 	Probes *kprobe.Registry
 	BPF    *ebpf.VM
 	CM     costmodel.Model
+
+	// OnRestore, when non-nil, is called at the end of every successful
+	// Restore. The correctness harness uses it to attach a KVM observer
+	// to each sandbox — including the ones schemes create internally
+	// during their record phases.
+	OnRestore func(*MicroVM)
 }
 
 // NewHost assembles a host around the given device parameters.
@@ -166,6 +172,9 @@ func (h *Host) Restore(p *sim.Proc, name string, fn workload.Function,
 	}
 	vm.KVM = kvm.New(g, as, 0, h.CM)
 	vm.KVM.ForceWriteMapping = cfg.ForceWriteMapping
+	if h.OnRestore != nil {
+		h.OnRestore(vm)
+	}
 	return vm, nil
 }
 
