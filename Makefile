@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmtcheck check race cover bench repro examples clean
+.PHONY: all build test vet lint vendorcheck fmtcheck check race cover bench repro examples clean
 
 all: build vet test
 
@@ -12,12 +12,30 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Project-specific analyzers (internal/analysis) run through go vet's
+# unitchecker protocol: detnondet, maporder, simtime, observerorder,
+# unitsafety, allowcheck. Zero unsuppressed diagnostics is the bar;
+# see DESIGN.md §9 for the contracts and the //lint:allow syntax.
+lint:
+	@mkdir -p bin
+	$(GO) build -o bin/snapbpf-lint ./cmd/snapbpf-lint
+	$(GO) vet -vettool=bin/snapbpf-lint ./...
+
+# Offline stand-in for `go mod tidy -diff` / `go mod vendor` drift
+# detection; see the script header for what it pins.
+vendorcheck:
+	./scripts/check_vendor.sh
+
+# gofmt everything except vendored code and analyzer golden files
+# (testdata is deliberately not gofmt-clean: misformatted sources are
+# part of what the analyzers must handle).
 fmtcheck:
-	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+	@out="$$(find . -name '*.go' -not -path './vendor/*' -not -path '*/testdata/*' -exec gofmt -l {} +)"; \
+	if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-# Full hygiene gate: build, vet, formatting, tests.
-check: build vet fmtcheck test
+# Full hygiene gate: build, vet, lint, vendoring, formatting, tests.
+check: build vet lint vendorcheck fmtcheck test
 
 test:
 	$(GO) test ./...
@@ -48,4 +66,4 @@ examples:
 	$(GO) run ./examples/concurrent
 
 clean:
-	rm -rf results test_output.txt bench_output.txt
+	rm -rf results bin test_output.txt bench_output.txt

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestUnitcheckerInvocation pins the protocol detection that decides
+// whether this process is the analysis tool or the front-end.
+func TestUnitcheckerInvocation(t *testing.T) {
+	cases := []struct {
+		args []string
+		want bool
+	}{
+		{[]string{"-V=full"}, true},
+		{[]string{"-flags"}, true},
+		{[]string{"/tmp/b001/vet.cfg"}, true},
+		{[]string{"./..."}, false},
+		{[]string{}, false},
+		{[]string{"./internal/sim"}, false},
+	}
+	for _, c := range cases {
+		if got := unitcheckerInvocation(c.args); got != c.want {
+			t.Errorf("unitcheckerInvocation(%v) = %v, want %v", c.args, got, c.want)
+		}
+	}
+}
+
+// TestDriverEndToEnd builds the real binary and drives it, via `go vet
+// -vettool`, over a scratch module that contains one detnondet
+// violation, one suppressed violation, and one unused allow directive.
+// It asserts the true diagnostic and the unused-allow diagnostic are
+// both reported, the suppressed line is not, and the exit code is
+// non-zero.
+func TestDriverEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the lint binary")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go tool not found: %v", err)
+	}
+
+	tmp := t.TempDir()
+	tool := filepath.Join(tmp, "snapbpf-lint")
+	build := exec.Command(goTool, "build", "-o", tool, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building snapbpf-lint: %v\n%s", err, out)
+	}
+
+	// The module is named "sim" so its root package is treated as a
+	// deterministic package by detnondet.
+	mod := filepath.Join(tmp, "mod")
+	if err := os.Mkdir(mod, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeFile(t, filepath.Join(mod, "go.mod"), "module sim\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(mod, "sim.go"), `package sim
+
+import "time"
+
+func Wall() int64 {
+	return time.Now().UnixNano() // true violation: must be reported
+}
+
+func Logged() int64 {
+	//lint:allow detnondet wall clock feeds a log line, not the schedule
+	return time.Now().UnixNano() // suppressed: must NOT be reported
+}
+
+//lint:allow detnondet nothing to suppress here
+var epoch = int64(0) // unused allow: must be reported
+`)
+
+	cmd := exec.Command(tool, "./...")
+	cmd.Dir = mod
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("lint over a module with violations exited zero\n%s", out)
+	}
+	s := string(out)
+	if !strings.Contains(s, "time.Now is a wall-clock/entropy source") {
+		t.Errorf("missing time.Now diagnostic in output:\n%s", s)
+	}
+	if !strings.Contains(s, "unused //lint:allow detnondet") {
+		t.Errorf("missing unused-allow diagnostic in output:\n%s", s)
+	}
+	if strings.Contains(s, "sim.go:11") {
+		t.Errorf("suppressed violation on sim.go:11 was reported:\n%s", s)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

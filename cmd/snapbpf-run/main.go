@@ -19,6 +19,7 @@ import (
 
 	"snapbpf/internal/blockdev"
 	"snapbpf/internal/experiments"
+	"snapbpf/internal/units"
 	"snapbpf/internal/workload"
 )
 
@@ -87,7 +88,7 @@ func main() {
 		AllocDrift:      *drift,
 		Device:          dev,
 		InputVariance:   *variance,
-		CacheLimitPages: *cacheMiB << 20 >> 12,
+		CacheLimitPages: (units.ByteSize(*cacheMiB) * units.MiB).Pages(),
 	})
 	if err != nil {
 		fatal(err)

@@ -25,6 +25,7 @@ import (
 	"snapbpf/internal/sim"
 	"snapbpf/internal/snapshot"
 	"snapbpf/internal/trace"
+	"snapbpf/internal/units"
 	"snapbpf/internal/vmm"
 	"snapbpf/internal/workload"
 )
@@ -77,8 +78,8 @@ func inspect(path string, listGroups bool) error {
 			return err
 		}
 		fmt.Printf("  type          snapshot memory image\n")
-		fmt.Printf("  guest memory  %d pages (%.1f MiB)\n", m.NrPages, float64(m.NrPages)*4096/(1<<20))
-		fmt.Printf("  state pages   %d (%.1f MiB)\n", m.StatePages, float64(m.StatePages)*4096/(1<<20))
+		fmt.Printf("  guest memory  %d pages (%.1f MiB)\n", m.NrPages, units.PagesToMiB(m.NrPages))
+		fmt.Printf("  state pages   %d (%.1f MiB)\n", m.StatePages, units.PagesToMiB(m.StatePages))
 		fmt.Printf("  zero pages    %d\n", m.ZeroPages())
 		fmt.Printf("  free PFNs     %d (allocator metadata)\n", len(m.FreePFNs))
 	case 0x53424657: // SnapBPF offsets
@@ -88,7 +89,7 @@ func inspect(path string, listGroups bool) error {
 		}
 		fmt.Printf("  type          SnapBPF offsets working set (no page data)\n")
 		fmt.Printf("  groups        %d\n", len(ws.Groups))
-		fmt.Printf("  pages         %d (%.1f MiB of snapshot data)\n", ws.TotalPages(), float64(ws.TotalPages())*4096/(1<<20))
+		fmt.Printf("  pages         %d (%.1f MiB of snapshot data)\n", ws.TotalPages(), units.PagesToMiB(ws.TotalPages()))
 		fmt.Printf("  file overhead %.1f KiB (metadata only)\n", float64(16*len(ws.Groups))/1024)
 		if listGroups {
 			for i, g := range ws.Groups {
@@ -101,7 +102,7 @@ func inspect(path string, listGroups bool) error {
 			return err
 		}
 		fmt.Printf("  type          REAP/Faast paged working set (offsets + contents)\n")
-		fmt.Printf("  pages         %d (%.1f MiB serialized page data)\n", ws.TotalPages(), float64(ws.TotalPages())*4096/(1<<20))
+		fmt.Printf("  pages         %d (%.1f MiB serialized page data)\n", ws.TotalPages(), units.PagesToMiB(ws.TotalPages()))
 		if listGroups {
 			for i, pg := range ws.Pages {
 				fmt.Printf("    entry %4d: page %d tag %#x\n", i, pg, ws.Tags[i])

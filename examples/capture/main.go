@@ -14,6 +14,7 @@ import (
 	"path/filepath"
 
 	"snapbpf"
+	"snapbpf/internal/units"
 )
 
 func main() {
@@ -62,7 +63,7 @@ func main() {
 	ws := s.WorkingSet()
 	fmt.Printf("captured working set of %q:\n", fn.Name)
 	fmt.Printf("  %d pages (%.1f MiB) in %d contiguous groups\n",
-		ws.TotalPages(), float64(ws.TotalPages())*4096/(1<<20), len(ws.Groups))
+		ws.TotalPages(), units.PagesToMiB(ws.TotalPages()), len(ws.Groups))
 	fmt.Println("\nfirst groups in prefetch (earliest-access) order:")
 	for i, g := range ws.Groups {
 		if i == 8 {

@@ -14,6 +14,7 @@ import (
 	"log"
 
 	"snapbpf"
+	"snapbpf/internal/units"
 )
 
 func main() {
@@ -105,6 +106,6 @@ func main() {
 	fmt.Printf("program ran %d times; page-cache insertions by inode:\n", prog.Runs)
 	for _, e := range counts.Entries() {
 		fmt.Printf("  inode %d: %d pages (%.1f MiB)\n",
-			e.Key, e.Value, float64(e.Value)*4096/(1<<20))
+			e.Key, e.Value, units.PagesToMiB(int64(e.Value)))
 	}
 }

@@ -1,3 +1,8 @@
 module snapbpf
 
 go 1.22
+
+// Sole external dependency: the go/analysis framework driving
+// cmd/snapbpf-lint. Vendored (subset) so builds never touch the
+// network; see DESIGN.md §9 and scripts/check_vendor.sh.
+require golang.org/x/tools v0.28.1-0.20250131145412-98746475647e

@@ -1,0 +1,169 @@
+// Package allow implements the //lint:allow suppression directive
+// shared by every snapbpf-lint analyzer.
+//
+// A directive has the form
+//
+//	//lint:allow <analyzer> <reason...>
+//
+// and suppresses diagnostics of the named analyzer on the same line or
+// on the line immediately below (so it can ride at the end of the
+// offending statement or stand alone above it). The reason is
+// mandatory: a reason-less directive suppresses nothing (and is
+// reported as malformed by the allowcheck analyzer).
+//
+// Directives must be load-bearing. A Tracker records which directives
+// actually suppressed a diagnostic during the run; Finish reports every
+// directive naming this analyzer that suppressed nothing, so stale
+// allows cannot linger after the underlying code is fixed.
+package allow
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Prefix is the comment prefix introducing a directive (after "//").
+const Prefix = "lint:allow"
+
+// Directive is one parsed, well-formed //lint:allow comment.
+type Directive struct {
+	Pos      token.Pos // position of the comment
+	File     string
+	Line     int
+	Analyzer string // analyzer the directive targets
+	Reason   string // non-empty justification
+
+	used bool
+}
+
+// Parse decodes a single comment's text (including the leading "//").
+// It returns ok=false when the comment is not an allow directive at
+// all. A directive with a missing analyzer name or empty reason is
+// returned with those fields empty; callers decide whether that is an
+// error (allowcheck) or simply a non-suppressing comment (Tracker).
+func Parse(text string) (d Directive, ok bool) {
+	body, found := strings.CutPrefix(text, "//"+Prefix)
+	if !found {
+		return Directive{}, false
+	}
+	// A longer word such as //lint:allowance is not a directive.
+	if body != "" && body[0] != ' ' && body[0] != '\t' {
+		return Directive{}, false
+	}
+	// Testdata golden files append "// want ..." expectations to the
+	// same comment; they are not part of the reason.
+	if i := strings.Index(body, "//"); i >= 0 {
+		body = body[:i]
+	}
+	fields := strings.Fields(body)
+	if len(fields) == 0 {
+		return Directive{}, true
+	}
+	d.Analyzer = fields[0]
+	d.Reason = strings.Join(fields[1:], " ")
+	return d, true
+}
+
+// Tracker scans a pass's files for directives naming one analyzer and
+// arbitrates suppression for that analyzer's diagnostics.
+type Tracker struct {
+	pass *analysis.Pass
+	name string
+	dirs []*Directive
+	// byLine indexes each directive under the lines it covers
+	// (its own and the next), keyed by file:line.
+	byLine map[string][]*Directive
+}
+
+// New scans pass's syntax for //lint:allow directives naming analyzer
+// name. It must be called before any Report.
+func New(pass *analysis.Pass, name string) *Tracker {
+	t := &Tracker{pass: pass, name: name, byLine: make(map[string][]*Directive)}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, ok := Parse(c.Text)
+				if !ok || d.Analyzer != name || d.Reason == "" {
+					continue
+				}
+				p := pass.Fset.Position(c.Pos())
+				dir := &Directive{
+					Pos: c.Pos(), File: p.Filename, Line: p.Line,
+					Analyzer: d.Analyzer, Reason: d.Reason,
+				}
+				t.dirs = append(t.dirs, dir)
+				for _, ln := range []int{p.Line, p.Line + 1} {
+					k := lineKey(p.Filename, ln)
+					t.byLine[k] = append(t.byLine[k], dir)
+				}
+			}
+		}
+	}
+	return t
+}
+
+func lineKey(file string, line int) string {
+	return file + ":" + itoa(line)
+}
+
+// itoa avoids strconv for this one tiny use.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// Reportf emits a diagnostic at pos unless a directive covers its
+// line, in which case the directive is marked used and the diagnostic
+// dropped.
+func (t *Tracker) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p := t.pass.Fset.Position(pos)
+	if dirs := t.byLine[lineKey(p.Filename, p.Line)]; len(dirs) > 0 {
+		for _, d := range dirs {
+			d.used = true
+		}
+		return
+	}
+	t.pass.Reportf(pos, format, args...)
+}
+
+// Finish reports every directive that suppressed nothing. Call once,
+// after all Reportf calls. It must run even when the analyzer skipped
+// the package body (e.g. detnondet outside the deterministic set): a
+// directive there is unused by definition.
+func (t *Tracker) Finish() {
+	sort.Slice(t.dirs, func(i, j int) bool { return t.dirs[i].Pos < t.dirs[j].Pos })
+	for _, d := range t.dirs {
+		if !d.used {
+			t.pass.Reportf(d.Pos,
+				"unused //lint:allow %s directive: no %s diagnostic on this or the next line",
+				t.name, t.name)
+		}
+	}
+}
+
+// Comments returns every allow-shaped comment in f (well-formed or
+// not) for the allowcheck analyzer.
+func Comments(f *ast.File) []*ast.Comment {
+	var out []*ast.Comment
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if _, ok := Parse(c.Text); ok {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,28 @@
+// Package analysis is the registry of the snapbpf-lint analyzer
+// suite: project-specific go/analysis passes that prove, at build
+// time, the determinism and observer contracts the runtime harness
+// (internal/check) verifies dynamically. See DESIGN.md §9.
+package analysis
+
+import (
+	"golang.org/x/tools/go/analysis"
+
+	"snapbpf/internal/analysis/passes/allowcheck"
+	"snapbpf/internal/analysis/passes/detnondet"
+	"snapbpf/internal/analysis/passes/maporder"
+	"snapbpf/internal/analysis/passes/observerorder"
+	"snapbpf/internal/analysis/passes/simtime"
+	"snapbpf/internal/analysis/passes/unitsafety"
+)
+
+// All returns every analyzer in the suite, in a fixed order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		detnondet.Analyzer,
+		maporder.Analyzer,
+		simtime.Analyzer,
+		observerorder.Analyzer,
+		unitsafety.Analyzer,
+		allowcheck.Analyzer,
+	}
+}

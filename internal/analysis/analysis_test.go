@@ -1,0 +1,35 @@
+package analysis
+
+import (
+	"testing"
+
+	"snapbpf/internal/analysis/passes/allowcheck"
+)
+
+// TestSuiteShape pins the registry invariants the driver and the
+// allow machinery rely on: unique names, docs, and allowcheck knowing
+// every suppressible analyzer.
+func TestSuiteShape(t *testing.T) {
+	all := All()
+	if len(all) < 5 {
+		t.Fatalf("suite has %d analyzers, want >= 5", len(all))
+	}
+	seen := make(map[string]bool)
+	for _, a := range all {
+		if a.Name == "" || a.Doc == "" {
+			t.Errorf("analyzer %q has empty name or doc", a.Name)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if a.Name != "allowcheck" && !allowcheck.Known[a.Name] {
+			t.Errorf("analyzer %q is not in allowcheck.Known; its directives would be rejected", a.Name)
+		}
+	}
+	for name := range allowcheck.Known {
+		if !seen[name] {
+			t.Errorf("allowcheck.Known lists %q which is not in the suite", name)
+		}
+	}
+}

@@ -1,0 +1,282 @@
+// Package analysistest runs a go/analysis analyzer over golden
+// packages under testdata/src and checks its diagnostics against
+// // want "regexp" comments, following the conventions of
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// The upstream harness is not vendorable here: it depends on
+// go/packages and external loaders, which need a module proxy. This
+// local reimplementation resolves every import inside testdata/src
+// itself — test packages ship miniature stand-ins for the few stdlib
+// and project packages the analyzers key on (time, math/rand, sim,
+// units, ...), which also keeps the golden packages hermetic and the
+// tests fast.
+//
+// Supported conventions:
+//
+//   - testdata/src/<importpath>/*.go form one package per directory;
+//     imports resolve to sibling testdata packages.
+//   - A comment containing `want "re1" "re2"` expects one diagnostic
+//     matching each regexp on that line; every diagnostic must be
+//     matched by exactly one want and vice versa.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// Run loads each package path from testdata/src, applies the analyzer
+// (and its Requires closure), and checks diagnostics against the
+// packages' want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	l := &loader{
+		fset:   token.NewFileSet(),
+		srcdir: filepath.Join(testdata, "src"),
+		pkgs:   make(map[string]*pkgInfo),
+	}
+	for _, path := range pkgPaths {
+		path := path
+		t.Run(path, func(t *testing.T) {
+			pkg, err := l.load(path)
+			if err != nil {
+				t.Fatalf("loading %s: %v", path, err)
+			}
+			diags, err := exec(a, l.fset, pkg)
+			if err != nil {
+				t.Fatalf("running %s on %s: %v", a.Name, path, err)
+			}
+			check(t, l.fset, pkg, diags)
+		})
+	}
+}
+
+type pkgInfo struct {
+	path  string
+	tpkg  *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+type loader struct {
+	fset   *token.FileSet
+	srcdir string
+	pkgs   map[string]*pkgInfo
+}
+
+// Import implements types.Importer by loading sibling testdata
+// packages, so golden files never touch the real build graph.
+func (l *loader) Import(path string) (*types.Package, error) {
+	p, err := l.load(path)
+	if err != nil {
+		return nil, err
+	}
+	return p.tpkg, nil
+}
+
+func (l *loader) load(path string) (*pkgInfo, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(l.srcdir, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("package %s: %w", path, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("package %s: no Go files in %s", path, dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typechecking %s: %w", path, err)
+	}
+	p := &pkgInfo{path: path, tpkg: tpkg, files: files, info: info}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// exec runs a and its Requires closure over pkg, returning a's (and
+// only a's) diagnostics sorted by position.
+func exec(a *analysis.Analyzer, fset *token.FileSet, pkg *pkgInfo) ([]analysis.Diagnostic, error) {
+	results := make(map[*analysis.Analyzer]interface{})
+	var diags []analysis.Diagnostic
+
+	var run func(a *analysis.Analyzer, collect bool) error
+	run = func(a *analysis.Analyzer, collect bool) error {
+		if _, done := results[a]; done {
+			return nil
+		}
+		for _, req := range a.Requires {
+			if err := run(req, false); err != nil {
+				return err
+			}
+		}
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     pkg.files,
+			Pkg:       pkg.tpkg,
+			TypesInfo: pkg.info,
+			TypesSizes: func() types.Sizes {
+				if s := types.SizesFor("gc", "amd64"); s != nil {
+					return s
+				}
+				return &types.StdSizes{WordSize: 8, MaxAlign: 8}
+			}(),
+			ResultOf: results,
+			Report: func(d analysis.Diagnostic) {
+				if collect {
+					diags = append(diags, d)
+				}
+			},
+		}
+		res, err := a.Run(pass)
+		if err != nil {
+			return fmt.Errorf("%s: %w", a.Name, err)
+		}
+		results[a] = res
+		return nil
+	}
+	if err := run(a, true); err != nil {
+		return nil, err
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}
+
+// wantRe extracts the expectation list from a comment.
+var wantRe = regexp.MustCompile(`want\s+((?:(?:"(?:[^"\\]|\\.)*"|` + "`[^`]*`" + `)\s*)+)`)
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, lit := range splitLits(m[1]) {
+					pat, err := unquote(lit)
+					if err != nil {
+						t.Fatalf("%s: bad want literal %s: %v", pos, lit, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitLits splits a run of adjacent Go string literals.
+func splitLits(s string) []string {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var end int
+		switch s[0] {
+		case '`':
+			end = strings.IndexByte(s[1:], '`') + 2
+		case '"':
+			end = 1
+			for end < len(s) && (s[end] != '"' || s[end-1] == '\\') {
+				end++
+			}
+			end++
+		default:
+			return out
+		}
+		out = append(out, s[:end])
+		s = strings.TrimSpace(s[end:])
+	}
+	return out
+}
+
+func unquote(lit string) (string, error) {
+	if strings.HasPrefix(lit, "`") {
+		return strings.Trim(lit, "`"), nil
+	}
+	return strconv.Unquote(lit)
+}
+
+func check(t *testing.T, fset *token.FileSet, pkg *pkgInfo, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, fset, pkg.files)
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}

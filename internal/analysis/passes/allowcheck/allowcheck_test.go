@@ -1,0 +1,12 @@
+package allowcheck_test
+
+import (
+	"testing"
+
+	"snapbpf/internal/analysis/analysistest"
+	"snapbpf/internal/analysis/passes/allowcheck"
+)
+
+func TestAllowCheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), allowcheck.Analyzer, "allowuser")
+}

@@ -1,0 +1,11 @@
+// Package allowuser exercises directive validation: analyzer names
+// must be known and reasons mandatory.
+package allowuser
+
+func directives() {
+	_ = 1 //lint:allow // want `malformed //lint:allow directive: missing analyzer name and reason`
+	_ = 2 //lint:allow nosuchpass because reasons // want `//lint:allow names unknown analyzer "nosuchpass"`
+	_ = 3 //lint:allow detnondet // want `//lint:allow detnondet is missing a reason; reasons are mandatory`
+	_ = 4 //lint:allow maporder well-formed directive, nothing for allowcheck to say
+	_ = 5 //lint:allowance is a different word, not a directive
+}

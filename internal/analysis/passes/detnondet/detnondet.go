@@ -1,0 +1,111 @@
+// Package detnondet rejects wall-clock and entropy sources inside the
+// deterministic packages (sim, blockdev, pagecache, hostmm, kvm, ebpf,
+// faults, prefetch/..., check, workload).
+//
+// Every result those packages produce — CSV rows, fault plans, digests
+// — must be a pure function of configured seeds and the virtual clock.
+// time.Now, the auto-seeded math/rand globals, crypto/rand and
+// process-identity calls all smuggle host state into that function.
+// Seeded generators (rand.New(rand.NewSource(seed))) are fine: the
+// analyzer bans the package-level entropy, not *rand.Rand methods.
+package detnondet
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"snapbpf/internal/analysis/allow"
+	"snapbpf/internal/analysis/lintutil"
+)
+
+// Analyzer is the detnondet pass.
+const name = "detnondet"
+
+var Analyzer = &analysis.Analyzer{
+	Name:     name,
+	Doc:      "forbid wall-clock time and unseeded entropy in deterministic packages",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+// banned maps package path -> symbol -> what to use instead. An entry
+// under symbol "*" bans every symbol of the package.
+var banned = map[string]map[string]string{
+	"time": {
+		"Now":       "the sim engine clock (Engine.Now)",
+		"Since":     "sim.Time.Sub",
+		"Until":     "sim.Time.Sub",
+		"Sleep":     "Proc.Sleep (virtual time)",
+		"After":     "Engine.Schedule",
+		"Tick":      "Engine.Schedule",
+		"NewTicker": "Engine.Schedule",
+		"NewTimer":  "Engine.Schedule",
+		"AfterFunc": "Engine.Schedule",
+	},
+	"math/rand": {
+		"Int": "", "Intn": "", "Int31": "", "Int31n": "", "Int63": "", "Int63n": "",
+		"Uint32": "", "Uint64": "", "Float32": "", "Float64": "",
+		"ExpFloat64": "", "NormFloat64": "", "Perm": "", "Shuffle": "",
+		"Read": "", "Seed": "",
+	},
+	"math/rand/v2": {
+		"Int": "", "IntN": "", "Int32": "", "Int32N": "", "Int64": "", "Int64N": "",
+		"Uint": "", "UintN": "", "Uint32": "", "Uint32N": "", "Uint64": "", "Uint64N": "",
+		"Float32": "", "Float64": "", "ExpFloat64": "", "NormFloat64": "",
+		"Perm": "", "Shuffle": "", "N": "",
+	},
+	"crypto/rand": {"*": ""},
+	"os": {
+		"Getpid":    "",
+		"Getppid":   "",
+		"Getenv":    "explicit configuration threaded from the caller",
+		"LookupEnv": "explicit configuration threaded from the caller",
+		"Environ":   "explicit configuration threaded from the caller",
+	},
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	tr := allow.New(pass, name)
+	// Finish must run even for exempt packages so that a stray
+	// //lint:allow detnondet there is reported as unused.
+	defer tr.Finish()
+	if !lintutil.DeterministicPkg(pass.Pkg.Path()) {
+		return nil, nil
+	}
+
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.SelectorExpr)(nil)}, func(n ast.Node) {
+		sel := n.(*ast.SelectorExpr)
+		obj := pass.TypesInfo.Uses[sel.Sel]
+		if obj == nil || obj.Pkg() == nil {
+			return
+		}
+		// Methods are never banned: *rand.Rand draws from an explicit
+		// seed, and sim types carry time.Duration methods. The entropy
+		// lives in the package-level functions and variables.
+		if fn, ok := obj.(*types.Func); ok && fn.Type().(*types.Signature).Recv() != nil {
+			return
+		}
+		syms, ok := banned[obj.Pkg().Path()]
+		if !ok {
+			return
+		}
+		advice, hit := syms[obj.Name()]
+		if !hit {
+			if _, all := syms["*"]; !all {
+				return
+			}
+		}
+		msg := obj.Pkg().Path() + "." + obj.Name() +
+			" is a wall-clock/entropy source forbidden in deterministic packages"
+		if advice != "" {
+			msg += "; use " + advice
+		}
+		tr.Reportf(sel.Pos(), "%s", msg)
+	})
+	return nil, nil
+}

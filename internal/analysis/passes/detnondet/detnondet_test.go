@@ -1,0 +1,12 @@
+package detnondet_test
+
+import (
+	"testing"
+
+	"snapbpf/internal/analysis/analysistest"
+	"snapbpf/internal/analysis/passes/detnondet"
+)
+
+func TestDetNonDet(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), detnondet.Analyzer, "sim", "clockuser")
+}

@@ -1,0 +1,14 @@
+// Package clockuser is NOT on the deterministic list: wall-clock use
+// is fine here, but a detnondet allow directive is dead weight and
+// must still be reported as unused.
+package clockuser
+
+import "time"
+
+func wallClockOK() time.Time {
+	return time.Now()
+}
+
+func deadDirective() {
+	_ = time.Now() //lint:allow detnondet pointless here // want `unused //lint:allow detnondet directive`
+}

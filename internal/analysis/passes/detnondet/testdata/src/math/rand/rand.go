@@ -1,0 +1,25 @@
+// Package rand is a miniature stand-in for math/rand (see the time
+// stand-in for why).
+package rand
+
+// Source is a seedable stream of pseudo-random numbers.
+type Source struct{ seed int64 }
+
+// Rand is a seeded generator; its methods are deterministic and
+// permitted everywhere.
+type Rand struct{ src Source }
+
+// NewSource returns a Source seeded with seed.
+func NewSource(seed int64) Source { return Source{seed} }
+
+// New returns a Rand using src.
+func New(src Source) *Rand { return &Rand{src} }
+
+// Intn returns a pseudo-random int in [0, n) from the seeded stream.
+func (r *Rand) Intn(n int) int { return 0 }
+
+// Intn draws from the auto-seeded global generator.
+func Intn(n int) int { return 0 }
+
+// Float64 draws from the auto-seeded global generator.
+func Float64() float64 { return 0 }

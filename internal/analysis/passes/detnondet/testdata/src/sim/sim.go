@@ -1,0 +1,36 @@
+// Package sim is a golden package on the deterministic list: every
+// wall-clock/entropy source below must be diagnosed.
+package sim
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	"os"
+	"time"
+)
+
+func violations() {
+	_ = time.Now()       // want `time\.Now is a wall-clock/entropy source .*Engine\.Now`
+	_ = time.Since(time.Time{}) // want `time\.Since is a wall-clock/entropy source`
+	time.Sleep(time.Second)     // want `time\.Sleep is a wall-clock/entropy source .*virtual time`
+	_ = rand.Intn(10)    // want `math/rand\.Intn is a wall-clock/entropy source`
+	_ = rand.Float64()   // want `math/rand\.Float64 is a wall-clock/entropy source`
+	_ = os.Getpid()      // want `os\.Getpid is a wall-clock/entropy source`
+	_ = os.Getenv("X")   // want `os\.Getenv is a wall-clock/entropy source .*configuration`
+	var b []byte
+	_, _ = crand.Read(b) // want `crypto/rand\.Read is a wall-clock/entropy source`
+}
+
+func seededOK() int {
+	// Seeded generators are the sanctioned entropy: deterministic,
+	// reproducible from the recorded seed.
+	rng := rand.New(rand.NewSource(42))
+	return rng.Intn(10)
+}
+
+func suppressed() {
+	_ = time.Now() //lint:allow detnondet golden test of the suppression path
+}
+
+//lint:allow detnondet this directive covers no diagnostic // want `unused //lint:allow detnondet directive`
+func cleanFunc() {}

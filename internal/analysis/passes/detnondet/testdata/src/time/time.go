@@ -1,0 +1,22 @@
+// Package time is a miniature stand-in for the standard library's
+// time package: the analyzers match on the import path "time", so the
+// golden packages can stay hermetic (no real build graph needed).
+package time
+
+// Time is a wall-clock instant.
+type Time struct{ ns int64 }
+
+// Duration is a span in nanoseconds.
+type Duration int64
+
+// Second is one second.
+const Second Duration = 1e9
+
+// Now returns the current wall-clock time.
+func Now() Time { return Time{} }
+
+// Since returns the time elapsed since t.
+func Since(t Time) Duration { return 0 }
+
+// Sleep pauses the current goroutine.
+func Sleep(d Duration) {}

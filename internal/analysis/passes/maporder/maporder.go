@@ -1,0 +1,128 @@
+// Package maporder rejects iteration over maps whose loop body has
+// order-dependent effects.
+//
+// Go randomizes map iteration order, so a range-over-map that appends
+// to a slice, writes CSV/trace/text output, schedules simulation
+// events, or sends on a channel produces a different interleaving on
+// every run — exactly the irreproducibility the byte-identical CSV and
+// digest contracts forbid.
+//
+// The one exempt shape is the canonical collect-then-sort idiom: a
+// body consisting solely of a single `x = append(x, ...)` statement,
+// whose result is expected to be sorted before use. Every other
+// order-dependent body must either iterate sorted keys or carry a
+// //lint:allow maporder directive explaining why order cannot leak.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"snapbpf/internal/analysis/allow"
+	"snapbpf/internal/analysis/lintutil"
+)
+
+// Analyzer is the maporder pass.
+const name = "maporder"
+
+var Analyzer = &analysis.Analyzer{
+	Name:     name,
+	Doc:      "forbid order-dependent effects inside range-over-map loops",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+// effectNames are method/function names whose call inside a map range
+// makes iteration order observable: output writers, sim scheduling,
+// and event emission.
+var effectNames = map[string]bool{
+	"Write": true, "WriteAll": true, "WriteString": true, "WriteByte": true,
+	"WriteRune": true, "Fprintf": true, "Fprintln": true, "Fprint": true,
+	"Printf": true, "Println": true, "Print": true,
+	"Schedule": true, "ScheduleAt": true, "Go": true, "Fire": true,
+	"Emit": true, "Record": true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	tr := allow.New(pass, name)
+	defer tr.Finish()
+
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.RangeStmt)(nil)}, func(n ast.Node) {
+		rs := n.(*ast.RangeStmt)
+		t := pass.TypesInfo.TypeOf(rs.X)
+		if t == nil {
+			return
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return
+		}
+		if isCollectIdiom(rs.Body) {
+			return
+		}
+		for _, eff := range effects(rs.Body) {
+			tr.Reportf(eff.pos,
+				"%s inside iteration over map %s is order-dependent; iterate sorted keys instead",
+				eff.what, lintutil.ExprString(pass.Fset, rs.X))
+		}
+	})
+	return nil, nil
+}
+
+// isCollectIdiom reports whether body is exactly one
+// `x = append(x, ...)` statement — collecting keys (or values) for a
+// subsequent sort.
+func isCollectIdiom(body *ast.BlockStmt) bool {
+	if len(body.List) != 1 {
+		return false
+	}
+	as, ok := body.List[0].(*ast.AssignStmt)
+	if !ok || len(as.Rhs) != 1 {
+		return false
+	}
+	return isAppendCall(as.Rhs[0])
+}
+
+func isAppendCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "append"
+}
+
+type report struct {
+	pos  token.Pos
+	what string
+}
+
+// effects walks the loop body (including nested statements and
+// function literals, which typically run once per iteration) and
+// collects order-dependent operations.
+func effects(body *ast.BlockStmt) []report {
+	var out []report
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				if isAppendCall(rhs) {
+					out = append(out, report{n.Pos(), "append"})
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && effectNames[sel.Sel.Name] {
+				out = append(out, report{n.Pos(), "call to " + sel.Sel.Name})
+			}
+		case *ast.SendStmt:
+			out = append(out, report{n.Pos(), "channel send"})
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"snapbpf/internal/analysis/analysistest"
+	"snapbpf/internal/analysis/passes/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), maporder.Analyzer, "mapuser")
+}

@@ -1,0 +1,9 @@
+// Package fmt is a miniature stand-in for the standard library's fmt
+// package (the analyzer matches writer-shaped call names).
+package fmt
+
+// Fprintf formats into w.
+func Fprintf(w interface{}, format string, args ...interface{}) (int, error) { return 0, nil }
+
+// Sprintf formats into a string; it has no output effect.
+func Sprintf(format string, args ...interface{}) string { return "" }

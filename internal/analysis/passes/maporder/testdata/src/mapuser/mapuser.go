@@ -1,0 +1,70 @@
+// Package mapuser exercises every order-dependent map-range shape the
+// analyzer must reject, and the sorted idioms it must accept.
+package mapuser
+
+import "fmt"
+
+type engine struct{}
+
+func (engine) Schedule(fn func()) {}
+
+type writer struct{}
+
+func (writer) Write(row []string) error { return nil }
+
+func violations(m map[int]string, eng engine, w writer, ch chan int) {
+	var rows []string
+	for k, v := range m {
+		rows = append(rows, v)          // want `append inside iteration over map m is order-dependent`
+		_, _ = fmt.Fprintf(nil, "%d", k) // want `call to Fprintf inside iteration over map m is order-dependent`
+	}
+	for k := range m {
+		eng.Schedule(func() { _ = k }) // want `call to Schedule inside iteration over map m is order-dependent`
+	}
+	for _, v := range m {
+		_ = w.Write([]string{v}) // want `call to Write inside iteration over map m is order-dependent`
+	}
+	for k := range m {
+		ch <- k // want `channel send inside iteration over map m is order-dependent`
+	}
+}
+
+func collectThenSortOK(m map[int]string) []int {
+	// The canonical idiom: a single append collecting keys for a
+	// subsequent sort is the sanctioned escape.
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func sliceRangeOK(s []string, w writer) {
+	// Order-dependent effects over a slice are fine: slices iterate in
+	// index order.
+	var out []string
+	for _, v := range s {
+		out = append(out, v)
+		_ = w.Write([]string{v})
+	}
+}
+
+func pureBodyOK(m map[int]int) int {
+	// Commutative accumulation does not observe order.
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func suppressed(m map[int]string) {
+	var all []string
+	for _, v := range m {
+		all = append(all, v) //lint:allow maporder golden test of the suppression path
+		_ = v
+	}
+}
+
+//lint:allow maporder this directive covers no diagnostic // want `unused //lint:allow maporder directive`
+func cleanFunc() {}

@@ -1,0 +1,12 @@
+package observerorder_test
+
+import (
+	"testing"
+
+	"snapbpf/internal/analysis/analysistest"
+	"snapbpf/internal/analysis/passes/observerorder"
+)
+
+func TestObserverOrder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), observerorder.Analyzer, "pagecache", "otherpkg")
+}

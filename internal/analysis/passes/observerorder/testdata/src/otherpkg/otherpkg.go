@@ -1,0 +1,27 @@
+// Package otherpkg checks that rule 1 (nil-guarding) applies outside
+// pagecache while rule 2 (kprobe ordering) does not.
+package otherpkg
+
+import "kprobe"
+
+// Observer is this package's own observer interface.
+type Observer interface {
+	EventScheduled(at int64)
+}
+
+type engine struct {
+	obs    Observer
+	probes *kprobe.Registry
+}
+
+func (e *engine) unguarded(at int64) {
+	e.obs.EventScheduled(at) // want `observer hook e\.obs\.EventScheduled is not nil-guarded`
+}
+
+func (e *engine) fireThenObserveOK(at int64) {
+	// Not pagecache: dispatch-before-hook ordering is not constrained.
+	e.probes.Fire("hook", 0, 0)
+	if e.obs != nil {
+		e.obs.EventScheduled(at)
+	}
+}

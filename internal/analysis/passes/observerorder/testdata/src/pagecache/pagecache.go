@@ -1,0 +1,75 @@
+// Package pagecache exercises both observer rules: nil-guarding of
+// hook calls (everywhere) and PageInserted-before-kprobe-dispatch
+// (specific to this package).
+package pagecache
+
+import "kprobe"
+
+// Observer receives cache events; a nil observer disables observation.
+type Observer interface {
+	PageInserted(idx int64)
+	PageEvicted(idx int64)
+}
+
+type cache struct {
+	obs    Observer
+	probes *kprobe.Registry
+}
+
+func (c *cache) unguarded(idx int64) {
+	c.obs.PageInserted(idx) // want `observer hook c\.obs\.PageInserted is not nil-guarded`
+}
+
+func (c *cache) guardedOK(idx int64) {
+	if c.obs != nil {
+		c.obs.PageInserted(idx)
+	}
+}
+
+func (c *cache) guardedConjunctOK(idx int64) {
+	if idx >= 0 && c.obs != nil {
+		c.obs.PageEvicted(idx)
+	}
+}
+
+func (c *cache) localVarGuardOK(idx int64) {
+	if obs := c.obs; obs != nil {
+		obs.PageEvicted(idx)
+	}
+}
+
+func (c *cache) wrongGuard(idx int64) {
+	if idx > 0 {
+		c.obs.PageEvicted(idx) // want `observer hook c\.obs\.PageEvicted is not nil-guarded`
+	}
+}
+
+// insertWrongOrder reproduces the PR 3 bug: the kprobe fires before
+// the observer sees the insertion, so a recursive prefetch insert
+// reaches the harness out of causal order.
+func (c *cache) insertWrongOrder(idx int64) {
+	c.probes.Fire("add_to_page_cache_lru", 1, uint64(idx)) // want `kprobe dispatch precedes the PageInserted observer`
+	if c.obs != nil {
+		c.obs.PageInserted(idx)
+	}
+}
+
+func (c *cache) insertRightOrderOK(idx int64) {
+	if c.obs != nil {
+		c.obs.PageInserted(idx)
+	}
+	c.probes.Fire("add_to_page_cache_lru", 1, uint64(idx))
+}
+
+func (c *cache) fireAloneOK(idx int64) {
+	// Dispatch without observation in the same function is fine; the
+	// ordering contract binds only functions doing both.
+	c.probes.Fire("add_to_page_cache_lru", 1, uint64(idx))
+}
+
+func (c *cache) suppressed(idx int64) {
+	c.obs.PageEvicted(idx) //lint:allow observerorder golden test of the suppression path
+}
+
+//lint:allow observerorder this directive covers no diagnostic // want `unused //lint:allow observerorder directive`
+func clean() {}

@@ -1,0 +1,12 @@
+package simtime_test
+
+import (
+	"testing"
+
+	"snapbpf/internal/analysis/analysistest"
+	"snapbpf/internal/analysis/passes/simtime"
+)
+
+func TestSimTime(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), simtime.Analyzer, "clock", "sim")
+}

@@ -1,0 +1,28 @@
+// Package clock exercises the virtual/wall-clock mixing shapes the
+// analyzer must reject, and the sanctioned Add/Sub API it must accept.
+package clock
+
+import (
+	"sim"
+	"time"
+)
+
+func violations(t sim.Time, d time.Duration, w time.Time) {
+	_ = sim.Time(d)      // want `conversion of wall-clock time\.Duration to sim\.Time .*use sim\.Time\.Add`
+	_ = time.Duration(t) // want `conversion of sim\.Time to wall-clock time\.Duration .*use sim\.Time\.Sub`
+	_ = sim.Duration(t)  // want `conversion of sim\.Time to wall-clock time\.Duration .*use sim\.Time\.Sub`
+}
+
+func blessedOK(t sim.Time, d time.Duration) {
+	_ = t.Add(d)          // advancing virtual time by a span
+	_ = t.Sub(sim.Time(0)) // spans between virtual instants
+	_ = sim.Time(42)       // untyped constants carry no clock domain
+	_ = int64(t)           // escaping to plain integers is out of scope
+}
+
+func suppressed(t sim.Time) {
+	_ = time.Duration(t) //lint:allow simtime golden test of the suppression path
+}
+
+//lint:allow simtime this directive covers no diagnostic // want `unused //lint:allow simtime directive`
+func cleanFunc() {}

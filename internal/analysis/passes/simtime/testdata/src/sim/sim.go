@@ -1,0 +1,20 @@
+// Package sim is a miniature stand-in for snapbpf/internal/sim: the
+// analyzer keys on the named type sim.Time and exempts this package
+// (it implements the blessed converters).
+package sim
+
+import "time"
+
+// Time is a point in virtual time.
+type Time int64
+
+// Duration aliases the wall-clock span type, as the real sim package
+// does.
+type Duration = time.Duration
+
+// Add returns the time d after t. In-package conversions are the
+// blessed implementation of the contract, not violations of it.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the span from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }

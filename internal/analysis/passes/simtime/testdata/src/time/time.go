@@ -1,0 +1,12 @@
+// Package time is a miniature stand-in for the standard library's
+// time package.
+package time
+
+// Time is a wall-clock instant.
+type Time struct{ ns int64 }
+
+// Duration is a span in nanoseconds.
+type Duration int64
+
+// Second is one second.
+const Second Duration = 1e9

@@ -1,0 +1,15 @@
+// Package units is a miniature stand-in for snapbpf/internal/units:
+// the analyzer keys on the named types PageIdx and ByteOff.
+package units
+
+// PageIdx is a page index within a file or address space.
+type PageIdx int64
+
+// ByteOff is a byte offset within a file or address space.
+type ByteOff int64
+
+// ByteOff returns the byte offset of the first byte of page p.
+func (p PageIdx) ByteOff() ByteOff { return ByteOff(p) << 12 }
+
+// PageIdx returns the index of the page containing b.
+func (b ByteOff) PageIdx() PageIdx { return PageIdx(b >> 12) }

@@ -1,0 +1,7 @@
+package unituser
+
+// Test files may use literal page math in assertions: rule 2 does not
+// apply here (rule 1 still does).
+func rawInTestOK(n int64) int64 {
+	return n * 4096
+}

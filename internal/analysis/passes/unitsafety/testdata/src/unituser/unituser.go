@@ -1,0 +1,44 @@
+// Package unituser exercises both unitsafety rules: direct
+// PageIdx<->ByteOff conversions and raw page-size literal arithmetic.
+package unituser
+
+import "units"
+
+func conversions(p units.PageIdx, b units.ByteOff) {
+	_ = units.PageIdx(b) // want `direct conversion of units\.ByteOff to units\.PageIdx .*use ByteOff\.PageIdx\(\)`
+	_ = units.ByteOff(p) // want `direct conversion of units\.PageIdx to units\.ByteOff .*use PageIdx\.ByteOff\(\)`
+}
+
+func helpersOK(p units.PageIdx, b units.ByteOff) {
+	_ = p.ByteOff()
+	_ = b.PageIdx()
+	_ = units.PageIdx(7)  // untyped constants carry no unit
+	_ = int64(p)          // escaping to plain integers is interop, not a crossing
+	_ = units.ByteOff(int64(12288)) // from plain integers too
+}
+
+func rawLiterals(n, off int64) {
+	_ = n * 4096   // want `raw page-size arithmetic \(n \* 4096\)`
+	_ = 4096 * n   // want `raw page-size arithmetic \(4096 \* n\)`
+	_ = off / 4096 // want `raw page-size arithmetic \(off / 4096\)`
+	_ = off % 4096 // want `raw page-size arithmetic \(off % 4096\)`
+	_ = n << 12    // want `raw page-size arithmetic \(n << 12\)`
+	_ = off >> 12  // want `raw page-size arithmetic \(off >> 12\)`
+}
+
+// constOK: fully constant expressions are definitions, not
+// conversions.
+const constOK = 8 * 4096
+
+func otherMathOK(n int64) {
+	_ = n * 512  // not the page size
+	_ = n << 20  // not the page shift
+	_ = 1 << 12  // constant: defining a page-size value, not converting
+}
+
+func suppressed(n int64) {
+	_ = n * 4096 //lint:allow unitsafety golden test of the suppression path
+}
+
+//lint:allow unitsafety this directive covers no diagnostic // want `unused //lint:allow unitsafety directive`
+func clean() {}

@@ -1,0 +1,123 @@
+// Package unitsafety keeps page arithmetic inside internal/units.
+//
+// Two rules:
+//
+//  1. The named offset types units.PageIdx and units.ByteOff must not
+//     be converted directly into one another: PageIdx(b) silently
+//     drops the <<12, ByteOff(p) silently drops the >>12, and both
+//     compile. The named helpers (ByteOff.PageIdx, PageIdx.ByteOff)
+//     are the only sanctioned crossings.
+//
+//  2. Outside internal/units (and outside _test.go files, where
+//     literal page math in assertions is tolerated), byte<->page
+//     conversions must not be spelled with raw literals — x*4096,
+//     4096*x, x/4096, x%4096, x<<12, x>>12 — but with the units
+//     helpers (PageIndex, PageOffset, PagesToBytes, AlignDown,
+//     AlignUp). A raw 4096 is invisible to grep-for-PageSize audits
+//     and is exactly how a page-size change or a huge-page variant
+//     would rot.
+package unitsafety
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"snapbpf/internal/analysis/allow"
+	"snapbpf/internal/analysis/lintutil"
+)
+
+// Analyzer is the unitsafety pass.
+const name = "unitsafety"
+
+var Analyzer = &analysis.Analyzer{
+	Name:     name,
+	Doc:      "forbid direct PageIdx<->ByteOff conversions and raw page-size literal arithmetic",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	tr := allow.New(pass, name)
+	defer tr.Finish()
+	// The units package defines the helpers; its own arithmetic is the
+	// single place raw page math is allowed.
+	if lintutil.PkgBase(pass.Pkg.Path()) == "units" {
+		return nil, nil
+	}
+
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil), (*ast.BinaryExpr)(nil)}, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkConversion(pass, tr, n)
+		case *ast.BinaryExpr:
+			if !strings.HasSuffix(pass.Fset.Position(n.Pos()).Filename, "_test.go") {
+				checkRawLiteral(pass, tr, n)
+			}
+		}
+	})
+	return nil, nil
+}
+
+func checkConversion(pass *analysis.Pass, tr *allow.Tracker, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return
+	}
+	dst := tv.Type
+	src := pass.TypesInfo.TypeOf(call.Args[0])
+	dstPage := lintutil.IsNamed(dst, "units", "PageIdx", false)
+	dstByte := lintutil.IsNamed(dst, "units", "ByteOff", false)
+	srcPage := lintutil.IsNamed(src, "units", "PageIdx", false)
+	srcByte := lintutil.IsNamed(src, "units", "ByteOff", false)
+	switch {
+	case dstPage && srcByte:
+		tr.Reportf(call.Pos(),
+			"direct conversion of units.ByteOff to units.PageIdx drops the page shift; use ByteOff.PageIdx()")
+	case dstByte && srcPage:
+		tr.Reportf(call.Pos(),
+			"direct conversion of units.PageIdx to units.ByteOff drops the page shift; use PageIdx.ByteOff()")
+	}
+}
+
+// pageLits are the literal spellings of the page size and page shift.
+var pageLits = map[string]bool{"4096": true, "0x1000": true}
+
+func checkRawLiteral(pass *analysis.Pass, tr *allow.Tracker, be *ast.BinaryExpr) {
+	lit := func(e ast.Expr, values map[string]bool) bool {
+		bl, ok := e.(*ast.BasicLit)
+		return ok && bl.Kind == token.INT && values[bl.Value]
+	}
+	shiftLit := map[string]bool{"12": true}
+	var bad bool
+	switch be.Op {
+	case token.MUL:
+		bad = (lit(be.X, pageLits) && !isConst(pass, be.Y)) ||
+			(lit(be.Y, pageLits) && !isConst(pass, be.X))
+	case token.QUO, token.REM:
+		bad = lit(be.Y, pageLits) && !isConst(pass, be.X)
+	case token.SHL, token.SHR:
+		bad = lit(be.Y, shiftLit) && !isConst(pass, be.X)
+	}
+	if bad {
+		tr.Reportf(be.Pos(),
+			"raw page-size arithmetic (%s); use the internal/units helpers (PageIndex/PageOffset/PagesToBytes/AlignDown/AlignUp)",
+			lintutil.ExprString(pass.Fset, be))
+	}
+}
+
+// isConst reports whether e is a compile-time constant: a fully
+// constant expression such as 1<<12 or 8*4096 in a const declaration
+// is a definition, not a conversion, and is left to human review.
+func isConst(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}

@@ -85,7 +85,7 @@ func TestParallelismWithinQueueDepth(t *testing.T) {
 		t.Fatalf("done = %d", done)
 	}
 	// All four fit in the queue: total time ~= one service time.
-	if end > sim.Time(110*time.Microsecond) {
+	if end > sim.Time(0).Add(110*time.Microsecond) {
 		t.Fatalf("end = %v, want ~100us (parallel service)", end)
 	}
 }
@@ -111,10 +111,10 @@ func TestAggregateBandwidthShared(t *testing.T) {
 	eng.Run()
 	perMiB := float64(int64(1)<<20) / float64(int64(1)<<30) * float64(time.Second)
 	transfer := 32 * time.Duration(perMiB)
-	if last < sim.Time(transfer) {
+	if last < sim.Time(0).Add(transfer) {
 		t.Fatalf("finished in %v, faster than shared-bandwidth floor %v", last, transfer)
 	}
-	if last > sim.Time(transfer)+sim.Time(2*p.AccessLatency) {
+	if last > sim.Time(0).Add(transfer+2*p.AccessLatency) {
 		t.Fatalf("finished in %v, want ~%v (+latency)", last, transfer)
 	}
 }
@@ -139,7 +139,7 @@ func TestCommandOverheadCapsIOPS(t *testing.T) {
 		})
 	}
 	eng.Run()
-	if end < sim.Time(10*time.Millisecond) {
+	if end < sim.Time(0).Add(10*time.Millisecond) {
 		t.Fatalf("1000 reads finished in %v, below the 10ms IOPS floor", end)
 	}
 }
@@ -165,7 +165,7 @@ func TestSyncOvertakesReadahead(t *testing.T) {
 	if syncDone >= raDone {
 		t.Fatalf("sync read (%v) did not overtake readahead (%v)", syncDone, raDone)
 	}
-	if syncDone > sim.Time(5*time.Millisecond) {
+	if syncDone > sim.Time(0).Add(5*time.Millisecond) {
 		t.Fatalf("sync read waited %v behind readahead", syncDone)
 	}
 }
@@ -249,7 +249,7 @@ func TestSubmitReadAsync(t *testing.T) {
 	if issued != 0 {
 		t.Fatalf("SubmitRead blocked the caller: issued at %v", issued)
 	}
-	if completed < sim.Time(100*time.Microsecond) {
+	if completed < sim.Time(0).Add(100*time.Microsecond) {
 		t.Fatalf("completed too early: %v", completed)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"snapbpf/internal/prefetch"
 	"snapbpf/internal/prefetch/faasnap"
 	"snapbpf/internal/prefetch/reap"
+	"snapbpf/internal/units"
 	"snapbpf/internal/workload"
 )
 
@@ -152,7 +153,7 @@ func AblationCoalesce(o Options) (*Table, error) {
 			it.fn.Name, it.gap, len(ws.Regions), res.MeanE2E)
 		t.AddRow(fmt.Sprintf("%s/gap=%d", it.fn.Name, it.gap),
 			fmt.Sprintf("%d", len(ws.Regions)),
-			fmt.Sprintf("%.1f", float64(ws.TotalPages())*4096/(1<<20)),
+			fmt.Sprintf("%.1f", units.PagesToMiB(ws.TotalPages())),
 			fmt.Sprintf("%.2fx", ws.Inflation()),
 			secs(res.MeanE2E))
 	}

@@ -241,9 +241,9 @@ func ExtSnapshotCreation(o Options) (*Table, error) {
 		o.progress("ext-snapshot-creation %-10s create=%v", fn.Name, times[i])
 		t.AddRow(fn.Name,
 			secs(times[i]),
-			fmt.Sprintf("%.0f", float64(img.NrPages)*4096/(1<<20)),
-			fmt.Sprintf("%.0f", float64(img.StatePages)*4096/(1<<20)),
-			fmt.Sprintf("%.0f", float64(stalePool)*4096/(1<<20)),
+			fmt.Sprintf("%.0f", units.PagesToMiB(img.NrPages)),
+			fmt.Sprintf("%.0f", units.PagesToMiB(img.StatePages)),
+			fmt.Sprintf("%.0f", units.PagesToMiB(stalePool)),
 			fmt.Sprintf("%d", img.ZeroPages()))
 	}
 	return t, nil
@@ -337,7 +337,7 @@ func ExtCachePressure(o Options) (*Table, error) {
 		for mi, mult := range mults {
 			base := (fi*len(mults) + mi) * len(schemes)
 			ra, sb, rp := rs[base], rs[base+1], rs[base+2]
-			refetch := float64(sb.DeviceBytes-int64(wsPages)*4096) / (1 << 20)
+			refetch := float64(sb.DeviceBytes-int64(units.PagesToBytes(int64(wsPages)))) / float64(units.MiB)
 			if refetch < 0 {
 				refetch = 0
 			}

@@ -81,6 +81,10 @@ func TestReportMatchesAppliedTreatments(t *testing.T) {
 			var retries int64
 			for i := 0; i < 40; i++ {
 				i := i
+				// Each plans iteration builds and runs a private
+				// engine to completion, so map order cannot leak
+				// into any schedule or output.
+				//lint:allow maporder independent engine per map entry
 				eng.Go("io", func(p *sim.Proc) {
 					// Sizes sweep 1..16 pages so the short-read
 					// applicability gate (>= 2 pages) is exercised on

@@ -19,6 +19,7 @@ import (
 	"snapbpf/internal/faults"
 	"snapbpf/internal/kprobe"
 	"snapbpf/internal/sim"
+	"snapbpf/internal/units"
 )
 
 // HookAddToPageCacheLRU is the kprobe name fired on every insertion.
@@ -314,7 +315,8 @@ func (i *Inode) submitRuns(p *sim.Proc, indices []int64, readahead bool) {
 				i.insert(p, start+k, done, readahead)
 			}
 		}
-		off, length := start*4096, runLen*4096
+		off := int64(units.PageIdx(start).ByteOff())
+		length := int64(units.PagesToBytes(runLen))
 		submit := i.c.dev.SubmitReadIO
 		if readahead {
 			submit = i.c.dev.SubmitReadaheadIO
@@ -488,7 +490,7 @@ func (i *Inode) DirectRead(p *sim.Proc, startPage, nPages int64) error {
 func (i *Inode) DirectReadAttempt(p *sim.Proc, startPage, nPages int64, attempt int) error {
 	p.Sleep(i.c.cm.Syscall)
 	i.c.stats.DirectReads++
-	return i.c.dev.ReadAttempt(p, startPage*4096, nPages*4096, attempt)
+	return i.c.dev.ReadAttempt(p, int64(units.PageIdx(startPage).ByteOff()), int64(units.PagesToBytes(nPages)), attempt)
 }
 
 // Mincore returns the residency bitmap for [start, start+n): true for

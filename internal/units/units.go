@@ -59,6 +59,42 @@ func PagesToBytes(pages int64) ByteSize {
 	return ByteSize(pages) * PageSize
 }
 
+// PagesToMiB converts a page count to MiB for reporting.
+func PagesToMiB(pages int64) float64 {
+	return float64(PagesToBytes(pages)) / float64(MiB)
+}
+
+// PageIdx is a page-granular index into a file, device or guest
+// physical space. ByteOff is a byte-granular offset into the same
+// space. The two differ by a factor of PageSize, so a direct
+// conversion between them is almost always a unit bug; the unitsafety
+// analyzer (internal/analysis) rejects such conversions outside this
+// package. Cross the boundary with PageIdx.ByteOff and ByteOff.PageIdx.
+type PageIdx int64
+
+// ByteOff is a byte-granular offset. See PageIdx.
+type ByteOff int64
+
+// ByteOff returns the byte offset of the first byte of page p.
+func (p PageIdx) ByteOff() ByteOff {
+	return ByteOff(p) << PageShift
+}
+
+// PageIdx returns the index of the page containing offset o.
+func (o ByteOff) PageIdx() PageIdx {
+	return PageIdx(o >> PageShift)
+}
+
+// AlignDown rounds o down to a page boundary.
+func (o ByteOff) AlignDown() ByteOff {
+	return o &^ ByteOff(PageSize-1)
+}
+
+// AlignUp rounds o up to a page boundary.
+func (o ByteOff) AlignUp() ByteOff {
+	return (o + ByteOff(PageSize-1)) &^ ByteOff(PageSize-1)
+}
+
 // PageIndex returns the page index containing byte offset off.
 func PageIndex(off int64) int64 {
 	return off >> PageShift

@@ -77,3 +77,45 @@ func TestPagesToBytes(t *testing.T) {
 		t.Fatalf("PagesToBytes(256) = %v, want 1MiB", PagesToBytes(256))
 	}
 }
+
+func TestPageIdxByteOffRoundTrip(t *testing.T) {
+	for _, p := range []PageIdx{0, 1, 7, 1 << 20} {
+		o := p.ByteOff()
+		if int64(o) != int64(p)*int64(PageSize) {
+			t.Errorf("PageIdx(%d).ByteOff() = %d", p, o)
+		}
+		if got := o.PageIdx(); got != p {
+			t.Errorf("round trip: %d -> %d -> %d", p, o, got)
+		}
+	}
+	if got := ByteOff(4097).PageIdx(); got != 1 {
+		t.Errorf("ByteOff(4097).PageIdx() = %d, want 1", got)
+	}
+}
+
+func TestByteOffAlign(t *testing.T) {
+	cases := []struct{ off, down, up ByteOff }{
+		{0, 0, 0},
+		{1, 0, 4096},
+		{4095, 0, 4096},
+		{4096, 4096, 4096},
+		{4097, 4096, 8192},
+	}
+	for _, c := range cases {
+		if got := c.off.AlignDown(); got != c.down {
+			t.Errorf("ByteOff(%d).AlignDown() = %d, want %d", c.off, got, c.down)
+		}
+		if got := c.off.AlignUp(); got != c.up {
+			t.Errorf("ByteOff(%d).AlignUp() = %d, want %d", c.off, got, c.up)
+		}
+	}
+}
+
+func TestPagesToMiB(t *testing.T) {
+	if got := PagesToMiB(256); got != 1.0 {
+		t.Errorf("PagesToMiB(256) = %v, want 1.0", got)
+	}
+	if got := PagesToMiB(0); got != 0 {
+		t.Errorf("PagesToMiB(0) = %v, want 0", got)
+	}
+}

@@ -19,6 +19,13 @@ declare -A floors=(
   [snapbpf/internal/prefetch/faast]=76.0
   [snapbpf/internal/prefetch/reap]=76.0
   [snapbpf/internal/check]=58.0
+  [snapbpf/internal/analysis]=98.0
+  [snapbpf/internal/analysis/passes/detnondet]=89.0
+  [snapbpf/internal/analysis/passes/maporder]=95.0
+  [snapbpf/internal/analysis/passes/simtime]=93.0
+  [snapbpf/internal/analysis/passes/observerorder]=92.0
+  [snapbpf/internal/analysis/passes/unitsafety]=95.0
+  [snapbpf/internal/analysis/passes/allowcheck]=98.0
 )
 
 out="$(go test -count=1 -coverprofile="$profile" ./internal/...)"

@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Offline stand-in for `go mod tidy -diff` + `go mod vendor` drift
+# detection. The build environment has no module proxy, so instead of
+# re-resolving the module graph this script pins it structurally:
+#
+#   1. every `require` in go.mod is vendored at exactly that version
+#      (go.mod <-> vendor/modules.txt agree);
+#   2. every package listed in vendor/modules.txt exists on disk, and
+#      every vendored Go package is listed (no unlisted stowaways);
+#   3. every external import reached from ./... resolves to a listed
+#      vendored package (nothing missing), and every vendored package
+#      is reachable (nothing `go mod tidy` would prune).
+#
+# Any failure means go.mod, vendor/modules.txt and the import graph
+# have drifted apart — the same states `go mod tidy`/`go mod vendor`
+# would rewrite.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+err() {
+  echo "check_vendor: $*" >&2
+  fail=1
+}
+
+[ -f vendor/modules.txt ] || { err "vendor/modules.txt missing"; exit 1; }
+
+# --- 1. go.mod requires <-> vendor/modules.txt module pins ---------------
+# Handles both single-line `require path version` and require blocks.
+reqs="$(awk '
+  /^require \(/ { block = 1; next }
+  block && /^\)/ { block = 0; next }
+  block && NF >= 2 { print $1, $2 }
+  /^require / && $2 != "(" { print $2, $3 }
+' go.mod)"
+
+while read -r path ver; do
+  [ -z "$path" ] && continue
+  if ! grep -qx "# $path $ver" vendor/modules.txt; then
+    err "go.mod requires $path $ver but vendor/modules.txt does not pin it"
+  fi
+done <<<"$reqs"
+
+while read -r path ver; do
+  if ! grep -qE "^require(\s|\s\()" go.mod || ! echo "$reqs" | grep -qx "$path $ver"; then
+    err "vendor/modules.txt pins $path $ver which go.mod does not require"
+  fi
+done < <(awk '/^# / { print $2, $3 }' vendor/modules.txt)
+
+# --- 2. listed packages exist; existing packages are listed --------------
+listed="$(grep -E '^[a-z]' vendor/modules.txt | sort)"
+
+while read -r pkg; do
+  [ -z "$pkg" ] && continue
+  if ! ls "vendor/$pkg"/*.go >/dev/null 2>&1; then
+    err "vendor/modules.txt lists $pkg but vendor/$pkg has no Go files"
+  fi
+done <<<"$listed"
+
+ondisk="$(find vendor -name '*.go' | xargs -n1 dirname | sort -u | sed 's|^vendor/||')"
+while read -r pkg; do
+  [ -z "$pkg" ] && continue
+  if ! echo "$listed" | grep -qx "$pkg"; then
+    err "vendor/$pkg exists but is not listed in vendor/modules.txt"
+  fi
+done <<<"$ondisk"
+
+# --- 3. import graph <-> vendor contents ---------------------------------
+# go list -deps resolves the full build graph from std + this module +
+# vendor (vendor mode is automatic when vendor/ exists); it fails hard
+# if a vendored package is missing, and tells us which vendored
+# packages are actually reachable.
+deps="$(go list -deps ./...)" || { err "go list -deps ./... failed"; exit 1; }
+used="$(echo "$deps" | grep -E '^[a-z0-9.-]+\.[a-z]+/' | sort -u || true)"
+
+while read -r pkg; do
+  [ -z "$pkg" ] && continue
+  if ! echo "$listed" | grep -qx "$pkg"; then
+    err "build graph imports $pkg which is not vendored"
+  fi
+done <<<"$used"
+
+while read -r pkg; do
+  [ -z "$pkg" ] && continue
+  if ! echo "$used" | grep -qx "$pkg"; then
+    err "vendored package $pkg is not imported by ./... (go mod tidy would prune it)"
+  fi
+done <<<"$listed"
+
+if [ "$fail" -eq 0 ]; then
+  echo "check_vendor: go.mod, vendor/modules.txt and the import graph agree"
+fi
+exit "$fail"
