@@ -13,6 +13,8 @@
 //	snapbpf-bench -faults heavy        # inject storage faults everywhere
 //	snapbpf-bench -fault-seed 7        # reseed the injection streams
 //	snapbpf-bench -check               # arm the invariant-checking harness
+//	snapbpf-bench -trace t.json        # write a Chrome trace of every cell
+//	snapbpf-bench -metrics m.json      # write metrics JSON + Prometheus text
 //	snapbpf-bench -list                # list experiment ids
 //	snapbpf-bench -v                   # per-cell progress on stderr
 package main
@@ -29,6 +31,7 @@ import (
 
 	"snapbpf/internal/experiments"
 	"snapbpf/internal/faults"
+	"snapbpf/internal/obs"
 	"snapbpf/internal/paper"
 	"snapbpf/internal/workload"
 )
@@ -47,6 +50,8 @@ func main() {
 		faultsLvl = flag.String("faults", "none", "fault injection level for every experiment: none, light, heavy")
 		faultSeed = flag.Int64("fault-seed", 1, "seed for the fault-injection streams (same seed = byte-identical run)")
 		checkInv  = flag.Bool("check", false, "arm the invariant-checking harness on every cell (fails on violations)")
+		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON covering every cell to this file (open in chrome://tracing)")
+		metricsJS = flag.String("metrics", "", "write the metrics document to this JSON file, plus Prometheus text next to it (.prom)")
 	)
 	flag.Parse()
 	if *parallel < 0 {
@@ -75,6 +80,20 @@ func main() {
 	}
 	if *verbose {
 		opts.Progress = func(msg string) { fmt.Fprintln(os.Stderr, "  "+msg) }
+	}
+	// Observability: cells arrive at the sink in deterministic cell
+	// order after each batch, so the collected sequence — and the
+	// documents built from it — is identical for any -parallel width.
+	var obsCells []obsCell
+	var curExp string
+	var cellSeq int
+	if *traceOut != "" || *metricsJS != "" {
+		opts.Obs = &obs.Config{Trace: *traceOut != "", Metrics: *metricsJS != ""}
+		opts.ObsSink = func(i int, cell experiments.Cell, res *experiments.RunResult) {
+			name := fmt.Sprintf("%s/%03d %s/%s/n%d", curExp, cellSeq, res.Scheme, res.Function, res.N)
+			cellSeq++
+			obsCells = append(obsCells, obsCell{name: name, rep: res.Obs})
+		}
 	}
 	if *fnFlag != "" {
 		for _, name := range strings.Split(*fnFlag, ",") {
@@ -107,6 +126,7 @@ func main() {
 		if len(want) > 0 && !want[e.ID] {
 			continue
 		}
+		curExp, cellSeq = e.ID, 0
 		start := time.Now()
 		tbl, err := e.Run(opts)
 		if err != nil {
@@ -135,6 +155,19 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintln(os.Stderr, "timings written to", *timing)
+	}
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, obsCells); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "trace written to", *traceOut)
+	}
+	if *metricsJS != "" {
+		promPath, err := writeMetrics(*metricsJS, obsCells)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "metrics written to %s and %s\n", *metricsJS, promPath)
 	}
 
 	if *verify {
@@ -214,6 +247,64 @@ func writeTiming(path string, parallel int, timings []expTiming, total time.Dura
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// obsCell is one collected cell's observability report.
+type obsCell struct {
+	name string
+	rep  *obs.Report
+}
+
+// writeTrace renders the combined Chrome trace document, self-checks
+// it with the schema validator, and writes it out.
+func writeTrace(path string, cells []obsCell) error {
+	tc := make([]obs.TraceCell, len(cells))
+	for i, c := range cells {
+		tc[i] = obs.TraceCell{Name: c.name, Report: c.rep}
+	}
+	data := obs.BuildTrace(tc)
+	if err := obs.ValidateTrace(data); err != nil {
+		return fmt.Errorf("trace self-check: %w", err)
+	}
+	if err := mkdirFor(path); err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// writeMetrics renders the metrics JSON document to path and the
+// aggregate snapshot as Prometheus text next to it, returning the
+// Prometheus file's path.
+func writeMetrics(path string, cells []obsCell) (string, error) {
+	mc := make([]obs.MetricsCell, len(cells))
+	reports := make([]*obs.Report, len(cells))
+	for i, c := range cells {
+		mc[i] = obs.MetricsCell{Name: c.name, Report: c.rep}
+		reports[i] = c.rep
+	}
+	data, err := obs.BuildMetricsJSON(mc)
+	if err != nil {
+		return "", err
+	}
+	if err := mkdirFor(path); err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", err
+	}
+	promPath := strings.TrimSuffix(path, filepath.Ext(path)) + ".prom"
+	if err := os.WriteFile(promPath, obs.MergeMetrics(reports).Prometheus(), 0o644); err != nil {
+		return "", err
+	}
+	return promPath, nil
+}
+
+// mkdirFor creates the parent directory of path if needed.
+func mkdirFor(path string) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		return os.MkdirAll(dir, 0o755)
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -8,6 +8,8 @@
 //
 //	snapbpf-run -func bert -scheme snapbpf -n 10
 //	snapbpf-run -func image -scheme linux-ra
+//	snapbpf-run -func json -trace t.json     # Chrome trace of the cell
+//	snapbpf-run -func json -metrics m.json   # metrics JSON + .prom
 //	snapbpf-run -schemes                     # list scheme names
 package main
 
@@ -15,10 +17,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"snapbpf/internal/blockdev"
 	"snapbpf/internal/experiments"
+	"snapbpf/internal/obs"
 	"snapbpf/internal/units"
 	"snapbpf/internal/workload"
 )
@@ -46,6 +50,8 @@ func main() {
 		cacheMiB = flag.Int64("cache-limit", 0, "page-cache limit in MiB (0 = unlimited)")
 		listS    = flag.Bool("schemes", false, "list scheme names and exit")
 		listF    = flag.Bool("funcs", false, "list function names and exit")
+		traceOut = flag.String("trace", "", "write the cell's Chrome trace_event JSON to this file (open in chrome://tracing)")
+		metrics  = flag.String("metrics", "", "write the cell's metrics to this JSON file, plus Prometheus text next to it (.prom)")
 	)
 	flag.Parse()
 
@@ -83,15 +89,44 @@ func main() {
 		fatal(fmt.Errorf("unknown device %q (ssd, nvme, hdd)", *device))
 	}
 
-	res, err := experiments.Run(fn, s, experiments.Config{
+	cfg := experiments.Config{
 		N:               *n,
 		AllocDrift:      *drift,
 		Device:          dev,
 		InputVariance:   *variance,
 		CacheLimitPages: (units.ByteSize(*cacheMiB) * units.MiB).Pages(),
-	})
+	}
+	if *traceOut != "" || *metrics != "" {
+		cfg.Obs = &obs.Config{Trace: *traceOut != "", Metrics: *metrics != ""}
+	}
+	res, err := experiments.Run(fn, s, cfg)
 	if err != nil {
 		fatal(err)
+	}
+	cellName := fmt.Sprintf("%s/%s/n%d", res.Scheme, res.Function, res.N)
+	if *traceOut != "" {
+		data := obs.BuildTrace([]obs.TraceCell{{Name: cellName, Report: res.Obs}})
+		if err := obs.ValidateTrace(data); err != nil {
+			fatal(fmt.Errorf("trace self-check: %w", err))
+		}
+		if err := writeFile(*traceOut, data); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "trace written to", *traceOut)
+	}
+	if *metrics != "" {
+		data, err := obs.BuildMetricsJSON([]obs.MetricsCell{{Name: cellName, Report: res.Obs}})
+		if err != nil {
+			fatal(err)
+		}
+		if err := writeFile(*metrics, data); err != nil {
+			fatal(err)
+		}
+		promPath := strings.TrimSuffix(*metrics, filepath.Ext(*metrics)) + ".prom"
+		if err := writeFile(promPath, res.Obs.Metrics().Prometheus()); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "metrics written to %s and %s\n", *metrics, promPath)
 	}
 	fmt.Printf("device     %s\n", dev.Name)
 
@@ -113,6 +148,16 @@ func main() {
 	if res.Evictions > 0 {
 		fmt.Printf("cache evictions %d\n", res.Evictions)
 	}
+}
+
+// writeFile writes data, creating the parent directory if needed.
+func writeFile(path string, data []byte) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 func fatal(err error) {

@@ -26,6 +26,7 @@ var deterministicRoots = map[string]bool{
 	"faults":    true,
 	"prefetch":  true,
 	"check":     true,
+	"obs":       true,
 	"workload":  true,
 }
 

@@ -138,6 +138,9 @@ type Device struct {
 	// every serviced request (see internal/faults).
 	faults *faults.Injector
 
+	// nextIO numbers submissions for observer submit/complete pairing.
+	nextIO int64
+
 	obs Observer
 
 	stats Stats
@@ -148,8 +151,11 @@ type Device struct {
 // observer costs one branch per event.
 type Observer interface {
 	// IOSubmitted fires once per submission, after it was split into
-	// parts requests.
-	IOSubmitted(off, length int64, sync bool, attempt, parts int)
+	// parts requests. id is the submission's device-unique identifier
+	// (monotonically increasing in submission order); the matching
+	// IOCompleted carries the same id, so observers can pair them into
+	// submission→completion spans.
+	IOSubmitted(id, off, length int64, sync bool, attempt, parts int)
 	// RequestServiced fires when one request (split part) enters an NCQ
 	// slot, after the drawn fault treatment was applied. inFlight
 	// includes the request itself. out.Short implies the tail was
@@ -160,8 +166,9 @@ type Observer interface {
 	// inFlight is the post-completion count.
 	RequestCompleted(inFlight int)
 	// IOCompleted fires when the last part of a submission completes,
-	// immediately before the submission's Waiter.
-	IOCompleted(failed bool)
+	// immediately before the submission's Waiter. id matches the
+	// submission's IOSubmitted event.
+	IOCompleted(id int64, failed bool)
 }
 
 // SetObserver installs obs (nil disables observation).
@@ -172,9 +179,14 @@ func (d *Device) SetObserver(obs Observer) { d.obs = obs }
 // submission split into parts completes once all parts do; the first
 // part to fail sets the error.
 type IO struct {
+	id   int64
 	done *sim.Waiter
 	err  error
 }
+
+// ID returns the submission's device-unique identifier, as reported
+// to Observer.IOSubmitted/IOCompleted.
+func (io *IO) ID() int64 { return io.id }
 
 // Done returns the completion Waiter.
 func (io *IO) Done() *sim.Waiter { return io.done }
@@ -285,11 +297,12 @@ func (d *Device) submit(off, length int64, sync bool, attempt int) *IO {
 	if length <= 0 {
 		panic(fmt.Sprintf("blockdev: non-positive read length %d", length))
 	}
-	io := &IO{done: d.eng.NewWaiter()}
+	d.nextIO++
+	io := &IO{id: d.nextIO, done: d.eng.NewWaiter()}
 	parts := splitRequest(off, length, d.p.MaxRequestBytes)
 	remain := len(parts)
 	if d.obs != nil {
-		d.obs.IOSubmitted(off, length, sync, attempt, len(parts))
+		d.obs.IOSubmitted(io.id, off, length, sync, attempt, len(parts))
 	}
 	for _, part := range parts {
 		r := &request{off: part.off, len: part.len, io: io, remain: &remain, sync: sync, attempt: attempt}
@@ -376,7 +389,7 @@ func (d *Device) service(r *request) {
 		}
 		if *r.remain == 0 {
 			if d.obs != nil {
-				d.obs.IOCompleted(r.io.err != nil)
+				d.obs.IOCompleted(r.io.id, r.io.err != nil)
 			}
 			r.io.done.Fire()
 		}

@@ -140,8 +140,47 @@ type Checker struct {
 	preparesDone int
 	degraded     int64
 
+	// event tally, exposed via Counts for reconciliation against the
+	// observability layer's metrics (internal/obs).
+	counts Counts
+
 	violations []Violation
 	dropped    int
+}
+
+// Counts is the checker's independent tally of stack events. The
+// observability layer counts the same events through its own metric
+// registry; the conservation tests in internal/experiments reconcile
+// the two tallies (and the fault injector's report) against each
+// other, so a lost or double-counted event on either side fails.
+type Counts struct {
+	IOsSubmitted   int64 // blockdev submissions (sync + readahead)
+	IOsCompleted   int64 // blockdev completions
+	FailedIOs      int64 // completions whose final attempt errored
+	PageInserts    int64 // page-cache inserts (demand + readahead)
+	ReadaheadCalls int64 // ReadaheadAsync invocations
+	ReadaheadPages int64 // pages inserted by readahead calls
+	FileMaps       int64 // FilePageMapped events
+	FileUnmaps     int64 // FilePageUnmapped events
+	Faults         int64 // FaultResolved events, all kinds
+	CoWBreaks      int64 // FaultResolved events with kind FaultCoW
+	GuestAccesses  int64 // AccessBegin events
+	Records        int64 // scheme record phases completed
+	Prepares       int64 // PrepareVM completions
+	Degraded       int64 // demand-paging fallbacks
+	PrefetchGroups int64 // prefetch groups issued by user-space schemes
+	PrefetchPages  int64 // pages covered by those groups
+	OffsetLoads    int64 // SnapBPF offset-schedule loads
+}
+
+// Counts returns the checker's event tally so far.
+func (c *Checker) Counts() Counts {
+	n := c.counts
+	n.Records = int64(c.recordsDone)
+	n.Prepares = int64(c.preparesDone)
+	n.Degraded = c.degraded
+	n.FailedIOs = c.failedIOs
+	return n
 }
 
 // New attaches a fresh checker to every layer of the host: the
@@ -238,7 +277,11 @@ func (c *Checker) ClockAdvanced(now sim.Time) {
 // fault treatments.
 
 // IOSubmitted implements blockdev.Observer.
-func (c *Checker) IOSubmitted(off, length int64, sync bool, attempt, parts int) {
+func (c *Checker) IOSubmitted(id, off, length int64, sync bool, attempt, parts int) {
+	c.counts.IOsSubmitted++
+	if id <= 0 {
+		c.violatef("io-id", "submission [%d,%d) with non-positive id %d", off, off+length, id)
+	}
 	if parts <= 0 || length <= 0 {
 		c.violatef("io-submit", "submission [%d,%d) with %d parts", off, off+length, parts)
 		return
@@ -299,7 +342,8 @@ func (c *Checker) RequestCompleted(inFlight int) {
 }
 
 // IOCompleted implements blockdev.Observer.
-func (c *Checker) IOCompleted(failed bool) {
+func (c *Checker) IOCompleted(id int64, failed bool) {
+	c.counts.IOsCompleted++
 	if failed {
 		c.failedIOs++
 	}
@@ -317,6 +361,7 @@ func (c *Checker) checkCachedCount(context string) {
 
 // PageInserted implements pagecache.Observer.
 func (c *Checker) PageInserted(ino *pagecache.Inode, idx int64, readahead bool) {
+	c.counts.PageInserts++
 	k := pageKey{ino, idx}
 	if c.cached[k] {
 		c.violatef("cache-double-insert", "%s page %d inserted while present", ino.Name(), idx)
@@ -340,6 +385,19 @@ func (c *Checker) PageRemoved(ino *pagecache.Inode, idx int64) {
 	if refs := c.fileRefs[pageKey{ino, idx}]; refs != 0 {
 		c.violatef("remove-mapped-page", "%s page %d dropped with %d derived rmap refs",
 			ino.Name(), idx, refs)
+	}
+}
+
+// ReadaheadIssued implements pagecache.Observer.
+func (c *Checker) ReadaheadIssued(ino *pagecache.Inode, start, n, inserted int64) {
+	c.counts.ReadaheadCalls++
+	c.counts.ReadaheadPages += inserted
+	if start < 0 || n < 0 {
+		c.violatef("readahead-window", "%s readahead window [%d,%d) malformed", ino.Name(), start, start+n)
+	}
+	if inserted < 0 || inserted > n {
+		c.violatef("readahead-inserts", "%s readahead of %d pages reports %d inserts",
+			ino.Name(), n, inserted)
 	}
 }
 
@@ -381,6 +439,7 @@ func (c *Checker) SpaceReleased(as *hostmm.AddressSpace) {
 
 // FilePageMapped implements hostmm.Observer.
 func (c *Checker) FilePageMapped(as *hostmm.AddressSpace, page int64, ino *pagecache.Inode, fileIdx int64) {
+	c.counts.FileMaps++
 	s := c.shadow(as)
 	if _, ok := s.file[page]; ok {
 		c.violatef("pte-double-map", "%s page %d file-mapped twice", as.Name(), page)
@@ -399,6 +458,7 @@ func (c *Checker) FilePageMapped(as *hostmm.AddressSpace, page int64, ino *pagec
 
 // FilePageUnmapped implements hostmm.Observer.
 func (c *Checker) FilePageUnmapped(as *hostmm.AddressSpace, page int64, ino *pagecache.Inode, fileIdx int64) {
+	c.counts.FileUnmaps++
 	s := c.shadow(as)
 	fp, ok := s.file[page]
 	if !ok || fp.ino != ino || fp.fileIdx != fileIdx {
@@ -442,6 +502,10 @@ func (c *Checker) AnonDropped(as *hostmm.AddressSpace, page int64) {
 
 // FaultResolved implements hostmm.Observer.
 func (c *Checker) FaultResolved(p *sim.Proc, as *hostmm.AddressSpace, page int64, write bool, kind hostmm.FaultKind) {
+	c.counts.Faults++
+	if kind == hostmm.FaultCoW {
+		c.counts.CoWBreaks++
+	}
 	s := c.shadow(as)
 	_, isAnon := s.anon[page]
 	_, isFile := s.file[page]
@@ -529,6 +593,7 @@ func (c *Checker) checkCoWAttribution(p *sim.Proc, as *hostmm.AddressSpace, page
 
 // AccessBegin implements kvm.Observer.
 func (c *Checker) AccessBegin(p *sim.Proc, v *kvm.VM, pfn int64, write bool) {
+	c.counts.GuestAccesses++
 	c.access[p] = append(c.access[p], accessCtx{vm: v, pfn: pfn, write: write})
 }
 
@@ -609,6 +674,23 @@ func (c *Checker) PrepareDone(scheme string, vm *vmm.MicroVM) { c.preparesDone++
 
 // Degraded implements prefetch.Observer.
 func (c *Checker) Degraded(scheme string, vm *vmm.MicroVM, reason string) { c.degraded++ }
+
+// PrefetchIssued implements prefetch.Observer.
+func (c *Checker) PrefetchIssued(p *sim.Proc, scheme string, vm *vmm.MicroVM, start, npages int64) {
+	c.counts.PrefetchGroups++
+	c.counts.PrefetchPages += npages
+	if npages <= 0 || start < 0 {
+		c.violatef("prefetch-group", "%s issued group [%d,%d) for %s", scheme, start, start+npages, vm.Name)
+	}
+}
+
+// OffsetsLoaded implements prefetch.Observer.
+func (c *Checker) OffsetsLoaded(p *sim.Proc, scheme string, vm *vmm.MicroVM, groups int, took sim.Duration) {
+	c.counts.OffsetLoads++
+	if groups < 0 || took < 0 {
+		c.violatef("offset-load", "%s loaded %d groups in %v for %s", scheme, groups, took, vm.Name)
+	}
+}
 
 // ---------------------------------------------------------------------------
 // Digest: the differential oracle.

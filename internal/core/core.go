@@ -300,7 +300,9 @@ func (s *SnapBPF) PrepareVM(p *sim.Proc, env *prefetch.Env, vm *vmm.MicroVM) err
 		updates++
 	}
 	p.Sleep(time.Duration(updates) * h.CM.BPFMapUpdateUser)
-	s.OffsetLoads = append(s.OffsetLoads, p.Now().Sub(loadStart))
+	loadTook := p.Now().Sub(loadStart)
+	s.OffsetLoads = append(s.OffsetLoads, loadTook)
+	env.NotifyOffsetsLoaded(p, s.Name(), vm, n, loadTook)
 
 	// Step 2: attach the prefetch program.
 	prog, err := h.BPF.Load("snapbpf-prefetch", buildPrefetchProgram(pconfFD, gstartFD, glenFD))

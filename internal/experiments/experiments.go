@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"snapbpf/internal/faults"
+	"snapbpf/internal/obs"
 	"snapbpf/internal/workload"
 )
 
@@ -33,6 +34,19 @@ type Options struct {
 	// every cell — the -check CLI flag routes here. Any invariant
 	// violation fails the cell's Run.
 	Check bool
+
+	// Obs, when non-nil and enabled, arms the observability layer
+	// (internal/obs) on every cell whose Config does not set its own —
+	// the -trace/-metrics CLI flags route here.
+	Obs *obs.Config
+
+	// ObsSink, when non-nil, receives each completed cell's index,
+	// definition and result after a RunCells batch finishes — always in
+	// cell order, regardless of which pool worker ran the cell, so any
+	// trace or metrics document built from the sink is byte-identical
+	// between serial and parallel execution. Only cells that produced
+	// an observability report are delivered.
+	ObsSink func(i int, cell Cell, res *RunResult)
 }
 
 func (o Options) functions() []workload.Function {

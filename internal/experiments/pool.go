@@ -123,6 +123,9 @@ func RunCells(o Options, cells []Cell) ([]*RunResult, error) {
 		if o.Check {
 			cfg.Check = true
 		}
+		if cfg.Obs == nil {
+			cfg.Obs = o.Obs
+		}
 		r, err := Run(cells[i].Fn, cells[i].Scheme, cfg)
 		if err != nil {
 			return err
@@ -130,5 +133,15 @@ func RunCells(o Options, cells []Cell) ([]*RunResult, error) {
 		out[i] = r
 		return nil
 	})
+	// Deliver observability reports only after the whole batch settled,
+	// walking cells in index order: the sink sees the same sequence no
+	// matter how the pool interleaved the runs.
+	if o.ObsSink != nil {
+		for i, r := range out {
+			if r != nil && r.Obs != nil {
+				o.ObsSink(i, cells[i], r)
+			}
+		}
+	}
 	return out, err
 }

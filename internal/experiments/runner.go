@@ -18,6 +18,7 @@ import (
 	"snapbpf/internal/check"
 	"snapbpf/internal/core"
 	"snapbpf/internal/faults"
+	"snapbpf/internal/obs"
 	"snapbpf/internal/prefetch"
 	"snapbpf/internal/prefetch/faasnap"
 	"snapbpf/internal/prefetch/faast"
@@ -95,6 +96,15 @@ type RunResult struct {
 	// two correct schemes produce equal digests for the same cell —
 	// the differential-testing oracle.
 	Digest uint64
+
+	// Obs is the run's observability report (trace spans and/or
+	// metrics), non-nil only when Config.Obs asked for recording.
+	Obs *obs.Report
+
+	// CheckCounts is the checker's independent event tally, non-nil
+	// only when Config.Check was set. The conservation tests reconcile
+	// it against Obs metrics and the Faults report.
+	CheckCounts *check.Counts
 }
 
 // Config tunes a run.
@@ -135,6 +145,13 @@ type Config struct {
 	// InputVariance is 0 — the final guest-memory digest is recorded
 	// in RunResult.Digest and checked for equality across sandboxes.
 	Check bool
+
+	// Obs, when non-nil and enabled, arms the observability layer
+	// (internal/obs): a Recorder observes every layer of the run and
+	// the resulting trace/metrics report lands in RunResult.Obs.
+	// Composes with Check — the recorder forwards every event to the
+	// checker, so both see the identical stream.
+	Obs *obs.Config
 }
 
 // invokeTrace returns sandbox i's trace under the configured variance.
@@ -174,6 +191,18 @@ func Run(fn workload.Function, scheme Scheme, cfg Config) (*RunResult, error) {
 	if cfg.Check {
 		chk = check.New(h, inj)
 	}
+	// The recorder attaches second so it wraps every layer the checker
+	// just claimed, forwarding each event downstream — both see the
+	// identical stream, and the KVM OnRestore chain ends at the
+	// recorder (which forwards to the checker).
+	var rec *obs.Recorder
+	if cfg.Obs.Enabled() {
+		var next obs.Chain
+		if chk != nil {
+			next = obs.Chain{Sim: chk, Dev: chk, Cache: chk, MM: chk, KVM: chk, Prefetch: chk}
+		}
+		rec = obs.Attach(h, *cfg.Obs, next)
+	}
 	pf := scheme.New()
 
 	zeroOnFree := pf.RestoreConfig(0).ZeroOnFree
@@ -191,7 +220,10 @@ func Run(fn workload.Function, scheme Scheme, cfg Config) (*RunResult, error) {
 		InvokeTrace: fn.GenTrace(),
 		Faults:      inj,
 	}
-	if chk != nil {
+	switch {
+	case rec != nil:
+		env.Check = rec // forwards to chk when armed
+	case chk != nil:
 		env.Check = chk
 	}
 
@@ -281,6 +313,14 @@ func Run(fn workload.Function, scheme Scheme, cfg Config) (*RunResult, error) {
 		if err := chk.Finish(); err != nil {
 			return nil, fmt.Errorf("check %s/%s: %w", scheme.Name, fn.Name, err)
 		}
+	}
+
+	if rec != nil {
+		res.Obs = rec.Finish()
+	}
+	if chk != nil {
+		cc := chk.Counts()
+		res.CheckCounts = &cc
 	}
 
 	var sum time.Duration

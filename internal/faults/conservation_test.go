@@ -23,7 +23,7 @@ type treatmentCounter struct {
 	failedIOs                  int64
 }
 
-func (c *treatmentCounter) IOSubmitted(off, length int64, sync bool, attempt, parts int) {
+func (c *treatmentCounter) IOSubmitted(id, off, length int64, sync bool, attempt, parts int) {
 	c.submitted += int64(parts)
 }
 
@@ -45,7 +45,7 @@ func (c *treatmentCounter) RequestServiced(off, length int64, attempt, inFlight 
 
 func (c *treatmentCounter) RequestCompleted(inFlight int) { c.completed++ }
 
-func (c *treatmentCounter) IOCompleted(failed bool) {
+func (c *treatmentCounter) IOCompleted(id int64, failed bool) {
 	if failed {
 		c.failedIOs++
 	}

@@ -1,0 +1,440 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// The metric set is fixed at compile time: every counter and histogram
+// has an index into the meters arrays and an entry in the name tables
+// below. A fixed set keeps the hot-path update a single array store,
+// makes cross-cell merging index-wise (no name lookups), and pins the
+// export order — snapshots render identically on every run.
+const (
+	cAnonDrops = iota
+	cAnonInstalls
+	cArtifacts
+	cCacheEvictions
+	cCacheInsertsDemand
+	cCacheInsertsRA
+	cCacheRemovals
+	cDegraded
+	cFaultCoW
+	cFaultFile
+	cFaultMinor
+	cFaultUffd
+	cFaultZero
+	cFileMaps
+	cFileMapsShared
+	cFileUnmaps
+	cGuestAccesses
+	cGuestMirror
+	cGuestTLBHits
+	cGuestWrites
+	cIOCompletions
+	cIOFailures
+	cIOReqErrors
+	cIOReqShort
+	cIOReqSpikes
+	cIOReqStuck
+	cIORequests
+	cIOSubmitBytes
+	cIOSubsRA
+	cIOSubsSync
+	cInvokes
+	cOffsetLoads
+	cPrefetchGroups
+	cPrefetchPages
+	cReadaheadCalls
+	cReadaheadPages
+	cRecords
+	cRestores
+	cSchemePrepares
+	cSimAdvances
+	cSimScheduled
+	cSpacesCreated
+	cSpacesReleased
+	cTraceDropped
+	cVMPrepared
+
+	nCounters
+)
+
+var counterNames = [nCounters]string{
+	cAnonDrops:          "snapbpf_anon_drops_total",
+	cAnonInstalls:       "snapbpf_anon_installs_total",
+	cArtifacts:          "snapbpf_artifacts_registered_total",
+	cCacheEvictions:     "snapbpf_cache_evictions_total",
+	cCacheInsertsDemand: "snapbpf_cache_inserts_demand_total",
+	cCacheInsertsRA:     "snapbpf_cache_inserts_readahead_total",
+	cCacheRemovals:      "snapbpf_cache_removals_total",
+	cDegraded:           "snapbpf_degraded_total",
+	cFaultCoW:           "snapbpf_faults_cow_total",
+	cFaultFile:          "snapbpf_faults_file_total",
+	cFaultMinor:         "snapbpf_faults_minor_total",
+	cFaultUffd:          "snapbpf_faults_uffd_total",
+	cFaultZero:          "snapbpf_faults_zerofill_total",
+	cFileMaps:           "snapbpf_file_pages_mapped_total",
+	cFileMapsShared:     "snapbpf_file_pages_mapped_shared_total",
+	cFileUnmaps:         "snapbpf_file_pages_unmapped_total",
+	cGuestAccesses:      "snapbpf_guest_accesses_total",
+	cGuestMirror:        "snapbpf_guest_mirror_accesses_total",
+	cGuestTLBHits:       "snapbpf_guest_tlb_hits_total",
+	cGuestWrites:        "snapbpf_guest_writes_total",
+	cIOCompletions:      "snapbpf_io_completions_total",
+	cIOFailures:         "snapbpf_io_failures_total",
+	cIOReqErrors:        "snapbpf_io_request_errors_total",
+	cIOReqShort:         "snapbpf_io_request_short_reads_total",
+	cIOReqSpikes:        "snapbpf_io_request_latency_spikes_total",
+	cIOReqStuck:         "snapbpf_io_request_stuck_slots_total",
+	cIORequests:         "snapbpf_io_requests_total",
+	cIOSubmitBytes:      "snapbpf_io_submitted_bytes_total",
+	cIOSubsRA:           "snapbpf_io_submissions_readahead_total",
+	cIOSubsSync:         "snapbpf_io_submissions_sync_total",
+	cInvokes:            "snapbpf_invokes_total",
+	cOffsetLoads:        "snapbpf_offset_loads_total",
+	cPrefetchGroups:     "snapbpf_prefetch_groups_total",
+	cPrefetchPages:      "snapbpf_prefetch_pages_total",
+	cReadaheadCalls:     "snapbpf_readahead_calls_total",
+	cReadaheadPages:     "snapbpf_readahead_pages_total",
+	cRecords:            "snapbpf_records_total",
+	cRestores:           "snapbpf_restores_total",
+	cSchemePrepares:     "snapbpf_scheme_prepares_total",
+	cSimAdvances:        "snapbpf_sim_clock_advances_total",
+	cSimScheduled:       "snapbpf_sim_events_scheduled_total",
+	cSpacesCreated:      "snapbpf_spaces_created_total",
+	cSpacesReleased:     "snapbpf_spaces_released_total",
+	cTraceDropped:       "snapbpf_trace_events_dropped_total",
+	cVMPrepared:         "snapbpf_vm_prepared_total",
+}
+
+const (
+	hE2E = iota
+	hFaultService
+	hIOLatency
+	hInvokeExec
+	hNCQInflight
+	hOffsetLoad
+	hPrefetchGroupPages
+	hPrepare
+	hReadaheadRunPages
+	hRestore
+
+	nHists
+)
+
+var histNames = [nHists]string{
+	hE2E:                "snapbpf_e2e_ns",
+	hFaultService:       "snapbpf_fault_service_ns",
+	hIOLatency:          "snapbpf_io_latency_ns",
+	hInvokeExec:         "snapbpf_invoke_exec_ns",
+	hNCQInflight:        "snapbpf_ncq_inflight",
+	hOffsetLoad:         "snapbpf_offset_load_ns",
+	hPrefetchGroupPages: "snapbpf_prefetch_group_pages",
+	hPrepare:            "snapbpf_prepare_ns",
+	hReadaheadRunPages:  "snapbpf_readahead_run_pages",
+	hRestore:            "snapbpf_restore_ns",
+}
+
+// histUnits is the width of bucket 0 per histogram: time histograms
+// bucket in power-of-two microseconds (1000ns << i), count histograms
+// in plain powers of two (1 << i).
+var histUnits = [nHists]int64{
+	hE2E:                1000,
+	hFaultService:       1000,
+	hIOLatency:          1000,
+	hInvokeExec:         1000,
+	hNCQInflight:        1,
+	hOffsetLoad:         1000,
+	hPrefetchGroupPages: 1,
+	hPrepare:            1000,
+	hReadaheadRunPages:  1,
+	hRestore:            1000,
+}
+
+// histBuckets log2 buckets cover 1µs..2^27µs (~134s) for time
+// histograms; larger observations land in the overflow bucket.
+const histBuckets = 28
+
+// histogram is a fixed-bucket log2 histogram. The zero value is ready
+// to use; observations are plain array stores so the hot path never
+// allocates.
+type histogram struct {
+	n   int64
+	sum int64
+	min int64
+	max int64
+	// buckets[i] counts observations v with v <= unit << i;
+	// buckets[histBuckets] is the overflow bucket.
+	buckets [histBuckets + 1]int64
+}
+
+// observe records v (ns for time histograms, a plain count otherwise).
+func (h *histogram) observe(unit, v int64) {
+	if v < 0 {
+		v = 0
+	}
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.n++
+	h.sum += v
+	h.buckets[bucketOf(unit, v)]++
+}
+
+// bucketOf returns the index of the smallest bucket holding v: the
+// smallest i with v <= unit << i, clamped to the overflow bucket.
+func bucketOf(unit, v int64) int {
+	if v <= unit {
+		return 0
+	}
+	q := (v + unit - 1) / unit // ceil(v/unit)
+	i := bits.Len64(uint64(q - 1))
+	if i > histBuckets {
+		return histBuckets
+	}
+	return i
+}
+
+// percentile estimates the p-per-mille percentile (500 = p50) as the
+// upper bound of the bucket holding that rank, clamped to the maximum
+// observation so a sparse histogram never reports beyond its data.
+func (h *histogram) percentile(unit, permille int64) int64 {
+	if h.n == 0 {
+		return 0
+	}
+	rank := (h.n*permille + 999) / 1000
+	var cum int64
+	for i := 0; i <= histBuckets; i++ {
+		cum += h.buckets[i]
+		if cum >= rank {
+			if i == histBuckets {
+				return h.max
+			}
+			ub := unit << i
+			if ub > h.max {
+				ub = h.max
+			}
+			return ub
+		}
+	}
+	return h.max
+}
+
+func (h *histogram) merge(o *histogram) {
+	if o.n == 0 {
+		return
+	}
+	if h.n == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.n += o.n
+	h.sum += o.sum
+	for i := range h.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+}
+
+// meters is the full metric state of one recorder: plain arrays so
+// updates are single stores and merging is element-wise.
+type meters struct {
+	c [nCounters]int64
+	h [nHists]histogram
+}
+
+func (m *meters) merge(o *meters) {
+	for i := range m.c {
+		m.c[i] += o.c[i]
+	}
+	for i := range m.h {
+		m.h[i].merge(&o.h[i])
+	}
+}
+
+// Counter is one exported counter sample.
+type Counter struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// Bucket is one cumulative histogram bucket: the count of
+// observations <= Le.
+type Bucket struct {
+	Le    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// Hist is one exported histogram with precomputed percentiles. Sum,
+// Min, Max, the percentiles and bucket bounds are in nanoseconds for
+// *_ns histograms and plain counts otherwise.
+type Hist struct {
+	Name    string   `json:"name"`
+	Count   int64    `json:"count"`
+	Sum     int64    `json:"sum"`
+	Min     int64    `json:"min"`
+	Max     int64    `json:"max"`
+	P50     int64    `json:"p50"`
+	P95     int64    `json:"p95"`
+	P99     int64    `json:"p99"`
+	Buckets []Bucket `json:"buckets"`
+}
+
+// Snapshot is a point-in-time rendering of a metric set, ordered by
+// metric name so any two snapshots of equal state serialize
+// identically.
+type Snapshot struct {
+	Counters   []Counter `json:"counters"`
+	Histograms []Hist    `json:"histograms"`
+}
+
+// snapshot renders the meters. Counters and histograms are emitted in
+// name order; histogram buckets are cumulative and stop at the last
+// non-empty bucket.
+func (m *meters) snapshot() *Snapshot {
+	s := &Snapshot{
+		Counters:   make([]Counter, 0, nCounters),
+		Histograms: make([]Hist, 0, nHists),
+	}
+	for i := 0; i < nCounters; i++ {
+		s.Counters = append(s.Counters, Counter{Name: counterNames[i], Value: m.c[i]})
+	}
+	sort.Slice(s.Counters, func(a, b int) bool { return s.Counters[a].Name < s.Counters[b].Name })
+	for i := 0; i < nHists; i++ {
+		h := &m.h[i]
+		unit := histUnits[i]
+		out := Hist{
+			Name:  histNames[i],
+			Count: h.n,
+			Sum:   h.sum,
+			Min:   h.min,
+			Max:   h.max,
+			P50:   h.percentile(unit, 500),
+			P95:   h.percentile(unit, 950),
+			P99:   h.percentile(unit, 990),
+		}
+		last := -1
+		for b := 0; b <= histBuckets; b++ {
+			if h.buckets[b] != 0 {
+				last = b
+			}
+		}
+		var cum int64
+		for b := 0; b <= last; b++ {
+			cum += h.buckets[b]
+			le := unit << b
+			if b == histBuckets {
+				le = h.max
+			}
+			out.Buckets = append(out.Buckets, Bucket{Le: le, Count: cum})
+		}
+		s.Histograms = append(s.Histograms, out)
+	}
+	sort.Slice(s.Histograms, func(a, b int) bool { return s.Histograms[a].Name < s.Histograms[b].Name })
+	return s
+}
+
+// Counter returns the value of a counter by its exported name.
+func (s *Snapshot) Counter(name string) (int64, bool) {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Histogram returns an exported histogram by name.
+func (s *Snapshot) Histogram(name string) (Hist, bool) {
+	for _, h := range s.Histograms {
+		if h.Name == name {
+			return h, true
+		}
+	}
+	return Hist{}, false
+}
+
+// Prometheus renders the snapshot in the Prometheus text exposition
+// format. Values are integers (nanoseconds for time histograms), so
+// the rendering is deterministic byte-for-byte; percentile estimates
+// are emitted as untyped *_p50/_p95/_p99 samples next to each
+// histogram.
+func (s *Snapshot) Prometheus() []byte {
+	var b strings.Builder
+	for _, c := range s.Counters {
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", c.Name, c.Name, c.Value)
+	}
+	for _, h := range s.Histograms {
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", h.Name)
+		for _, bk := range h.Buckets {
+			fmt.Fprintf(&b, "%s_bucket{le=\"%d\"} %d\n", h.Name, bk.Le, bk.Count)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", h.Name, h.Count)
+		fmt.Fprintf(&b, "%s_sum %d\n", h.Name, h.Sum)
+		fmt.Fprintf(&b, "%s_count %d\n", h.Name, h.Count)
+		fmt.Fprintf(&b, "%s_p50 %d\n", h.Name, h.P50)
+		fmt.Fprintf(&b, "%s_p95 %d\n", h.Name, h.P95)
+		fmt.Fprintf(&b, "%s_p99 %d\n", h.Name, h.P99)
+	}
+	return []byte(b.String())
+}
+
+// MergeMetrics folds the metric state of every report (nil entries and
+// metric-less reports are skipped) into one aggregate snapshot, in
+// slice order — merging is commutative element-wise addition, so the
+// aggregate is independent of how cells were scheduled.
+func MergeMetrics(reports []*Report) *Snapshot {
+	var agg meters
+	for _, r := range reports {
+		if r != nil && r.hasMetrics {
+			agg.merge(&r.m)
+		}
+	}
+	return agg.snapshot()
+}
+
+// MetricsCell names one run's metrics in a combined document.
+type MetricsCell struct {
+	Name   string
+	Report *Report
+}
+
+// metricsDoc is the results/metrics.json document shape.
+type metricsDoc struct {
+	Aggregate *Snapshot     `json:"aggregate"`
+	Cells     []metricsCell `json:"cells"`
+}
+
+type metricsCell struct {
+	Name    string    `json:"name"`
+	Metrics *Snapshot `json:"metrics"`
+}
+
+// BuildMetricsJSON renders the machine-readable metrics document: the
+// aggregate over every cell plus each cell's own snapshot, in cell
+// order. The output is byte-deterministic for a given cell sequence.
+func BuildMetricsJSON(cells []MetricsCell) ([]byte, error) {
+	doc := metricsDoc{Cells: make([]metricsCell, 0, len(cells))}
+	var agg meters
+	for _, c := range cells {
+		if c.Report == nil || !c.Report.hasMetrics {
+			continue
+		}
+		agg.merge(&c.Report.m)
+		doc.Cells = append(doc.Cells, metricsCell{Name: c.Name, Metrics: c.Report.m.snapshot()})
+	}
+	doc.Aggregate = agg.snapshot()
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}

@@ -1,0 +1,665 @@
+// Package obs is the observability layer of the simulated restore
+// stack: a sim-time-native span tracer and metrics registry that
+// attach to the same per-layer Observer surfaces the correctness
+// harness (internal/check) uses.
+//
+// A Recorder implements every layer's Observer interface and derives:
+//
+//   - spans: per-invocation phase trees (restore → prepare → invoke,
+//     with per-fault service spans nested inside invoke, async IO
+//     begin/end pairs, and instant events for prefetch-group issues,
+//     readahead runs and degradations), exported as Chrome
+//     trace_event JSON keyed on deterministic sim timestamps;
+//   - metrics: a fixed set of counters and log2-bucket histograms
+//     (p50/p95/p99), exported as Prometheus text and a
+//     machine-readable metrics.json.
+//
+// Determinism contract: the recorder is pure observation — it never
+// sleeps, schedules events or mutates observed state, so an armed
+// recorder cannot change RunResult (the metamorphic tests in
+// internal/experiments pin this). All timestamps are virtual sim
+// time; rendering goes through integers only, so equal runs produce
+// byte-identical trace and metrics documents regardless of the
+// worker-pool width that scheduled them.
+//
+// Cost contract: with tracing disabled, every observer method is
+// allocation-free on the fault and prefetch hot paths (asserted by
+// TestDisabledTracerAllocs); with the whole layer disabled no
+// recorder is attached at all and the stack runs exactly as before.
+package obs
+
+import (
+	"time"
+
+	"snapbpf/internal/blockdev"
+	"snapbpf/internal/faults"
+	"snapbpf/internal/hostmm"
+	"snapbpf/internal/kvm"
+	"snapbpf/internal/pagecache"
+	"snapbpf/internal/prefetch"
+	"snapbpf/internal/sim"
+	"snapbpf/internal/vmm"
+)
+
+// Config selects what a run records.
+type Config struct {
+	// Trace records span events for Chrome trace_event export.
+	Trace bool
+	// Metrics records counters and histograms.
+	Metrics bool
+	// MaxTraceEvents caps the per-run event buffer (0 = DefaultMaxTraceEvents);
+	// events beyond the cap are counted in
+	// snapbpf_trace_events_dropped_total instead of recorded.
+	MaxTraceEvents int
+}
+
+// DefaultMaxTraceEvents bounds one run's trace buffer.
+const DefaultMaxTraceEvents = 1 << 20
+
+// Enabled reports whether the config asks for any recording; a nil
+// config is disabled.
+func (c *Config) Enabled() bool { return c != nil && (c.Trace || c.Metrics) }
+
+// Chain is the downstream observer fan-out: the recorder forwards
+// every event it sees to the non-nil observers here, so tracing
+// composes with the correctness harness (fill every field with the
+// run's *check.Checker) without either knowing about the other.
+type Chain struct {
+	Sim      sim.Observer
+	Dev      blockdev.Observer
+	Cache    pagecache.Observer
+	MM       hostmm.Observer
+	KVM      kvm.Observer
+	Prefetch prefetch.Observer
+}
+
+// pageKey identifies one page-cache page for dedup accounting.
+type pageKey struct {
+	ino *pagecache.Inode
+	idx int64
+}
+
+// frame is one open span on a process's stack: a vm lifecycle phase
+// or an in-flight guest access. kind is the hostmm fault kind + 1 of
+// the access's resolution (0 = none observed).
+type frame struct {
+	name  string
+	start sim.Time
+	pfn   int64
+	write bool
+	kind  int8
+}
+
+// frameStack reuses its backing slice across push/pop cycles so the
+// steady-state fault path never allocates.
+type frameStack struct {
+	fs []frame
+}
+
+// Recorder observes one simulated host. It is confined to the
+// engine's single runnable goroutine, like every other observer, so
+// it needs no locking.
+type Recorder struct {
+	cfg  Config
+	eng  *sim.Engine
+	next Chain
+
+	m meters
+
+	maxEvents int
+	events    []Event
+	threads   []string // tid -> thread name; tid 0 is the host
+	tids      map[*sim.Proc]int64
+	frames    map[*sim.Proc]*frameStack
+	vmEnd     map[*vmm.MicroVM]sim.Time // restore-end time per sandbox
+	ioOpen    map[int64]sim.Time        // submit time per in-flight IO id
+	fileRefs  map[pageKey]int32         // rmap refs for dedup counting
+}
+
+// Attach builds a recorder for cfg and installs it on every layer of
+// the host: engine, block device, page cache, memory manager and the
+// host's VM lifecycle immediately, plus each sandbox's KVM as it is
+// restored (chaining any existing OnRestore hook — attach the
+// correctness harness first so the recorder forwards to it). The
+// caller routes scheme-level events by setting prefetch.Env.Check to
+// the returned recorder.
+func Attach(h *vmm.Host, cfg Config, next Chain) *Recorder {
+	r := &Recorder{
+		cfg:       cfg,
+		eng:       h.Eng,
+		next:      next,
+		maxEvents: cfg.MaxTraceEvents,
+		threads:   []string{"host"},
+		tids:      make(map[*sim.Proc]int64),
+		frames:    make(map[*sim.Proc]*frameStack),
+		vmEnd:     make(map[*vmm.MicroVM]sim.Time),
+		ioOpen:    make(map[int64]sim.Time),
+		fileRefs:  make(map[pageKey]int32),
+	}
+	if r.maxEvents <= 0 {
+		r.maxEvents = DefaultMaxTraceEvents
+	}
+	h.Eng.SetObserver(r)
+	h.Dev.SetObserver(r)
+	h.Cache.SetObserver(r)
+	h.MM.SetObserver(r)
+	h.SetObserver(r)
+	prev := h.OnRestore
+	h.OnRestore = func(vm *vmm.MicroVM) {
+		if prev != nil {
+			prev(vm)
+		}
+		vm.KVM.SetObserver(r)
+	}
+	return r
+}
+
+// Report is the finished output of one run's recorder.
+type Report struct {
+	m          meters
+	hasMetrics bool
+	trace      []Event
+	threads    []string
+}
+
+// Finish freezes the recorder into a report. Call once the engine has
+// drained; the recorder must not observe further events.
+func (r *Recorder) Finish() *Report {
+	rep := &Report{m: r.m, hasMetrics: r.cfg.Metrics, threads: r.threads}
+	if r.cfg.Trace {
+		rep.trace = r.events
+		if rep.trace == nil {
+			rep.trace = []Event{}
+		}
+	}
+	return rep
+}
+
+// Metrics renders the report's metric snapshot (nil when metrics were
+// not recorded).
+func (r *Report) Metrics() *Snapshot {
+	if !r.hasMetrics {
+		return nil
+	}
+	return r.m.snapshot()
+}
+
+// TraceEventCount reports how many span events were recorded (0 when
+// tracing was off).
+func (r *Report) TraceEventCount() int { return len(r.trace) }
+
+// TraceDropped reports events lost to the MaxTraceEvents cap.
+func (r *Report) TraceDropped() int64 { return r.m.c[cTraceDropped] }
+
+// ---------------------------------------------------------------------------
+// internal helpers
+
+// tid returns the trace thread id of p, assigning ids in first-use
+// order (deterministic, since the engine dispatches deterministically).
+func (r *Recorder) tid(p *sim.Proc) int64 {
+	if p == nil {
+		return 0
+	}
+	t, ok := r.tids[p]
+	if !ok {
+		t = int64(len(r.threads))
+		r.tids[p] = t
+		r.threads = append(r.threads, p.Name())
+	}
+	return t
+}
+
+func (r *Recorder) stack(p *sim.Proc) *frameStack {
+	fs, ok := r.frames[p]
+	if !ok {
+		fs = &frameStack{}
+		r.frames[p] = fs
+	}
+	return fs
+}
+
+func (r *Recorder) push(p *sim.Proc, f frame) {
+	fs := r.stack(p)
+	fs.fs = append(fs.fs, f)
+}
+
+func (r *Recorder) pop(p *sim.Proc) (frame, bool) {
+	fs := r.frames[p]
+	if fs == nil || len(fs.fs) == 0 {
+		return frame{}, false
+	}
+	f := fs.fs[len(fs.fs)-1]
+	fs.fs = fs.fs[:len(fs.fs)-1]
+	return f, true
+}
+
+// emit appends ev unless the buffer is full. Callers must gate on
+// cfg.Trace *before* building the event, so the disabled-tracer path
+// never allocates argument slices.
+func (r *Recorder) emit(ev Event) {
+	if len(r.events) >= r.maxEvents {
+		r.m.c[cTraceDropped]++
+		return
+	}
+	r.events = append(r.events, ev)
+}
+
+// ---------------------------------------------------------------------------
+// sim.Observer — counters only; these fire on the engine's hottest
+// paths (ScheduleDispatch), so they must stay branch + increment.
+
+// EventScheduled implements sim.Observer.
+func (r *Recorder) EventScheduled(at sim.Time) {
+	r.m.c[cSimScheduled]++
+	if r.next.Sim != nil {
+		r.next.Sim.EventScheduled(at)
+	}
+}
+
+// ClockAdvanced implements sim.Observer.
+func (r *Recorder) ClockAdvanced(now sim.Time) {
+	r.m.c[cSimAdvances]++
+	if r.next.Sim != nil {
+		r.next.Sim.ClockAdvanced(now)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// blockdev.Observer — submission→completion latency via the IO id,
+// async trace spans, NCQ occupancy and fault-treatment counters.
+
+// IOSubmitted implements blockdev.Observer.
+func (r *Recorder) IOSubmitted(id, off, length int64, sync bool, attempt, parts int) {
+	if sync {
+		r.m.c[cIOSubsSync]++
+	} else {
+		r.m.c[cIOSubsRA]++
+	}
+	r.m.c[cIOSubmitBytes] += length
+	r.ioOpen[id] = r.eng.Now()
+	if r.cfg.Trace {
+		cls := "sync"
+		if !sync {
+			cls = "readahead"
+		}
+		r.emit(Event{Name: "io", Cat: "io", Ph: 'b', Ts: r.eng.Now(), ID: id,
+			Args: []Arg{argInt("off", off), argInt("len", length),
+				argStr("class", cls), argInt("attempt", int64(attempt)), argInt("parts", int64(parts))}})
+	}
+	if r.next.Dev != nil {
+		r.next.Dev.IOSubmitted(id, off, length, sync, attempt, parts)
+	}
+}
+
+// RequestServiced implements blockdev.Observer.
+func (r *Recorder) RequestServiced(off, length int64, attempt, inFlight int, out faults.ReadOutcome) {
+	r.m.c[cIORequests]++
+	r.m.h[hNCQInflight].observe(histUnits[hNCQInflight], int64(inFlight))
+	if out.Err {
+		r.m.c[cIOReqErrors]++
+	}
+	if out.ExtraMediaTime > 0 {
+		r.m.c[cIOReqSpikes]++
+	}
+	if out.HoldSlot > 0 {
+		r.m.c[cIOReqStuck]++
+	}
+	if out.Short {
+		r.m.c[cIOReqShort]++
+	}
+	if r.next.Dev != nil {
+		r.next.Dev.RequestServiced(off, length, attempt, inFlight, out)
+	}
+}
+
+// RequestCompleted implements blockdev.Observer.
+func (r *Recorder) RequestCompleted(inFlight int) {
+	if r.next.Dev != nil {
+		r.next.Dev.RequestCompleted(inFlight)
+	}
+}
+
+// IOCompleted implements blockdev.Observer.
+func (r *Recorder) IOCompleted(id int64, failed bool) {
+	r.m.c[cIOCompletions]++
+	if failed {
+		r.m.c[cIOFailures]++
+	}
+	now := r.eng.Now()
+	if start, ok := r.ioOpen[id]; ok {
+		r.m.h[hIOLatency].observe(histUnits[hIOLatency], int64(now.Sub(start)))
+		delete(r.ioOpen, id)
+	}
+	if r.cfg.Trace {
+		fl := int64(0)
+		if failed {
+			fl = 1
+		}
+		r.emit(Event{Name: "io", Cat: "io", Ph: 'e', Ts: now, ID: id,
+			Args: []Arg{argInt("failed", fl)}})
+	}
+	if r.next.Dev != nil {
+		r.next.Dev.IOCompleted(id, failed)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// pagecache.Observer — insert/evict/remove counters and readahead
+// runs (the per-prefetch-group issue events of the SnapBPF kfunc and
+// the Linux readahead window).
+
+// PageInserted implements pagecache.Observer.
+func (r *Recorder) PageInserted(ino *pagecache.Inode, idx int64, readahead bool) {
+	if readahead {
+		r.m.c[cCacheInsertsRA]++
+	} else {
+		r.m.c[cCacheInsertsDemand]++
+	}
+	if r.next.Cache != nil {
+		r.next.Cache.PageInserted(ino, idx, readahead)
+	}
+}
+
+// PageEvicted implements pagecache.Observer.
+func (r *Recorder) PageEvicted(ino *pagecache.Inode, idx int64) {
+	r.m.c[cCacheEvictions]++
+	if r.next.Cache != nil {
+		r.next.Cache.PageEvicted(ino, idx)
+	}
+}
+
+// PageRemoved implements pagecache.Observer.
+func (r *Recorder) PageRemoved(ino *pagecache.Inode, idx int64) {
+	r.m.c[cCacheRemovals]++
+	if r.next.Cache != nil {
+		r.next.Cache.PageRemoved(ino, idx)
+	}
+}
+
+// ReadaheadIssued implements pagecache.Observer.
+func (r *Recorder) ReadaheadIssued(ino *pagecache.Inode, start, n, inserted int64) {
+	r.m.c[cReadaheadCalls]++
+	r.m.c[cReadaheadPages] += inserted
+	r.m.h[hReadaheadRunPages].observe(histUnits[hReadaheadRunPages], n)
+	if r.cfg.Trace {
+		r.emit(Event{Name: "readahead", Cat: "prefetch", Ph: 'i', Ts: r.eng.Now(),
+			Args: []Arg{argStr("file", ino.Name()), argInt("start", start),
+				argInt("pages", n), argInt("inserted", inserted)}})
+	}
+	if r.next.Cache != nil {
+		r.next.Cache.ReadaheadIssued(ino, start, n, inserted)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// hostmm.Observer — space lifecycle, rmap/dedup and fault-kind
+// counters, plus fault-kind attribution of the open guest access.
+
+// SpaceCreated implements hostmm.Observer.
+func (r *Recorder) SpaceCreated(as *hostmm.AddressSpace) {
+	r.m.c[cSpacesCreated]++
+	if r.next.MM != nil {
+		r.next.MM.SpaceCreated(as)
+	}
+}
+
+// SpaceReleased implements hostmm.Observer.
+func (r *Recorder) SpaceReleased(as *hostmm.AddressSpace) {
+	r.m.c[cSpacesReleased]++
+	if r.next.MM != nil {
+		r.next.MM.SpaceReleased(as)
+	}
+}
+
+// FilePageMapped implements hostmm.Observer.
+func (r *Recorder) FilePageMapped(as *hostmm.AddressSpace, page int64, ino *pagecache.Inode, fileIdx int64) {
+	r.m.c[cFileMaps]++
+	k := pageKey{ino, fileIdx}
+	if r.fileRefs[k] > 0 {
+		// A second sandbox mapping an already-mapped cache page is
+		// the in-memory working-set dedup the paper measures.
+		r.m.c[cFileMapsShared]++
+	}
+	r.fileRefs[k]++
+	if r.next.MM != nil {
+		r.next.MM.FilePageMapped(as, page, ino, fileIdx)
+	}
+}
+
+// FilePageUnmapped implements hostmm.Observer.
+func (r *Recorder) FilePageUnmapped(as *hostmm.AddressSpace, page int64, ino *pagecache.Inode, fileIdx int64) {
+	r.m.c[cFileUnmaps]++
+	k := pageKey{ino, fileIdx}
+	if r.fileRefs[k] > 0 {
+		r.fileRefs[k]--
+	}
+	if r.next.MM != nil {
+		r.next.MM.FilePageUnmapped(as, page, ino, fileIdx)
+	}
+}
+
+// AnonInstalled implements hostmm.Observer.
+func (r *Recorder) AnonInstalled(as *hostmm.AddressSpace, page int64, content uint64, known bool) {
+	r.m.c[cAnonInstalls]++
+	if r.next.MM != nil {
+		r.next.MM.AnonInstalled(as, page, content, known)
+	}
+}
+
+// AnonDropped implements hostmm.Observer.
+func (r *Recorder) AnonDropped(as *hostmm.AddressSpace, page int64) {
+	r.m.c[cAnonDrops]++
+	if r.next.MM != nil {
+		r.next.MM.AnonDropped(as, page)
+	}
+}
+
+// faultCounter maps a hostmm fault kind to its counter index.
+func faultCounter(kind hostmm.FaultKind) int {
+	switch kind {
+	case hostmm.FaultMinor:
+		return cFaultMinor
+	case hostmm.FaultFile:
+		return cFaultFile
+	case hostmm.FaultZeroFill:
+		return cFaultZero
+	case hostmm.FaultCoW:
+		return cFaultCoW
+	default:
+		return cFaultUffd
+	}
+}
+
+// FaultResolved implements hostmm.Observer.
+func (r *Recorder) FaultResolved(p *sim.Proc, as *hostmm.AddressSpace, page int64, write bool, kind hostmm.FaultKind) {
+	r.m.c[faultCounter(kind)]++
+	// Attribute the resolution to the innermost open guest access of
+	// the faulting task so its span is named after how it resolved.
+	if fs := r.frames[p]; fs != nil && len(fs.fs) > 0 {
+		fs.fs[len(fs.fs)-1].kind = int8(kind) + 1
+	}
+	if r.next.MM != nil {
+		r.next.MM.FaultResolved(p, as, page, write, kind)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// kvm.Observer — guest access bracketing: TLB hits count, slow
+// accesses (faults) become spans named after their resolution.
+
+// AccessBegin implements kvm.Observer.
+func (r *Recorder) AccessBegin(p *sim.Proc, v *kvm.VM, pfn int64, write bool) {
+	r.m.c[cGuestAccesses]++
+	if write {
+		r.m.c[cGuestWrites]++
+	}
+	r.push(p, frame{start: r.eng.Now(), pfn: pfn, write: write})
+	if r.next.KVM != nil {
+		r.next.KVM.AccessBegin(p, v, pfn, write)
+	}
+}
+
+// accessNames maps frame.kind (hostmm fault kind + 1) to a span name.
+var accessNames = [...]string{"fault", "fault:minor", "fault:file", "fault:zerofill", "fault:cow", "fault:uffd"}
+
+// AccessEnd implements kvm.Observer.
+func (r *Recorder) AccessEnd(p *sim.Proc, v *kvm.VM, pfn int64, write, mirror bool) {
+	now := r.eng.Now()
+	if mirror {
+		r.m.c[cGuestMirror]++
+	}
+	if f, ok := r.pop(p); ok {
+		d := now.Sub(f.start)
+		if d == 0 && f.kind == 0 {
+			// Fast path: nested-TLB hit, no time passed, nothing
+			// resolved. Count it and move on — tracing every hit
+			// would dwarf the interesting events.
+			r.m.c[cGuestTLBHits]++
+		} else {
+			r.m.h[hFaultService].observe(histUnits[hFaultService], int64(d))
+			if r.cfg.Trace {
+				name := accessNames[0]
+				if int(f.kind) < len(accessNames) {
+					name = accessNames[f.kind]
+				}
+				wr := int64(0)
+				if write {
+					wr = 1
+				}
+				r.emit(Event{Name: name, Cat: "fault", Ph: 'X', Ts: f.start, Dur: d, Tid: r.tid(p),
+					Args: []Arg{argInt("pfn", pfn), argInt("write", wr)}})
+			}
+		}
+	}
+	if r.next.KVM != nil {
+		r.next.KVM.AccessEnd(p, v, pfn, write, mirror)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// vmm.Observer — sandbox lifecycle phases.
+
+// RestoreBegin implements vmm.Observer.
+func (r *Recorder) RestoreBegin(p *sim.Proc, name string) {
+	r.push(p, frame{name: name, start: r.eng.Now()})
+}
+
+// RestoreEnd implements vmm.Observer.
+func (r *Recorder) RestoreEnd(p *sim.Proc, vm *vmm.MicroVM) {
+	now := r.eng.Now()
+	r.m.c[cRestores]++
+	if f, ok := r.pop(p); ok {
+		r.m.h[hRestore].observe(histUnits[hRestore], int64(now.Sub(f.start)))
+		if r.cfg.Trace {
+			r.emit(Event{Name: "restore", Cat: "vm", Ph: 'X', Ts: f.start, Dur: now.Sub(f.start),
+				Tid: r.tid(p), Args: []Arg{argStr("vm", vm.Name)}})
+		}
+	}
+	r.vmEnd[vm] = now
+}
+
+// VMPrepared implements vmm.Observer. The prepare span runs from the
+// sandbox's restore end to MarkPrepared, covering the prefetcher's
+// PrepareVM work on the same process.
+func (r *Recorder) VMPrepared(p *sim.Proc, vm *vmm.MicroVM, prep time.Duration) {
+	now := r.eng.Now()
+	r.m.c[cVMPrepared]++
+	r.m.h[hPrepare].observe(histUnits[hPrepare], int64(prep))
+	if r.cfg.Trace {
+		start, ok := r.vmEnd[vm]
+		if !ok {
+			start = now
+		}
+		r.emit(Event{Name: "prepare", Cat: "vm", Ph: 'X', Ts: start, Dur: now.Sub(start),
+			Tid: r.tid(p), Args: []Arg{argStr("vm", vm.Name)}})
+	}
+}
+
+// InvokeBegin implements vmm.Observer.
+func (r *Recorder) InvokeBegin(p *sim.Proc, vm *vmm.MicroVM) {
+	r.push(p, frame{name: vm.Name, start: r.eng.Now()})
+}
+
+// InvokeEnd implements vmm.Observer.
+func (r *Recorder) InvokeEnd(p *sim.Proc, vm *vmm.MicroVM, st vmm.InvokeStats) {
+	now := r.eng.Now()
+	r.m.c[cInvokes]++
+	r.m.h[hInvokeExec].observe(histUnits[hInvokeExec], int64(st.Exec))
+	r.m.h[hE2E].observe(histUnits[hE2E], int64(st.E2E))
+	if f, ok := r.pop(p); ok {
+		if r.cfg.Trace {
+			r.emit(Event{Name: "invoke", Cat: "vm", Ph: 'X', Ts: f.start, Dur: now.Sub(f.start),
+				Tid: r.tid(p), Args: []Arg{argStr("vm", vm.Name)}})
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// prefetch.Observer — scheme-level lifecycle, prefetch-group issues
+// and degradations.
+
+// RecordDone implements prefetch.Observer.
+func (r *Recorder) RecordDone(scheme string, wsPages int64) {
+	r.m.c[cRecords]++
+	if r.next.Prefetch != nil {
+		r.next.Prefetch.RecordDone(scheme, wsPages)
+	}
+}
+
+// ArtifactRegistered implements prefetch.Observer.
+func (r *Recorder) ArtifactRegistered(ino *pagecache.Inode, tags []uint64) {
+	r.m.c[cArtifacts]++
+	if r.next.Prefetch != nil {
+		r.next.Prefetch.ArtifactRegistered(ino, tags)
+	}
+}
+
+// PrepareDone implements prefetch.Observer.
+func (r *Recorder) PrepareDone(scheme string, vm *vmm.MicroVM) {
+	r.m.c[cSchemePrepares]++
+	if r.next.Prefetch != nil {
+		r.next.Prefetch.PrepareDone(scheme, vm)
+	}
+}
+
+// Degraded implements prefetch.Observer.
+func (r *Recorder) Degraded(scheme string, vm *vmm.MicroVM, reason string) {
+	r.m.c[cDegraded]++
+	if r.cfg.Trace {
+		r.emit(Event{Name: "degraded", Cat: "scheme", Ph: 'i', Ts: r.eng.Now(),
+			Args: []Arg{argStr("scheme", scheme), argStr("vm", vm.Name), argStr("reason", reason)}})
+	}
+	if r.next.Prefetch != nil {
+		r.next.Prefetch.Degraded(scheme, vm, reason)
+	}
+}
+
+// PrefetchIssued implements prefetch.Observer.
+func (r *Recorder) PrefetchIssued(p *sim.Proc, scheme string, vm *vmm.MicroVM, start, npages int64) {
+	r.m.c[cPrefetchGroups]++
+	r.m.c[cPrefetchPages] += npages
+	r.m.h[hPrefetchGroupPages].observe(histUnits[hPrefetchGroupPages], npages)
+	if r.cfg.Trace {
+		r.emit(Event{Name: "prefetch-issue", Cat: "prefetch", Ph: 'i', Ts: r.eng.Now(), Tid: r.tid(p),
+			Args: []Arg{argStr("scheme", scheme), argStr("vm", vm.Name),
+				argInt("start", start), argInt("pages", npages)}})
+	}
+	if r.next.Prefetch != nil {
+		r.next.Prefetch.PrefetchIssued(p, scheme, vm, start, npages)
+	}
+}
+
+// OffsetsLoaded implements prefetch.Observer.
+func (r *Recorder) OffsetsLoaded(p *sim.Proc, scheme string, vm *vmm.MicroVM, groups int, took time.Duration) {
+	now := r.eng.Now()
+	r.m.c[cOffsetLoads]++
+	r.m.h[hOffsetLoad].observe(histUnits[hOffsetLoad], int64(took))
+	if r.cfg.Trace {
+		r.emit(Event{Name: "ws-load", Cat: "prefetch", Ph: 'X',
+			Ts: now.Add(-took), Dur: sim.Duration(took), Tid: r.tid(p),
+			Args: []Arg{argStr("scheme", scheme), argStr("vm", vm.Name), argInt("groups", int64(groups))}})
+	}
+	if r.next.Prefetch != nil {
+		r.next.Prefetch.OffsetsLoaded(p, scheme, vm, groups, took)
+	}
+}

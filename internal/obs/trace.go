@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strconv"
+
+	"snapbpf/internal/sim"
+)
+
+// Event is one Chrome trace_event entry keyed on sim time. Phases:
+// 'X' complete (span with duration), 'i' instant, 'b'/'e' async
+// begin/end pairs matched by ID. Timestamps stay in integer
+// nanoseconds here and are rendered as fractional microseconds (the
+// trace_event unit) only at serialization, so no float arithmetic
+// ever touches the pipeline.
+type Event struct {
+	Name string
+	Cat  string
+	Ph   byte
+	Ts   sim.Time
+	Dur  sim.Duration // 'X' only
+	Tid  int64
+	ID   int64 // 'b'/'e' only
+	Args []Arg
+}
+
+// Arg is one key/value argument; values are either int64 or string so
+// serialization never goes through floats.
+type Arg struct {
+	Key   string
+	Str   string
+	Int   int64
+	IsStr bool
+}
+
+func argInt(key string, v int64) Arg { return Arg{Key: key, Int: v} }
+func argStr(key, v string) Arg       { return Arg{Key: key, Str: v, IsStr: true} }
+
+// TraceCell is one run's trace in a combined document; Name becomes
+// the cell's process name in the viewer.
+type TraceCell struct {
+	Name   string
+	Report *Report
+}
+
+// writeTs renders t as fractional microseconds with fixed millisecond
+// precision ("%d.%03d" of ns), the deterministic integer-only
+// counterpart of the float ts field chrome://tracing expects.
+func writeTs(b *bytes.Buffer, ns int64) {
+	fmt.Fprintf(b, "%d.%03d", ns/1000, ns%1000)
+}
+
+func writeComma(b *bytes.Buffer, first *bool) {
+	if *first {
+		*first = false
+		return
+	}
+	b.WriteString(",\n")
+}
+
+func writeMetaStr(b *bytes.Buffer, first *bool, pid int, tid int64, name, value string) {
+	writeComma(b, first)
+	fmt.Fprintf(b, "{\"name\":%s,\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":%s}}",
+		strconv.Quote(name), pid, tid, strconv.Quote(value))
+}
+
+func writeMetaSort(b *bytes.Buffer, first *bool, pid int, tid int64, name string, idx int64) {
+	writeComma(b, first)
+	fmt.Fprintf(b, "{\"name\":%s,\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"sort_index\":%d}}",
+		strconv.Quote(name), pid, tid, idx)
+}
+
+func writeEvent(b *bytes.Buffer, first *bool, pid int, ev *Event) {
+	writeComma(b, first)
+	fmt.Fprintf(b, "{\"name\":%s,\"cat\":%s,\"ph\":%q,\"ts\":",
+		strconv.Quote(ev.Name), strconv.Quote(ev.Cat), string(ev.Ph))
+	writeTs(b, int64(ev.Ts))
+	if ev.Ph == 'X' {
+		b.WriteString(",\"dur\":")
+		writeTs(b, int64(ev.Dur))
+	}
+	if ev.Ph == 'b' || ev.Ph == 'e' {
+		fmt.Fprintf(b, ",\"id\":\"0x%x\"", ev.ID)
+	}
+	if ev.Ph == 'i' {
+		b.WriteString(",\"s\":\"t\"")
+	}
+	fmt.Fprintf(b, ",\"pid\":%d,\"tid\":%d", pid, ev.Tid)
+	if len(ev.Args) > 0 {
+		b.WriteString(",\"args\":{")
+		for i, a := range ev.Args {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.Quote(a.Key))
+			b.WriteByte(':')
+			if a.IsStr {
+				b.WriteString(strconv.Quote(a.Str))
+			} else {
+				fmt.Fprintf(b, "%d", a.Int)
+			}
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte('}')
+}
+
+// BuildTrace assembles the combined Chrome trace_event JSON document
+// for a sequence of cells: each cell becomes one process (pid = cell
+// index + 1) named after the cell, each sim process one named thread.
+// Serialization is hand-rolled over integers and quoted strings, so
+// equal inputs produce equal bytes.
+func BuildTrace(cells []TraceCell) []byte {
+	var b bytes.Buffer
+	b.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
+	first := true
+	for ci := range cells {
+		c := &cells[ci]
+		if c.Report == nil || c.Report.trace == nil {
+			continue
+		}
+		pid := ci + 1
+		writeMetaStr(&b, &first, pid, 0, "process_name", c.Name)
+		writeMetaSort(&b, &first, pid, 0, "process_sort_index", int64(ci))
+		for tid, name := range c.Report.threads {
+			writeMetaStr(&b, &first, pid, int64(tid), "thread_name", name)
+			writeMetaSort(&b, &first, pid, int64(tid), "thread_sort_index", int64(tid))
+		}
+		for i := range c.Report.trace {
+			writeEvent(&b, &first, pid, &c.Report.trace[i])
+		}
+	}
+	b.WriteString("\n]}\n")
+	return b.Bytes()
+}
+
+// ValidateTrace checks that data is a well-formed Chrome trace_event
+// JSON document: parseable, a traceEvents array, and every event
+// carrying the fields its phase requires. snapbpf-bench runs it as a
+// self-check after writing -trace output; the CI observability job
+// and the golden tests run it over pinned documents.
+func ValidateTrace(data []byte) error {
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("trace: not valid JSON: %w", err)
+	}
+	if doc.TraceEvents == nil {
+		return fmt.Errorf("trace: missing traceEvents array")
+	}
+	for i, ev := range doc.TraceEvents {
+		name, ok := ev["name"].(string)
+		if !ok || name == "" {
+			return fmt.Errorf("trace: event %d: missing name", i)
+		}
+		ph, ok := ev["ph"].(string)
+		if !ok || len(ph) != 1 {
+			return fmt.Errorf("trace: event %d (%s): bad ph %v", i, name, ev["ph"])
+		}
+		if _, ok := ev["pid"].(float64); !ok {
+			return fmt.Errorf("trace: event %d (%s): missing pid", i, name)
+		}
+		if _, ok := ev["tid"].(float64); !ok {
+			return fmt.Errorf("trace: event %d (%s): missing tid", i, name)
+		}
+		switch ph[0] {
+		case 'M':
+			if _, ok := ev["args"].(map[string]any); !ok {
+				return fmt.Errorf("trace: event %d (%s): metadata without args", i, name)
+			}
+			continue
+		case 'X', 'i', 'b', 'e':
+		default:
+			return fmt.Errorf("trace: event %d (%s): unknown phase %q", i, name, ph)
+		}
+		ts, ok := ev["ts"].(float64)
+		if !ok || ts < 0 {
+			return fmt.Errorf("trace: event %d (%s): bad ts %v", i, name, ev["ts"])
+		}
+		switch ph[0] {
+		case 'X':
+			if dur, ok := ev["dur"].(float64); !ok || dur < 0 {
+				return fmt.Errorf("trace: event %d (%s): complete event with bad dur %v", i, name, ev["dur"])
+			}
+		case 'b', 'e':
+			if _, ok := ev["id"].(string); !ok {
+				return fmt.Errorf("trace: event %d (%s): async event without id", i, name)
+			}
+		}
+	}
+	return nil
+}

@@ -107,6 +107,12 @@ type Observer interface {
 	PageEvicted(ino *Inode, idx int64)
 	// PageRemoved fires when DropCaches or Invalidate removes a page.
 	PageRemoved(ino *Inode, idx int64)
+	// ReadaheadIssued fires once per ReadaheadAsync call — the
+	// prefetch-group issue point of the SnapBPF kfunc and the Linux
+	// readahead window — before the run's inserts and reads are
+	// submitted. n is the in-bounds window size, inserted the number
+	// of absent pages about to be inserted.
+	ReadaheadIssued(ino *Inode, start, n, inserted int64)
 }
 
 // SetObserver installs obs (nil disables observation).
@@ -448,11 +454,20 @@ func (i *Inode) ReadaheadAsync(start, n int64) int64 {
 	if hi > i.nrPages {
 		hi = i.nrPages
 	}
+	if hi < start {
+		hi = start
+	}
 	var toRead []int64
 	for j := start; j < hi; j++ {
 		if !i.Present(j) {
 			toRead = append(toRead, j)
 		}
+	}
+	if i.c.obs != nil {
+		// Before submitRuns: inserts dispatched below (and any
+		// prefetch program they fire recursively) must observe their
+		// causing readahead first.
+		i.c.obs.ReadaheadIssued(i, start, hi-start, int64(len(toRead)))
 	}
 	i.submitRuns(i.c.cur, toRead, true)
 	i.c.stats.RAInserted += int64(len(toRead))

@@ -181,6 +181,7 @@ func (f *FaaSnap) PrepareVM(p *sim.Proc, env *prefetch.Env, vm *vmm.MicroVM) err
 			// Buffered reads through the page cache: this is what
 			// enables cross-sandbox dedup, at the cost of the
 			// userspace copy per page.
+			env.NotifyPrefetchIssued(pp, f.Name(), vm, base, l)
 			wsInode.BufferedRead(pp, base, l)
 		}
 	})

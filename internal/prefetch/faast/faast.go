@@ -168,6 +168,7 @@ func (f *Faast) PrepareVM(p *sim.Proc, env *prefetch.Env, vm *vmm.MicroVM) error
 			if base+l > n {
 				l = n - base
 			}
+			env.NotifyPrefetchIssued(pp, f.Name(), vm, base, l)
 			faults.Retry(pp, env.Faults, func(try int) error {
 				return wsInode.DirectReadAttempt(pp, base, l, try)
 			})

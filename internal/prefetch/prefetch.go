@@ -87,6 +87,16 @@ type Observer interface {
 	// map-load failure). The harness balances these against the
 	// injector's fallback counters.
 	Degraded(scheme string, vm *vmm.MicroVM, reason string)
+	// PrefetchIssued fires once per prefetch group a scheme issues
+	// for a sandbox: one working-set chunk read for REAP/Faast, one
+	// coalesced range for FaaSnap. SnapBPF's kernel-side groups are
+	// observed through pagecache.Observer.ReadaheadIssued instead. p
+	// is the issuing process (the scheme's prefetch thread).
+	PrefetchIssued(p *sim.Proc, scheme string, vm *vmm.MicroVM, start, npages int64)
+	// OffsetsLoaded fires when SnapBPF finishes loading a sandbox's
+	// offset schedule into its eBPF maps — the §3.1 "WS load" phase —
+	// with the group count and the virtual time the load took.
+	OffsetsLoaded(p *sim.Proc, scheme string, vm *vmm.MicroVM, groups int, took sim.Duration)
 }
 
 // NotifyRecordDone reports a completed record phase (nil-safe).
@@ -114,6 +124,20 @@ func (env *Env) NotifyPrepareDone(scheme string, vm *vmm.MicroVM) {
 func (env *Env) NotifyDegraded(scheme string, vm *vmm.MicroVM, reason string) {
 	if env.Check != nil {
 		env.Check.Degraded(scheme, vm, reason)
+	}
+}
+
+// NotifyPrefetchIssued reports one issued prefetch group (nil-safe).
+func (env *Env) NotifyPrefetchIssued(p *sim.Proc, scheme string, vm *vmm.MicroVM, start, npages int64) {
+	if env.Check != nil {
+		env.Check.PrefetchIssued(p, scheme, vm, start, npages)
+	}
+}
+
+// NotifyOffsetsLoaded reports a completed offset-schedule load (nil-safe).
+func (env *Env) NotifyOffsetsLoaded(p *sim.Proc, scheme string, vm *vmm.MicroVM, groups int, took sim.Duration) {
+	if env.Check != nil {
+		env.Check.OffsetsLoaded(p, scheme, vm, groups, took)
 	}
 }
 

@@ -180,6 +180,7 @@ func (r *REAP) PrepareVM(p *sim.Proc, env *prefetch.Env, vm *vmm.MicroVM) error 
 				len_ = n - base
 			}
 			// The WS file is read sequentially by file offset.
+			env.NotifyPrefetchIssued(pp, r.Name(), vm, base, len_)
 			if r.DirectIO {
 				faults.Retry(pp, env.Faults, func(try int) error {
 					return wsInode.DirectReadAttempt(pp, base, len_, try)

@@ -40,7 +40,31 @@ type Host struct {
 	// to each sandbox — including the ones schemes create internally
 	// during their record phases.
 	OnRestore func(*MicroVM)
+
+	obs Observer
 }
+
+// Observer receives sandbox lifecycle events for the observability
+// layer (internal/obs). Observers must not mutate VM or host state; a
+// nil observer costs one branch per event.
+type Observer interface {
+	// RestoreBegin fires at the start of Host.Restore, before the
+	// fixed restore cost is charged.
+	RestoreBegin(p *sim.Proc, name string)
+	// RestoreEnd fires at the end of a successful Restore (after any
+	// OnRestore hook ran).
+	RestoreEnd(p *sim.Proc, vm *MicroVM)
+	// VMPrepared fires from MarkPrepared with the recorded
+	// preparation share.
+	VMPrepared(p *sim.Proc, vm *MicroVM, prep time.Duration)
+	// InvokeBegin/InvokeEnd bracket a successful Invoke; InvokeEnd
+	// carries the invocation's statistics.
+	InvokeBegin(p *sim.Proc, vm *MicroVM)
+	InvokeEnd(p *sim.Proc, vm *MicroVM, st InvokeStats)
+}
+
+// SetObserver installs obs (nil disables observation).
+func (h *Host) SetObserver(obs Observer) { h.obs = obs }
 
 // NewHost assembles a host around the given device parameters.
 func NewHost(devParams blockdev.Params) *Host {
@@ -150,6 +174,9 @@ func (h *Host) Restore(p *sim.Proc, name string, fn workload.Function,
 	if img.NrPages != fn.MemPages() {
 		return nil, fmt.Errorf("vmm: image has %d pages but %s needs %d", img.NrPages, fn.Name, fn.MemPages())
 	}
+	if h.obs != nil {
+		h.obs.RestoreBegin(p, name)
+	}
 	start := p.Now()
 	p.Sleep(h.CM.VMRestoreBase)
 
@@ -175,6 +202,9 @@ func (h *Host) Restore(p *sim.Proc, name string, fn workload.Function,
 	if h.OnRestore != nil {
 		h.OnRestore(vm)
 	}
+	if h.obs != nil {
+		h.obs.RestoreEnd(p, vm)
+	}
 	return vm, nil
 }
 
@@ -188,6 +218,9 @@ func (vm *MicroVM) MapSnapshotDefault(p *sim.Proc) *hostmm.VMA {
 // once PrepareVM work is done.
 func (vm *MicroVM) MarkPrepared(p *sim.Proc) {
 	vm.stats.Prepare = p.Now().Sub(vm.started) - vm.Host.CM.VMRestoreBase
+	if vm.Host.obs != nil {
+		vm.Host.obs.VMPrepared(p, vm, vm.stats.Prepare)
+	}
 }
 
 // Invoke replays the function trace through nested paging and returns
@@ -197,6 +230,9 @@ func (vm *MicroVM) Invoke(p *sim.Proc, tr *trace.Trace) (InvokeStats, error) {
 		return InvokeStats{}, fmt.Errorf("vmm: %s: invoke before restore", vm.Name)
 	}
 	vm.restored = false
+	if vm.Host.obs != nil {
+		vm.Host.obs.InvokeBegin(p, vm)
+	}
 	execStart := p.Now()
 
 	for i := range tr.Ops {
@@ -237,6 +273,9 @@ func (vm *MicroVM) Invoke(p *sim.Proc, tr *trace.Trace) (InvokeStats, error) {
 	vm.stats.E2E = end.Sub(vm.started)
 	vm.stats.KVM = vm.KVM.Stats()
 	vm.stats.Host = vm.AS.Stats()
+	if vm.Host.obs != nil {
+		vm.Host.obs.InvokeEnd(p, vm, vm.stats)
+	}
 	return vm.stats, nil
 }
 

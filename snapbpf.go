@@ -30,6 +30,7 @@ import (
 	"snapbpf/internal/core"
 	"snapbpf/internal/experiments"
 	"snapbpf/internal/faults"
+	"snapbpf/internal/obs"
 	"snapbpf/internal/prefetch"
 	"snapbpf/internal/prefetch/faasnap"
 	"snapbpf/internal/prefetch/faast"
@@ -102,6 +103,19 @@ type (
 	// FaultReport summarizes what a run's fault injector did
 	// (RunResult.Faults): injected events, retries, fallbacks.
 	FaultReport = faults.Report
+
+	// ObsConfig selects what a run's observability layer records
+	// (RunConfig.Obs): sim-time trace spans and/or metrics.
+	ObsConfig = obs.Config
+
+	// ObsReport is the finished observability output of one run
+	// (RunResult.Obs); render it with obs.BuildTrace /
+	// ObsReport.Metrics.
+	ObsReport = obs.Report
+
+	// MetricsSnapshot is a rendered metric set: counters plus
+	// histograms with p50/p95/p99, exportable as Prometheus text.
+	MetricsSnapshot = obs.Snapshot
 )
 
 // Predefined schemes, as named in the paper's figures.
