@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint vendorcheck fmtcheck check race cover bench repro examples clean
+.PHONY: all build test vet lint vendorcheck fmtcheck check race cover bench bench-json repro examples clean
 
 all: build vet test
 
@@ -52,6 +52,12 @@ cover:
 # for the SNAPBPF_BENCH_* environment knobs.
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...
+
+# Machine-readable microbenchmark snapshot (ns/op, allocs/op per hot
+# path, plus experiment wall-clock from results/timing.json if fresh),
+# stamped with git state + eBPF engine. See scripts/bench_json.sh.
+bench-json:
+	./scripts/bench_json.sh results/bench.json
 
 # Regenerate every table and figure on the full 15-function suite,
 # verify the paper's claims, and write CSV + a markdown report.

@@ -24,11 +24,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
 
+	"snapbpf/internal/ebpf"
 	"snapbpf/internal/experiments"
 	"snapbpf/internal/faults"
 	"snapbpf/internal/obs"
@@ -52,11 +54,18 @@ func main() {
 		checkInv  = flag.Bool("check", false, "arm the invariant-checking harness on every cell (fails on violations)")
 		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON covering every cell to this file (open in chrome://tracing)")
 		metricsJS = flag.String("metrics", "", "write the metrics document to this JSON file, plus Prometheus text next to it (.prom)")
+		engineFl  = flag.String("engine", os.Getenv("SNAPBPF_EBPF_ENGINE"),
+			"eBPF execution engine: jit (default) or interp; also via SNAPBPF_EBPF_ENGINE")
 	)
 	flag.Parse()
 	if *parallel < 0 {
 		fatal(fmt.Errorf("-parallel must be >= 0, got %d", *parallel))
 	}
+	engine, err := ebpf.ParseEngine(*engineFl)
+	if err != nil {
+		fatal(err)
+	}
+	ebpf.SetDefaultEngine(engine)
 
 	all := experiments.All()
 	if *list {
@@ -151,10 +160,13 @@ func main() {
 	total := time.Since(suiteStart)
 	fmt.Fprintf(os.Stderr, "[total wall-clock %v, %d workers]\n", total.Round(time.Millisecond), workers(*parallel))
 	if *timing != "" {
-		if err := writeTiming(*timing, *parallel, timings, total); err != nil {
+		if err := writeTiming(*timing, *parallel, engineName(engine), timings, total); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintln(os.Stderr, "timings written to", *timing)
+	}
+	if *traceOut != "" || *metricsJS != "" {
+		reportTraceDrops(obsCells)
 	}
 	if *traceOut != "" {
 		if err := writeTrace(*traceOut, obsCells); err != nil {
@@ -218,8 +230,13 @@ type expTiming struct {
 	Seconds float64 `json:"seconds"`
 }
 
-// timingReport is the -timing JSON document.
+// timingReport is the -timing JSON document. GitState, Engine and
+// Workers stamp where the numbers came from: rows measured under a
+// different source tree, engine or pool width are not comparable, so
+// merging across differing stamps is refused.
 type timingReport struct {
+	GitState     string      `json:"git_state"`
+	Engine       string      `json:"engine"`
 	Workers      int         `json:"workers"`
 	GOMAXPROCS   int         `json:"gomaxprocs"`
 	TotalSeconds float64     `json:"total_seconds"`
@@ -234,13 +251,62 @@ func workers(parallel int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// engineName renders the engine knob for report stamps.
+func engineName(e ebpf.Engine) string {
+	if e == ebpf.EngineInterp {
+		return "interp"
+	}
+	return "jit"
+}
+
+// gitState describes the working tree as "<short-hash>" or
+// "<short-hash>-dirty", or "unknown" outside a git checkout.
+func gitState() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	state := strings.TrimSpace(string(out))
+	if err := exec.Command("git", "diff", "--quiet", "HEAD").Run(); err != nil {
+		state += "-dirty"
+	}
+	return state
+}
+
 // writeTiming writes the wall-clock timing report as indented JSON.
-func writeTiming(path string, parallel int, timings []expTiming, total time.Duration) error {
+// When path already holds a report with the same git state, engine and
+// pool width, experiments not re-run this time are carried over, so a
+// partial `-exp` run refreshes rows instead of clobbering the file;
+// a stamp mismatch discards the old rows (merging timings measured on
+// different code or configurations would silently mix regimes).
+func writeTiming(path string, parallel int, engine string, timings []expTiming, total time.Duration) error {
 	doc := timingReport{
+		GitState:     gitState(),
+		Engine:       engine,
 		Workers:      workers(parallel),
 		GOMAXPROCS:   runtime.GOMAXPROCS(0),
 		TotalSeconds: total.Seconds(),
 		Experiments:  timings,
+	}
+	if old, err := os.ReadFile(path); err == nil {
+		var prev timingReport
+		if json.Unmarshal(old, &prev) == nil {
+			if prev.GitState == doc.GitState && prev.Engine == doc.Engine && prev.Workers == doc.Workers {
+				ran := make(map[string]bool, len(timings))
+				for _, t := range timings {
+					ran[t.ID] = true
+				}
+				for _, t := range prev.Experiments {
+					if !ran[t.ID] {
+						doc.Experiments = append(doc.Experiments, t)
+					}
+				}
+			} else if len(prev.Experiments) > 0 {
+				fmt.Fprintf(os.Stderr,
+					"timing: discarding stale rows from %s (stamp %s/%s/%d workers != %s/%s/%d workers)\n",
+					path, prev.GitState, prev.Engine, prev.Workers, doc.GitState, doc.Engine, doc.Workers)
+			}
+		}
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -255,21 +321,64 @@ type obsCell struct {
 	rep  *obs.Report
 }
 
-// writeTrace renders the combined Chrome trace document, self-checks
-// it with the schema validator, and writes it out.
+// reportTraceDrops surfaces MaxTraceEvents truncation on stderr at
+// export time: the drop counter is embedded in the metrics JSON, but a
+// truncated trace read in chrome://tracing looks complete, so the loss
+// must be loud.
+func reportTraceDrops(cells []obsCell) {
+	var dropped int64
+	var affected []string
+	for _, c := range cells {
+		if c.rep == nil {
+			continue
+		}
+		if d := c.rep.TraceDropped(); d > 0 {
+			dropped += d
+			affected = append(affected, fmt.Sprintf("%s (%d)", c.name, d))
+		}
+	}
+	if dropped == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "trace: %d events dropped by the MaxTraceEvents cap in %d cells:\n", dropped, len(affected))
+	for _, name := range affected {
+		fmt.Fprintf(os.Stderr, "  %s\n", name)
+	}
+}
+
+// writeTrace streams the combined Chrome trace document to path and
+// self-checks the result. Streaming keeps peak memory at the writer's
+// buffer instead of the whole document (a chaos trace runs to
+// gigabytes), and the quick validator checks the envelope and JSON
+// well-formedness without unmarshalling every event — the obs golden
+// tests already pin the serializer's exact bytes.
 func writeTrace(path string, cells []obsCell) error {
 	tc := make([]obs.TraceCell, len(cells))
 	for i, c := range cells {
 		tc[i] = obs.TraceCell{Name: c.name, Report: c.rep}
 	}
-	data := obs.BuildTrace(tc)
-	if err := obs.ValidateTrace(data); err != nil {
-		return fmt.Errorf("trace self-check: %w", err)
-	}
 	if err := mkdirFor(path); err != nil {
 		return err
 	}
-	return os.WriteFile(path, data, 0o644)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteTrace(f, tc); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.ValidateTraceQuick(data); err != nil {
+		return fmt.Errorf("trace self-check: %w", err)
+	}
+	return nil
 }
 
 // writeMetrics renders the metrics JSON document to path and the

@@ -104,6 +104,11 @@ func main() {
 		fatal(err)
 	}
 	cellName := fmt.Sprintf("%s/%s/n%d", res.Scheme, res.Function, res.N)
+	if res.Obs != nil {
+		if d := res.Obs.TraceDropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "trace: %d events dropped by the MaxTraceEvents cap; raise obs.Config.MaxTraceEvents to keep them\n", d)
+		}
+	}
 	if *traceOut != "" {
 		data := obs.BuildTrace([]obs.TraceCell{{Name: cellName, Report: res.Obs}})
 		if err := obs.ValidateTrace(data); err != nil {

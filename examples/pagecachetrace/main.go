@@ -103,7 +103,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("program ran %d times; page-cache insertions by inode:\n", prog.Runs)
+	fmt.Printf("program ran %d times; page-cache insertions by inode:\n", prog.Runs())
 	for _, e := range counts.Entries() {
 		fmt.Printf("  inode %d: %d pages (%.1f MiB)\n",
 			e.Key, e.Value, units.PagesToMiB(int64(e.Value)))

@@ -180,7 +180,7 @@ func (s *SnapBPF) Record(p *sim.Proc, env *prefetch.Env) (err error) {
 		return err
 	}
 	vm.Shutdown()
-	s.CaptureProgRuns += prog.Runs
+	s.CaptureProgRuns += prog.Runs()
 
 	s.ws = buildSchedule(wsMap.Entries(), s.DisableGrouping, s.OffsetOrder)
 	if err := s.ws.Validate(env.Image.NrPages); err != nil {
@@ -336,6 +336,6 @@ func (s *SnapBPF) FinishVM(env *prefetch.Env, vm *vmm.MicroVM) {
 	}
 	if prog, ok := s.progs[vm]; ok {
 		delete(s.progs, vm)
-		s.PrefetchProgRuns += prog.Runs
+		s.PrefetchProgRuns += prog.Runs()
 	}
 }

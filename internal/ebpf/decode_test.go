@@ -90,8 +90,8 @@ func TestProgramConcurrentRun(t *testing.T) {
 	for err := range errs {
 		t.Fatal(err)
 	}
-	if prog.Runs != 8*2000 {
-		t.Fatalf("Runs = %d, want %d", prog.Runs, 8*2000)
+	if prog.Runs() != 8*2000 {
+		t.Fatalf("Runs = %d, want %d", prog.Runs(), 8*2000)
 	}
 }
 

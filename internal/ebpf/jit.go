@@ -1,0 +1,1355 @@
+package ebpf
+
+// Template JIT: at Load, after verification, the cached decoded
+// instruction slice (decode.go) is translated once more — into a chain
+// of specialized Go closures, one basic block at a time. Run then walks
+// blocks instead of instructions: every closure already knows its
+// operation, operand mode, registers and immediates, so the
+// fetch/decode/dispatch loop of the interpreter disappears entirely
+// from the per-fault path. The capture/prefetch idioms additionally
+// fuse into single closures (frame-pointer store runs, load-modify
+// -store triples, helper calls together with their whole mov/add
+// argument-setup preamble), shrinking the hot capture program to a
+// handful of indirect calls per execution.
+//
+// Equivalence contract: the JIT is observably identical to the
+// interpreter — same R0, same final register file, same map state,
+// same helper-call sequence, same error text, same instruction-budget
+// verdict — for every verified program. This is provable rather than
+// hoped-for because (a) every closure body is the corresponding
+// interpreter case with the decode folded into the closure's captured
+// state, (b) the instruction budget is charged per block and a block
+// that could straddle the budget boundary is *not* run jitted: the JIT
+// hands the machine state to the interpreter at the block's first
+// instruction, which then enforces the budget step-by-step with the
+// exact interpreter semantics, and (c) FuzzJITvsInterp and the
+// all-opcode engine tests in jit_test.go check the contract over both
+// generated and hand-written programs. The interpreter stays available
+// behind Program.Interp and the SNAPBPF_EBPF_ENGINE knob (parsed by
+// the callers via ParseEngine; this package never reads the
+// environment itself).
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+)
+
+// ---------------------------------------------------------------------------
+// Engine selection
+
+// Engine selects how Load prepares a verified program for execution.
+type Engine uint8
+
+const (
+	// EngineJIT translates the decoded program into specialized Go
+	// closures at Load; Run becomes a closure-chain walk. The default.
+	EngineJIT Engine = iota
+	// EngineInterp keeps only the decoded-instruction cache; Run uses
+	// the reference interpreter dispatch loop.
+	EngineInterp
+)
+
+func (e Engine) String() string {
+	if e == EngineInterp {
+		return "interp"
+	}
+	return "jit"
+}
+
+// ParseEngine parses an engine name as found in the -engine flag or
+// the SNAPBPF_EBPF_ENGINE environment variable (read by the callers;
+// this package takes explicit configuration only). The empty string
+// selects the default engine, the JIT.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "", "jit":
+		return EngineJIT, nil
+	case "interp", "interpreter":
+		return EngineInterp, nil
+	}
+	return EngineJIT, fmt.Errorf("ebpf: unknown engine %q (want jit or interp)", s)
+}
+
+// defaultEngine holds the Engine used by Load; atomic so tests and
+// callers may flip it without racing concurrent Loads.
+var defaultEngine atomic.Int32
+
+// SetDefaultEngine selects the engine used by subsequent Loads.
+// Already-loaded programs are unaffected.
+func SetDefaultEngine(e Engine) { defaultEngine.Store(int32(e)) }
+
+// DefaultEngine reports the engine used by subsequent Loads.
+func DefaultEngine() Engine { return Engine(defaultEngine.Load()) }
+
+// ---------------------------------------------------------------------------
+// Compiled form
+
+// Block transfer sentinels returned by jitTerm (valid block indexes
+// are >= 0).
+const (
+	blkExit = -1 // program returned; R0 holds the result
+	blkErr  = -2 // runState.err holds the failure
+)
+
+// jitOp is one straight-line operation (possibly a fusion of several
+// instructions). It returns false when the run must abort, with the
+// error in runState.err.
+type jitOp func(st *runState) bool
+
+// jitTerm transfers control at a block end: the next block index, or a
+// sentinel.
+type jitTerm func(st *runState) int32
+
+// jitBlock is one compiled basic block.
+type jitBlock struct {
+	ops []jitOp
+	// term is nil for an unconditional fallthrough/jump, in which case
+	// next names the successor without an indirect call.
+	term jitTerm
+	next int32
+	// cost is the number of interpreter steps the block charges against
+	// InsnBudget (lddw counts one, exactly as in the dispatch loop).
+	cost int
+	// pc is the block's first instruction, where the interpreter
+	// resumes when the remaining budget cannot cover the whole block.
+	pc int
+}
+
+// jitProg is a compiled program.
+type jitProg struct {
+	blocks []jitBlock
+	// zeroFrom is the lowest stack index the program can read: a
+	// scratch-state rerun only needs stack[zeroFrom:] wiped to make the
+	// frame indistinguishable from a fresh zeroed one. 0 (wipe
+	// everything) whenever any read address is not statically known.
+	zeroFrom int
+	// acyclic marks a control-flow graph with no back edges: every
+	// block runs at most once, so the total step count is bounded by
+	// the program length, which the verifier keeps far under
+	// InsnBudget — the run skips budget accounting entirely.
+	acyclic bool
+}
+
+// poison is the value calls clobber R1-R5 with, as in the interpreter.
+const poison = 0xdead_beef_dead_beef
+
+// exitTerm is the shared plain-exit terminator.
+var exitTerm jitTerm = func(st *runState) int32 { return blkExit }
+
+// runJIT executes the compiled block chain. Register state lives in
+// st.regs (shared with the interpreter handoff and inspectable by the
+// equivalence tests after a run).
+func (p *Program) runJIT(st *runState) (uint64, error) {
+	blocks := p.jit.blocks
+	bi := int32(0)
+	if p.jit.acyclic {
+		// No loops: the budget can never be exceeded, so the walk
+		// carries no step accounting at all.
+		for {
+			b := &blocks[bi]
+			for _, op := range b.ops {
+				if !op(st) {
+					err := st.err
+					st.err = nil
+					return 0, err
+				}
+			}
+			if b.term == nil {
+				bi = b.next
+				continue
+			}
+			bi = b.term(st)
+			if bi < 0 {
+				if bi == blkExit {
+					return st.regs[R0], nil
+				}
+				err := st.err
+				st.err = nil
+				return 0, err
+			}
+		}
+	}
+	steps := 0
+	for {
+		b := &blocks[bi]
+		if steps+b.cost > InsnBudget {
+			// The budget boundary may fall inside this block: hand the
+			// machine to the interpreter, which charges per step.
+			return p.runInterp(st, b.pc, steps)
+		}
+		steps += b.cost
+		for _, op := range b.ops {
+			if !op(st) {
+				err := st.err
+				st.err = nil
+				return 0, err
+			}
+		}
+		if b.term == nil {
+			bi = b.next
+			continue
+		}
+		bi = b.term(st)
+		if bi < 0 {
+			if bi == blkExit {
+				return st.regs[R0], nil
+			}
+			err := st.err
+			st.err = nil
+			return 0, err
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Compilation
+
+// compileJIT translates a verified, decoded program. It returns nil
+// when anything unexpected appears (an unresolved helper, an invalid
+// decode, a jump into a lddw upper half); Load then leaves the program
+// on the interpreter, which reports such cases with its usual errors.
+func compileJIT(p *Program) *jitProg {
+	dec := p.dec
+	n := len(dec)
+	if n == 0 {
+		return nil
+	}
+
+	// Basic-block leaders: entry, jump targets, fallthroughs after
+	// terminators.
+	leader := make([]bool, n)
+	leader[0] = true
+	mark := func(pc int) bool {
+		if pc < 0 || pc >= n || dec[pc].kind == decLdImm64Hi {
+			return false
+		}
+		leader[pc] = true
+		return true
+	}
+	for pc := 0; pc < n; pc++ {
+		switch dec[pc].kind {
+		case decJa:
+			if !mark(pc+int(dec[pc].off)) || !mark(pc+1) {
+				return nil
+			}
+		case decJump, decJump32:
+			if !mark(pc+int(dec[pc].off)) || !mark(pc+1) {
+				return nil
+			}
+		case decExit:
+			if pc+1 < n && !mark(pc+1) {
+				return nil
+			}
+		case decCall:
+			if dec[pc].helper == nil {
+				return nil
+			}
+		case decInvalid:
+			return nil
+		}
+	}
+
+	blockIdx := make(map[int]int32, n)
+	var starts []int
+	for pc := 0; pc < n; pc++ {
+		if leader[pc] {
+			blockIdx[pc] = int32(len(starts))
+			starts = append(starts, pc)
+		}
+	}
+
+	c := &jitCompiler{p: p, dec: dec, blockIdx: blockIdx, zeroFrom: StackSize}
+	j := &jitProg{blocks: make([]jitBlock, len(starts))}
+	for i, start := range starts {
+		end := n
+		if i+1 < len(starts) {
+			end = starts[i+1]
+		}
+		blk, ok := c.compileBlock(start, end)
+		if !ok {
+			return nil
+		}
+		j.blocks[i] = blk
+	}
+	if c.dynamicRead {
+		j.zeroFrom = 0
+	} else {
+		j.zeroFrom = c.zeroFrom
+	}
+	j.acyclic = cfgAcyclic(dec, starts, blockIdx)
+	return j
+}
+
+// cfgAcyclic reports whether the block graph has no cycles, via an
+// iterative three-color depth-first search over block successors.
+func cfgAcyclic(dec []decoded, starts []int, blockIdx map[int]int32) bool {
+	n := len(starts)
+	succs := func(i int) (s [2]int32, k int) {
+		end := len(dec)
+		if i+1 < n {
+			end = starts[i+1]
+		}
+		last := &dec[end-1]
+		switch last.kind {
+		case decExit:
+		case decJa:
+			s[0], k = blockIdx[end-1+int(last.off)], 1
+		case decJump, decJump32:
+			s[0], s[1], k = blockIdx[end-1+int(last.off)], blockIdx[end], 2
+		default:
+			if end < len(dec) {
+				s[0], k = blockIdx[end], 1
+			}
+		}
+		return s, k
+	}
+	const (
+		white = iota
+		gray
+		black
+	)
+	color := make([]byte, n)
+	type frame struct {
+		b    int32
+		next int
+	}
+	stack := []frame{{b: 0}}
+	color[0] = gray
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		s, k := succs(int(f.b))
+		if f.next >= k {
+			color[f.b] = black
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		nb := s[f.next]
+		f.next++
+		switch color[nb] {
+		case gray:
+			return false
+		case white:
+			color[nb] = gray
+			stack = append(stack, frame{b: nb})
+		}
+	}
+	return true
+}
+
+// jitCompiler carries per-program compilation state.
+type jitCompiler struct {
+	p        *Program
+	dec      []decoded
+	blockIdx map[int]int32
+
+	// Stack-wipe analysis: zeroFrom tracks the lowest statically-known
+	// read index; dynamicRead is set when any read address cannot be
+	// bounded at compile time (a register-based load, or a helper
+	// argument that could carry a computed stack pointer), forcing the
+	// full wipe.
+	zeroFrom    int
+	dynamicRead bool
+}
+
+// readAt records a statically-known stack read at index idx.
+func (c *jitCompiler) readAt(idx int) {
+	if idx < c.zeroFrom {
+		c.zeroFrom = idx
+	}
+}
+
+// fpIndex resolves a frame-pointer-relative access to a static stack
+// index, mirroring stackIndex for addr = stackTop + off.
+func fpIndex(off int32, size int) (int, bool) {
+	idx := StackSize + int(off)
+	if idx < 0 || idx+size > StackSize {
+		return 0, false
+	}
+	return idx, true
+}
+
+// compileBlock translates instructions [start, end) into one block.
+// The last instruction is the terminator when it is a jump or exit;
+// otherwise the block falls through to the next one.
+func (c *jitCompiler) compileBlock(start, end int) (jitBlock, bool) {
+	blk := jitBlock{pc: start, next: blkErr}
+	dec := c.dec
+
+	// Split off the terminator instruction, if any.
+	termPC := -1
+	bodyEnd := end
+	if end > start {
+		switch dec[end-1].kind {
+		case decJa, decJump, decJump32, decExit:
+			termPC = end - 1
+			bodyEnd = end - 1
+		}
+	}
+
+	// Budget cost: one step per executed instruction; the lddw upper
+	// half is skipped by the interpreter too.
+	for pc := start; pc < end; pc++ {
+		if dec[pc].kind != decLdImm64Hi {
+			blk.cost++
+		}
+	}
+
+	for pc := start; pc < bodyEnd; {
+		// Terminator fusion: when everything from pc to the block end
+		// matches a capture/prefetch idiom, the remaining body and the
+		// control transfer collapse into a single closure.
+		if termPC >= 0 {
+			if t, ok := c.fuseTerm(pc, bodyEnd, termPC); ok {
+				blk.term = t
+				return blk, true
+			}
+		}
+		if op, next, ok := c.fuseCallPreamble(pc, bodyEnd); ok {
+			blk.ops = append(blk.ops, op)
+			pc = next
+			continue
+		}
+		if op, next, ok := c.fuseStorePair(pc, bodyEnd); ok {
+			blk.ops = append(blk.ops, op)
+			pc = next
+			continue
+		}
+		if op, next, ok := c.fuseLoadAddStore(pc, bodyEnd); ok {
+			blk.ops = append(blk.ops, op)
+			pc = next
+			continue
+		}
+		op, next, ok := c.compileOne(pc)
+		if !ok {
+			return blk, false
+		}
+		blk.ops = append(blk.ops, op)
+		pc = next
+	}
+
+	if termPC < 0 {
+		// Fallthrough into the next leader.
+		ni, ok := c.blockIdx[end]
+		if !ok {
+			return blk, false
+		}
+		blk.next = ni
+		return blk, true
+	}
+	return c.compileTerm(&blk, termPC)
+}
+
+// compileTerm fills in the block's control transfer.
+func (c *jitCompiler) compileTerm(blk *jitBlock, pc int) (jitBlock, bool) {
+	in := &c.dec[pc]
+	switch in.kind {
+	case decExit:
+		blk.term = exitTerm
+		return *blk, true
+	case decJa:
+		ni, ok := c.blockIdx[pc+int(in.off)]
+		if !ok {
+			return *blk, false
+		}
+		blk.next = ni
+		return *blk, true
+	case decJump, decJump32:
+		taken, ok1 := c.blockIdx[pc+int(in.off)]
+		fall, ok2 := c.blockIdx[pc+1]
+		if !ok1 || !ok2 {
+			return *blk, false
+		}
+		t := jmpTerm(in, taken, fall)
+		if t == nil {
+			return *blk, false
+		}
+		blk.term = t
+		return *blk, true
+	}
+	return *blk, false
+}
+
+// fuseTerm tries to fold the whole remaining body [pc, bodyEnd) plus
+// the terminator at termPC into one closure, so the hottest blocks of
+// a capture/prefetch program execute in a single indirect call.
+func (c *jitCompiler) fuseTerm(pc, bodyEnd, termPC int) (jitTerm, bool) {
+	switch c.dec[termPC].kind {
+	case decExit:
+		if t, ok := c.movExitTerm(pc, bodyEnd); ok {
+			return t, true
+		}
+		return c.loadAddStoreExitTerm(pc, bodyEnd)
+	case decJump:
+		return c.storePairJmpTerm(pc, bodyEnd, termPC)
+	}
+	return nil, false
+}
+
+// storePairJmpTerm fuses the filter prologue every capture program
+// opens with — two fp-relative 8-byte register spills feeding a
+// conditional branch — into the block's terminator.
+func (c *jitCompiler) storePairJmpTerm(pc, bodyEnd, termPC int) (jitTerm, bool) {
+	dec := c.dec
+	if pc+2 != bodyEnd {
+		return nil, false
+	}
+	a, b := &dec[pc], &dec[pc+1]
+	if a.kind != decStx || b.kind != decStx || a.size != 8 || b.size != 8 ||
+		a.dst != uint8(R10) || b.dst != uint8(R10) {
+		return nil, false
+	}
+	i1, ok1 := fpIndex(a.off, 8)
+	i2, ok2 := fpIndex(b.off, 8)
+	if !ok1 || !ok2 {
+		return nil, false
+	}
+	in := &dec[termPC]
+	taken, okT := c.blockIdx[termPC+int(in.off)]
+	fall, okF := c.blockIdx[termPC+1]
+	if !okT || !okF {
+		return nil, false
+	}
+	s1, s2, d := a.src, b.src, in.dst
+	if !in.regSrc && in.op == OpJeq {
+		k := uint64(in.imm)
+		return func(st *runState) int32 {
+			binary.LittleEndian.PutUint64(st.stack[i1:], st.regs[s1])
+			binary.LittleEndian.PutUint64(st.stack[i2:], st.regs[s2])
+			if st.regs[d] == k {
+				return taken
+			}
+			return fall
+		}, true
+	}
+	cmp := jmpCmp(in.op)
+	if cmp == nil {
+		return nil, false
+	}
+	if in.regSrc {
+		s := in.src
+		return func(st *runState) int32 {
+			binary.LittleEndian.PutUint64(st.stack[i1:], st.regs[s1])
+			binary.LittleEndian.PutUint64(st.stack[i2:], st.regs[s2])
+			if cmp(st.regs[d], st.regs[s]) {
+				return taken
+			}
+			return fall
+		}, true
+	}
+	k := uint64(in.imm)
+	return func(st *runState) int32 {
+		binary.LittleEndian.PutUint64(st.stack[i1:], st.regs[s1])
+		binary.LittleEndian.PutUint64(st.stack[i2:], st.regs[s2])
+		if cmp(st.regs[d], k) {
+			return taken
+		}
+		return fall
+	}, true
+}
+
+// loadAddStoreExitTerm fuses the capture program's epilogue — the
+// sequence-counter bump `ldxdw r, [fp+o1]; add r, imm` with optional
+// spill and optional verdict `mov dst, imm` — straight into the exit.
+func (c *jitCompiler) loadAddStoreExitTerm(pc, bodyEnd int) (jitTerm, bool) {
+	dec := c.dec
+	if pc+1 >= bodyEnd {
+		return nil, false
+	}
+	ld, al := &dec[pc], &dec[pc+1]
+	if ld.kind != decLdx || ld.size != 8 || ld.src != uint8(R10) ||
+		al.kind != decALU64 || al.op != OpAdd || al.regSrc || al.dst != ld.dst {
+		return nil, false
+	}
+	i1, ok := fpIndex(ld.off, 8)
+	if !ok {
+		return nil, false
+	}
+	d, k := ld.dst, uint64(al.imm)
+	q := pc + 2
+	hasStx, i2 := false, 0
+	if q < bodyEnd {
+		if stx := &dec[q]; stx.kind == decStx && stx.size == 8 &&
+			stx.dst == uint8(R10) && stx.src == d {
+			if idx, ok2 := fpIndex(stx.off, 8); ok2 {
+				hasStx, i2 = true, idx
+				q++
+			}
+		}
+	}
+	hasMov, movD, movK := false, uint8(0), uint64(0)
+	if q < bodyEnd {
+		switch mv := &dec[q]; {
+		case mv.kind == decALU64 && mv.op == OpMov && !mv.regSrc && q == bodyEnd-1:
+			hasMov, movD, movK = true, mv.dst, uint64(mv.imm)
+			q = bodyEnd
+		case mv.kind == decLdImm64 && q == bodyEnd-2:
+			hasMov, movD, movK = true, mv.dst, mv.imm64
+			q = bodyEnd
+		}
+	}
+	if q != bodyEnd {
+		return nil, false
+	}
+	c.readAt(i1)
+	return func(st *runState) int32 {
+		v := binary.LittleEndian.Uint64(st.stack[i1:]) + k
+		st.regs[d] = v
+		if hasStx {
+			binary.LittleEndian.PutUint64(st.stack[i2:], v)
+		}
+		if hasMov {
+			st.regs[movD] = movK
+		}
+		return blkExit
+	}, true
+}
+
+// movExitTerm fuses `mov dst, imm; exit` into one terminator. The
+// candidate instruction must be the last one before the exit (a lddw
+// occupies two slots).
+func (c *jitCompiler) movExitTerm(pc, bodyEnd int) (jitTerm, bool) {
+	in := &c.dec[pc]
+	switch {
+	case in.kind == decALU64 && in.op == OpMov && !in.regSrc && pc == bodyEnd-1:
+		d, k := in.dst, uint64(in.imm)
+		return func(st *runState) int32 {
+			st.regs[d] = k
+			return blkExit
+		}, true
+	case in.kind == decLdImm64 && pc == bodyEnd-2:
+		d, k := in.dst, in.imm64
+		return func(st *runState) int32 {
+			st.regs[d] = k
+			return blkExit
+		}, true
+	}
+	return nil, false
+}
+
+// ---------------------------------------------------------------------------
+// Fusions
+
+// argMode describes how one helper argument is produced by a fused
+// call's setup preamble.
+type argMode uint8
+
+const (
+	argReg      argMode = iota // current value of a register
+	argConst                   // compile-time constant
+	argRegConst                // register value plus a constant
+)
+
+type argSpec struct {
+	mode argMode
+	reg  uint8
+	c    uint64
+}
+
+// fuseCallPreamble matches the capture/prefetch call idiom — a run of
+// mov-imm / mov-reg / add-imm / lddw instructions that only set up
+// R1–R5, immediately followed by a helper call — and compiles the
+// whole sequence into a single closure that materializes the argument
+// values directly. Skipping the actual R1–R5 writes is unobservable:
+// the call clobbers those registers to the same poison value the
+// interpreter uses, so the post-call register file is identical.
+func (c *jitCompiler) fuseCallPreamble(pc, end int) (jitOp, int, bool) {
+	dec := c.dec
+	var specs [5]argSpec
+	var set [5]bool
+	for k := 0; k < 5; k++ {
+		specs[k] = argSpec{mode: argReg, reg: uint8(R1) + uint8(k)}
+	}
+	matched := 0
+	j := pc
+scan:
+	for j < end {
+		in := &dec[j]
+		switch {
+		case in.kind == decALU64 && in.op == OpMov && !in.regSrc &&
+			in.dst >= uint8(R1) && in.dst <= uint8(R5):
+			specs[in.dst-1] = argSpec{mode: argConst, c: uint64(in.imm)}
+			set[in.dst-1] = true
+		case in.kind == decALU64 && in.op == OpMov && in.regSrc &&
+			in.dst >= uint8(R1) && in.dst <= uint8(R5):
+			if in.src >= uint8(R1) && in.src <= uint8(R5) && set[in.src-1] {
+				specs[in.dst-1] = specs[in.src-1]
+			} else {
+				specs[in.dst-1] = argSpec{mode: argReg, reg: in.src}
+			}
+			set[in.dst-1] = true
+		case in.kind == decALU64 && in.op == OpAdd && !in.regSrc &&
+			in.dst >= uint8(R1) && in.dst <= uint8(R5) && set[in.dst-1]:
+			s := &specs[in.dst-1]
+			switch s.mode {
+			case argConst:
+				s.c += uint64(in.imm)
+			case argReg:
+				s.mode = argRegConst
+				s.c = uint64(in.imm)
+			default:
+				s.c += uint64(in.imm)
+			}
+		case in.kind == decLdImm64 && in.dst >= uint8(R1) && in.dst <= uint8(R5):
+			specs[in.dst-1] = argSpec{mode: argConst, c: in.imm64}
+			set[in.dst-1] = true
+			matched++
+			j += 2
+			continue scan
+		default:
+			break scan
+		}
+		matched++
+		j++
+	}
+	if matched == 0 || j >= end || dec[j].kind != decCall || dec[j].helper == nil {
+		return nil, 0, false
+	}
+
+	// Stack-wipe analysis: any argument that can name a frame address
+	// is a potential helper read. fp-relative and in-frame constant
+	// arguments contribute their static index; a plain register value
+	// could be anything, so it forces the full wipe.
+	for k := 0; k < 5; k++ {
+		switch s := specs[k]; s.mode {
+		case argRegConst:
+			// fp + constant: the offset is known; anything else could
+			// carry a computed frame pointer.
+			if off := int64(s.c); s.reg == uint8(R10) && off >= -StackSize && off <= 0 {
+				c.readAt(StackSize + int(off))
+			} else {
+				c.dynamicRead = true
+			}
+		case argConst:
+			if s.c >= stackTop-StackSize && s.c < stackTop {
+				c.readAt(int(s.c - (stackTop - StackSize)))
+			}
+		default:
+			c.dynamicRead = true
+		}
+	}
+
+	call := &dec[j]
+	fn, hname := call.helper, call.hname
+	callPC := j
+	progName := c.p.Name
+	sp := specs
+	op := func(st *runState) bool {
+		var hargs [5]uint64
+		for k := 0; k < 5; k++ {
+			switch s := &sp[k]; s.mode {
+			case argConst:
+				hargs[k] = s.c
+			case argReg:
+				hargs[k] = st.regs[s.reg]
+			default:
+				hargs[k] = st.regs[s.reg] + s.c
+			}
+		}
+		r0, err := fn(&st.ctx, hargs)
+		if err != nil {
+			st.err = fmt.Errorf("ebpf: %s @%d: helper %s: %w", progName, callPC, hname, err)
+			return false
+		}
+		st.regs[R0] = r0
+		for r := R1; r <= R5; r++ {
+			st.regs[r] = poison
+		}
+		return true
+	}
+	return op, j + 1, true
+}
+
+// fuseStorePair fuses two consecutive fp-relative 8-byte register
+// stores (the argument-spill prologue every program opens with).
+func (c *jitCompiler) fuseStorePair(pc, end int) (jitOp, int, bool) {
+	dec := c.dec
+	if pc+1 >= end {
+		return nil, 0, false
+	}
+	a, b := &dec[pc], &dec[pc+1]
+	if a.kind != decStx || b.kind != decStx || a.size != 8 || b.size != 8 ||
+		a.dst != uint8(R10) || b.dst != uint8(R10) {
+		return nil, 0, false
+	}
+	i1, ok1 := fpIndex(a.off, 8)
+	i2, ok2 := fpIndex(b.off, 8)
+	if !ok1 || !ok2 {
+		return nil, 0, false
+	}
+	s1, s2 := a.src, b.src
+	op := func(st *runState) bool {
+		binary.LittleEndian.PutUint64(st.stack[i1:], st.regs[s1])
+		binary.LittleEndian.PutUint64(st.stack[i2:], st.regs[s2])
+		return true
+	}
+	return op, pc + 2, true
+}
+
+// fuseLoadAddStore fuses `ldxdw r, [fp+o1]; add r, imm` and the
+// optional trailing `stxdw [fp+o2], r` — the capture program's
+// sequence-counter bump.
+func (c *jitCompiler) fuseLoadAddStore(pc, end int) (jitOp, int, bool) {
+	dec := c.dec
+	if pc+1 >= end {
+		return nil, 0, false
+	}
+	ld, al := &dec[pc], &dec[pc+1]
+	if ld.kind != decLdx || ld.size != 8 || ld.src != uint8(R10) ||
+		al.kind != decALU64 || al.op != OpAdd || al.regSrc || al.dst != ld.dst {
+		return nil, 0, false
+	}
+	i1, ok := fpIndex(ld.off, 8)
+	if !ok {
+		return nil, 0, false
+	}
+	c.readAt(i1)
+	d, k := ld.dst, uint64(al.imm)
+	if pc+2 < end {
+		if stx := &dec[pc+2]; stx.kind == decStx && stx.size == 8 &&
+			stx.dst == uint8(R10) && stx.src == d {
+			if i2, ok2 := fpIndex(stx.off, 8); ok2 {
+				op := func(st *runState) bool {
+					v := binary.LittleEndian.Uint64(st.stack[i1:]) + k
+					st.regs[d] = v
+					binary.LittleEndian.PutUint64(st.stack[i2:], v)
+					return true
+				}
+				return op, pc + 3, true
+			}
+		}
+	}
+	op := func(st *runState) bool {
+		st.regs[d] = binary.LittleEndian.Uint64(st.stack[i1:]) + k
+		return true
+	}
+	return op, pc + 2, true
+}
+
+// ---------------------------------------------------------------------------
+// Single-instruction templates
+
+// compileOne translates one decoded instruction into a closure.
+func (c *jitCompiler) compileOne(pc int) (jitOp, int, bool) {
+	in := &c.dec[pc]
+	switch in.kind {
+	case decALU64:
+		op := alu64Op(in)
+		return op, pc + 1, op != nil
+	case decALU32:
+		op := alu32Op(in)
+		return op, pc + 1, op != nil
+	case decLdImm64:
+		d, k := in.dst, in.imm64
+		return func(st *runState) bool {
+			st.regs[d] = k
+			return true
+		}, pc + 2, true
+	case decLdx:
+		return c.ldxOp(in, pc), pc + 1, true
+	case decStx:
+		return c.stxOp(in, pc), pc + 1, true
+	case decSt:
+		return c.stOp(in, pc), pc + 1, true
+	case decCall:
+		if in.helper == nil {
+			return nil, 0, false
+		}
+		// A call with no fusable preamble: argument values are whatever
+		// the registers hold, which may include computed stack
+		// pointers — full wipe.
+		c.dynamicRead = true
+		fn, hname, progName, callPC := in.helper, in.hname, c.p.Name, pc
+		return func(st *runState) bool {
+			var hargs [5]uint64
+			copy(hargs[:], st.regs[R1:R6])
+			r0, err := fn(&st.ctx, hargs)
+			if err != nil {
+				st.err = fmt.Errorf("ebpf: %s @%d: helper %s: %w", progName, callPC, hname, err)
+				return false
+			}
+			st.regs[R0] = r0
+			for r := R1; r <= R5; r++ {
+				st.regs[r] = poison
+			}
+			return true
+		}, pc + 1, true
+	}
+	return nil, 0, false
+}
+
+// ldxOp loads through a register base; the fp-static form skips the
+// runtime bounds check (R10 is read-only, so the address is known).
+func (c *jitCompiler) ldxOp(in *decoded, pc int) jitOp {
+	d, size := in.dst, int(in.size)
+	if in.src == uint8(R10) {
+		if idx, ok := fpIndex(in.off, size); ok {
+			c.readAt(idx)
+			switch size {
+			case 1:
+				return func(st *runState) bool {
+					st.regs[d] = uint64(st.stack[idx])
+					return true
+				}
+			case 2:
+				return func(st *runState) bool {
+					st.regs[d] = uint64(binary.LittleEndian.Uint16(st.stack[idx:]))
+					return true
+				}
+			case 4:
+				return func(st *runState) bool {
+					st.regs[d] = uint64(binary.LittleEndian.Uint32(st.stack[idx:]))
+					return true
+				}
+			default:
+				return func(st *runState) bool {
+					st.regs[d] = binary.LittleEndian.Uint64(st.stack[idx:])
+					return true
+				}
+			}
+		}
+	}
+	c.dynamicRead = true
+	s, off, progName := in.src, int64(in.off), c.p.Name
+	return func(st *runState) bool {
+		addr := st.regs[s] + uint64(off)
+		i, err := stackIndex(addr, size)
+		if err != nil {
+			st.err = fmt.Errorf("ebpf: %s @%d: %w", progName, pc, err)
+			return false
+		}
+		st.regs[d] = loadSized(st.stack[i:], size)
+		return true
+	}
+}
+
+// stxOp stores a register through a register base.
+func (c *jitCompiler) stxOp(in *decoded, pc int) jitOp {
+	s, size := in.src, int(in.size)
+	if in.dst == uint8(R10) {
+		if idx, ok := fpIndex(in.off, size); ok {
+			switch size {
+			case 1:
+				return func(st *runState) bool {
+					st.stack[idx] = byte(st.regs[s])
+					return true
+				}
+			case 2:
+				return func(st *runState) bool {
+					binary.LittleEndian.PutUint16(st.stack[idx:], uint16(st.regs[s]))
+					return true
+				}
+			case 4:
+				return func(st *runState) bool {
+					binary.LittleEndian.PutUint32(st.stack[idx:], uint32(st.regs[s]))
+					return true
+				}
+			default:
+				return func(st *runState) bool {
+					binary.LittleEndian.PutUint64(st.stack[idx:], st.regs[s])
+					return true
+				}
+			}
+		}
+	}
+	d, off, progName := in.dst, int64(in.off), c.p.Name
+	return func(st *runState) bool {
+		addr := st.regs[d] + uint64(off)
+		i, err := stackIndex(addr, size)
+		if err != nil {
+			st.err = fmt.Errorf("ebpf: %s @%d: %w", progName, pc, err)
+			return false
+		}
+		storeSized(st.stack[i:], size, st.regs[s])
+		return true
+	}
+}
+
+// stOp stores an immediate through a register base.
+func (c *jitCompiler) stOp(in *decoded, pc int) jitOp {
+	size, k := int(in.size), uint64(in.imm)
+	if in.dst == uint8(R10) {
+		if idx, ok := fpIndex(in.off, size); ok {
+			switch size {
+			case 1:
+				return func(st *runState) bool {
+					st.stack[idx] = byte(k)
+					return true
+				}
+			case 2:
+				return func(st *runState) bool {
+					binary.LittleEndian.PutUint16(st.stack[idx:], uint16(k))
+					return true
+				}
+			case 4:
+				return func(st *runState) bool {
+					binary.LittleEndian.PutUint32(st.stack[idx:], uint32(k))
+					return true
+				}
+			default:
+				return func(st *runState) bool {
+					binary.LittleEndian.PutUint64(st.stack[idx:], k)
+					return true
+				}
+			}
+		}
+	}
+	d, off, progName := in.dst, int64(in.off), c.p.Name
+	return func(st *runState) bool {
+		addr := st.regs[d] + uint64(off)
+		i, err := stackIndex(addr, size)
+		if err != nil {
+			st.err = fmt.Errorf("ebpf: %s @%d: %w", progName, pc, err)
+			return false
+		}
+		storeSized(st.stack[i:], size, k)
+		return true
+	}
+}
+
+// alu64Op specializes one 64-bit ALU instruction. Division and modulo
+// by a zero immediate are rejected by the verifier, so the immediate
+// forms need no zero branch; register forms keep the kernel's
+// div-by-zero semantics inline.
+func alu64Op(in *decoded) jitOp {
+	d := in.dst
+	if in.regSrc {
+		s := in.src
+		switch in.op {
+		case OpAdd:
+			return func(st *runState) bool { st.regs[d] += st.regs[s]; return true }
+		case OpSub:
+			return func(st *runState) bool { st.regs[d] -= st.regs[s]; return true }
+		case OpMul:
+			return func(st *runState) bool { st.regs[d] *= st.regs[s]; return true }
+		case OpDiv:
+			return func(st *runState) bool {
+				if v := st.regs[s]; v == 0 {
+					st.regs[d] = 0
+				} else {
+					st.regs[d] /= v
+				}
+				return true
+			}
+		case OpMod:
+			return func(st *runState) bool {
+				if v := st.regs[s]; v != 0 {
+					st.regs[d] %= v
+				}
+				return true
+			}
+		case OpAnd:
+			return func(st *runState) bool { st.regs[d] &= st.regs[s]; return true }
+		case OpOr:
+			return func(st *runState) bool { st.regs[d] |= st.regs[s]; return true }
+		case OpXor:
+			return func(st *runState) bool { st.regs[d] ^= st.regs[s]; return true }
+		case OpLsh:
+			return func(st *runState) bool { st.regs[d] <<= st.regs[s] & 63; return true }
+		case OpRsh:
+			return func(st *runState) bool { st.regs[d] >>= st.regs[s] & 63; return true }
+		case OpArsh:
+			return func(st *runState) bool {
+				st.regs[d] = uint64(int64(st.regs[d]) >> (st.regs[s] & 63))
+				return true
+			}
+		case OpNeg:
+			return func(st *runState) bool {
+				st.regs[d] = uint64(-int64(st.regs[d]))
+				return true
+			}
+		case OpMov:
+			return func(st *runState) bool { st.regs[d] = st.regs[s]; return true }
+		}
+		return nil
+	}
+	k := uint64(in.imm)
+	switch in.op {
+	case OpAdd:
+		return func(st *runState) bool { st.regs[d] += k; return true }
+	case OpSub:
+		return func(st *runState) bool { st.regs[d] -= k; return true }
+	case OpMul:
+		return func(st *runState) bool { st.regs[d] *= k; return true }
+	case OpDiv:
+		if k == 0 {
+			return nil // verifier-rejected; leave it to the interpreter
+		}
+		return func(st *runState) bool { st.regs[d] /= k; return true }
+	case OpMod:
+		if k == 0 {
+			return nil
+		}
+		return func(st *runState) bool { st.regs[d] %= k; return true }
+	case OpAnd:
+		return func(st *runState) bool { st.regs[d] &= k; return true }
+	case OpOr:
+		return func(st *runState) bool { st.regs[d] |= k; return true }
+	case OpXor:
+		return func(st *runState) bool { st.regs[d] ^= k; return true }
+	case OpLsh:
+		sh := k & 63
+		return func(st *runState) bool { st.regs[d] <<= sh; return true }
+	case OpRsh:
+		sh := k & 63
+		return func(st *runState) bool { st.regs[d] >>= sh; return true }
+	case OpArsh:
+		sh := k & 63
+		return func(st *runState) bool {
+			st.regs[d] = uint64(int64(st.regs[d]) >> sh)
+			return true
+		}
+	case OpNeg:
+		return func(st *runState) bool {
+			st.regs[d] = uint64(-int64(st.regs[d]))
+			return true
+		}
+	case OpMov:
+		return func(st *runState) bool { st.regs[d] = k; return true }
+	}
+	return nil
+}
+
+// alu32Op specializes one 32-bit ALU instruction; results zero the
+// upper half, as in the interpreter and on hardware.
+func alu32Op(in *decoded) jitOp {
+	d := in.dst
+	if in.regSrc {
+		s := in.src
+		switch in.op {
+		case OpAdd:
+			return func(st *runState) bool {
+				st.regs[d] = uint64(uint32(st.regs[d]) + uint32(st.regs[s]))
+				return true
+			}
+		case OpSub:
+			return func(st *runState) bool {
+				st.regs[d] = uint64(uint32(st.regs[d]) - uint32(st.regs[s]))
+				return true
+			}
+		case OpMul:
+			return func(st *runState) bool {
+				st.regs[d] = uint64(uint32(st.regs[d]) * uint32(st.regs[s]))
+				return true
+			}
+		case OpDiv:
+			return func(st *runState) bool {
+				if v := uint32(st.regs[s]); v == 0 {
+					st.regs[d] = 0
+				} else {
+					st.regs[d] = uint64(uint32(st.regs[d]) / v)
+				}
+				return true
+			}
+		case OpMod:
+			return func(st *runState) bool {
+				dv := uint32(st.regs[d])
+				if v := uint32(st.regs[s]); v != 0 {
+					dv %= v
+				}
+				st.regs[d] = uint64(dv)
+				return true
+			}
+		case OpAnd:
+			return func(st *runState) bool {
+				st.regs[d] = uint64(uint32(st.regs[d]) & uint32(st.regs[s]))
+				return true
+			}
+		case OpOr:
+			return func(st *runState) bool {
+				st.regs[d] = uint64(uint32(st.regs[d]) | uint32(st.regs[s]))
+				return true
+			}
+		case OpXor:
+			return func(st *runState) bool {
+				st.regs[d] = uint64(uint32(st.regs[d]) ^ uint32(st.regs[s]))
+				return true
+			}
+		case OpLsh:
+			return func(st *runState) bool {
+				st.regs[d] = uint64(uint32(st.regs[d]) << (uint32(st.regs[s]) & 31))
+				return true
+			}
+		case OpRsh:
+			return func(st *runState) bool {
+				st.regs[d] = uint64(uint32(st.regs[d]) >> (uint32(st.regs[s]) & 31))
+				return true
+			}
+		case OpArsh:
+			return func(st *runState) bool {
+				st.regs[d] = uint64(uint32(int32(uint32(st.regs[d])) >> (uint32(st.regs[s]) & 31)))
+				return true
+			}
+		case OpNeg:
+			return func(st *runState) bool {
+				st.regs[d] = uint64(uint32(-int32(uint32(st.regs[d]))))
+				return true
+			}
+		case OpMov:
+			return func(st *runState) bool {
+				st.regs[d] = uint64(uint32(st.regs[s]))
+				return true
+			}
+		}
+		return nil
+	}
+	k := uint32(in.imm)
+	switch in.op {
+	case OpAdd:
+		return func(st *runState) bool {
+			st.regs[d] = uint64(uint32(st.regs[d]) + k)
+			return true
+		}
+	case OpSub:
+		return func(st *runState) bool {
+			st.regs[d] = uint64(uint32(st.regs[d]) - k)
+			return true
+		}
+	case OpMul:
+		return func(st *runState) bool {
+			st.regs[d] = uint64(uint32(st.regs[d]) * k)
+			return true
+		}
+	case OpDiv:
+		if k == 0 {
+			return nil
+		}
+		return func(st *runState) bool {
+			st.regs[d] = uint64(uint32(st.regs[d]) / k)
+			return true
+		}
+	case OpMod:
+		if k == 0 {
+			return nil
+		}
+		return func(st *runState) bool {
+			st.regs[d] = uint64(uint32(st.regs[d]) % k)
+			return true
+		}
+	case OpAnd:
+		return func(st *runState) bool {
+			st.regs[d] = uint64(uint32(st.regs[d]) & k)
+			return true
+		}
+	case OpOr:
+		return func(st *runState) bool {
+			st.regs[d] = uint64(uint32(st.regs[d]) | k)
+			return true
+		}
+	case OpXor:
+		return func(st *runState) bool {
+			st.regs[d] = uint64(uint32(st.regs[d]) ^ k)
+			return true
+		}
+	case OpLsh:
+		sh := k & 31
+		return func(st *runState) bool {
+			st.regs[d] = uint64(uint32(st.regs[d]) << sh)
+			return true
+		}
+	case OpRsh:
+		sh := k & 31
+		return func(st *runState) bool {
+			st.regs[d] = uint64(uint32(st.regs[d]) >> sh)
+			return true
+		}
+	case OpArsh:
+		sh := k & 31
+		return func(st *runState) bool {
+			st.regs[d] = uint64(uint32(int32(uint32(st.regs[d])) >> sh))
+			return true
+		}
+	case OpNeg:
+		return func(st *runState) bool {
+			st.regs[d] = uint64(uint32(-int32(uint32(st.regs[d]))))
+			return true
+		}
+	case OpMov:
+		return func(st *runState) bool {
+			st.regs[d] = uint64(k)
+			return true
+		}
+	}
+	return nil
+}
+
+// jmpTerm specializes a conditional jump into a terminator holding its
+// two successor block indexes. JMP32 forms sign-extend the low word
+// exactly as the interpreter does before comparing.
+func jmpTerm(in *decoded, taken, fall int32) jitTerm {
+	d := in.dst
+	j32 := in.kind == decJump32
+	sext := func(v uint64) uint64 { return uint64(int64(int32(uint32(v)))) }
+	if in.regSrc {
+		s := in.src
+		cmp := jmpCmp(in.op)
+		if cmp == nil {
+			return nil
+		}
+		if j32 {
+			return func(st *runState) int32 {
+				if cmp(sext(st.regs[d]), sext(st.regs[s])) {
+					return taken
+				}
+				return fall
+			}
+		}
+		return func(st *runState) int32 {
+			if cmp(st.regs[d], st.regs[s]) {
+				return taken
+			}
+			return fall
+		}
+	}
+	k := uint64(in.imm)
+	if j32 {
+		k = sext(k)
+	}
+	cmp := jmpCmp(in.op)
+	if cmp == nil {
+		return nil
+	}
+	if j32 {
+		return func(st *runState) int32 {
+			if cmp(sext(st.regs[d]), k) {
+				return taken
+			}
+			return fall
+		}
+	}
+	return func(st *runState) int32 {
+		if cmp(st.regs[d], k) {
+			return taken
+		}
+		return fall
+	}
+}
+
+// jmpCmp returns the comparison predicate for a jump operation.
+func jmpCmp(op uint8) func(dst, src uint64) bool {
+	switch op {
+	case OpJeq:
+		return func(d, s uint64) bool { return d == s }
+	case OpJne:
+		return func(d, s uint64) bool { return d != s }
+	case OpJgt:
+		return func(d, s uint64) bool { return d > s }
+	case OpJge:
+		return func(d, s uint64) bool { return d >= s }
+	case OpJlt:
+		return func(d, s uint64) bool { return d < s }
+	case OpJle:
+		return func(d, s uint64) bool { return d <= s }
+	case OpJset:
+		return func(d, s uint64) bool { return d&s != 0 }
+	case OpJsgt:
+		return func(d, s uint64) bool { return int64(d) > int64(s) }
+	case OpJsge:
+		return func(d, s uint64) bool { return int64(d) >= int64(s) }
+	case OpJslt:
+		return func(d, s uint64) bool { return int64(d) < int64(s) }
+	case OpJsle:
+		return func(d, s uint64) bool { return int64(d) <= int64(s) }
+	}
+	return nil
+}

@@ -1,0 +1,512 @@
+package ebpf
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// Differential tests for the template JIT: every observable of a run —
+// R0, the error text, the final register file, the map contents, the
+// helper call sequence (via a recording kfunc, a counting clock and the
+// trace log) and the Runs counter — must be identical between the JIT
+// and the reference interpreter for every program the verifier accepts.
+
+// kfuncProbe is a test-only kfunc id used to record call sequences.
+const kfuncProbe = KfuncBase + 77
+
+// engineEnv is one VM prepared for a differential run: a registered
+// hash map, a deterministic counting clock, a recording kfunc and a
+// recording trace log.
+type engineEnv struct {
+	vm     *VM
+	fd     int32
+	m      *Map
+	calls  []uint64 // kfuncProbe's observed first arguments
+	ticks  uint64   // counting clock state
+	printk []string
+}
+
+func newEngineEnv(t testing.TB) *engineEnv {
+	t.Helper()
+	e := &engineEnv{vm: NewVM()}
+	e.m = MustNewMap(MapTypeHash, "diff", 1024)
+	e.fd = e.vm.RegisterMap(e.m)
+	e.vm.SetClock(func() uint64 {
+		e.ticks++
+		return e.ticks * 1000
+	})
+	e.vm.TraceLog = func(msg string) { e.printk = append(e.printk, msg) }
+	e.vm.MustRegisterHelper(kfuncProbe, "probe", func(ctx *CallContext, args [5]uint64) (uint64, error) {
+		e.calls = append(e.calls, args[0])
+		return args[0]*3 + uint64(len(e.calls)), nil
+	})
+	return e
+}
+
+// runBoth loads insns into two identical environments, executes the
+// program on the JIT (via Run) in one and on the interpreter (via
+// Interp) in the other, and fails the test on any observable
+// difference. It returns the common R0/err pair.
+func runBoth(t testing.TB, insns []Instruction, args ...uint64) (uint64, error) {
+	t.Helper()
+	je, ie := newEngineEnv(t), newEngineEnv(t)
+	jp, jerr := je.vm.Load("diff", insns)
+	ip, ierr := ie.vm.Load("diff", insns)
+	if (jerr == nil) != (ierr == nil) {
+		t.Fatalf("load disagreement: jit=%v interp=%v", jerr, ierr)
+	}
+	if jerr != nil {
+		t.Fatalf("load: %v", jerr)
+	}
+
+	jr0, jRunErr := jp.Run(nil, args...)
+	ir0, iRunErr := ip.Interp(nil, args...)
+
+	if (jRunErr == nil) != (iRunErr == nil) ||
+		(jRunErr != nil && jRunErr.Error() != iRunErr.Error()) {
+		t.Fatalf("error disagreement:\n  jit:    %v\n  interp: %v\n%s",
+			jRunErr, iRunErr, Disassemble(insns))
+	}
+	if jRunErr == nil {
+		if jr0 != ir0 {
+			t.Fatalf("R0 disagreement: jit=%#x interp=%#x\n%s", jr0, ir0, Disassemble(insns))
+		}
+		if jp.scratch.regs != ip.scratch.regs {
+			t.Fatalf("final register files differ:\n  jit:    %#x\n  interp: %#x\n%s",
+				jp.scratch.regs, ip.scratch.regs, Disassemble(insns))
+		}
+	}
+	if jp.Runs() != ip.Runs() {
+		t.Fatalf("Runs disagreement: jit=%d interp=%d", jp.Runs(), ip.Runs())
+	}
+	if je.ticks != ie.ticks {
+		t.Fatalf("clock call count disagreement: jit=%d interp=%d", je.ticks, ie.ticks)
+	}
+	if fmt.Sprint(je.calls) != fmt.Sprint(ie.calls) {
+		t.Fatalf("kfunc call sequence disagreement:\n  jit:    %v\n  interp: %v",
+			je.calls, ie.calls)
+	}
+	if fmt.Sprint(je.printk) != fmt.Sprint(ie.printk) {
+		t.Fatalf("trace log disagreement:\n  jit:    %q\n  interp: %q", je.printk, ie.printk)
+	}
+	jm, im := je.m.Entries(), ie.m.Entries()
+	if fmt.Sprint(jm) != fmt.Sprint(im) {
+		t.Fatalf("map state disagreement:\n  jit:    %v\n  interp: %v", jm, im)
+	}
+	return jr0, jRunErr
+}
+
+func TestParseEngine(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Engine
+		ok   bool
+	}{
+		{"", EngineJIT, true},
+		{"jit", EngineJIT, true},
+		{"interp", EngineInterp, true},
+		{"interpreter", EngineInterp, true},
+		{"llvm", EngineJIT, false},
+	} {
+		got, err := ParseEngine(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("ParseEngine(%q) = %v, %v; want %v, ok=%v", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+	if EngineJIT.String() != "jit" || EngineInterp.String() != "interp" {
+		t.Errorf("engine names: %q %q", EngineJIT.String(), EngineInterp.String())
+	}
+}
+
+// TestEngineKnob checks that Load honors the default-engine selection.
+func TestEngineKnob(t *testing.T) {
+	defer SetDefaultEngine(EngineJIT)
+	insns := benchProgram()
+
+	SetDefaultEngine(EngineInterp)
+	if DefaultEngine() != EngineInterp {
+		t.Fatal("SetDefaultEngine(EngineInterp) did not take")
+	}
+	p := NewVM().MustLoad("knob", insns)
+	if p.jit != nil {
+		t.Fatal("interp engine still compiled a JIT program")
+	}
+
+	SetDefaultEngine(EngineJIT)
+	p = NewVM().MustLoad("knob", insns)
+	if p.jit == nil {
+		t.Fatal("jit engine did not compile the bench program")
+	}
+}
+
+// TestEnginesAgreeAllOpcodes asserts that every opcode the verifier
+// accepts is implemented by both engines and produces identical
+// results: each table entry is a minimal verifiable program exercising
+// one (class, op, operand-mode) combination, and each must compile to
+// the JIT form (no silent interpreter fallback for supported opcodes).
+func TestEnginesAgreeAllOpcodes(t *testing.T) {
+	// Operand values chosen to expose sign-extension, truncation and
+	// shift-masking differences: a negative 32-bit pattern, a value
+	// with high bits set, and a small positive.
+	const a, b = 0xffff_fff0_8000_0011, 7
+
+	type alu struct {
+		name string
+		op   uint8
+	}
+	alus := []alu{
+		{"add", OpAdd}, {"sub", OpSub}, {"mul", OpMul}, {"div", OpDiv},
+		{"or", OpOr}, {"and", OpAnd}, {"lsh", OpLsh}, {"rsh", OpRsh},
+		{"mod", OpMod}, {"xor", OpXor}, {"mov", OpMov}, {"arsh", OpArsh},
+	}
+	for _, cls := range []struct {
+		name  string
+		class uint8
+	}{{"alu64", ClassALU64}, {"alu32", ClassALU}} {
+		for _, op := range alus {
+			for _, src := range []struct {
+				name string
+				bit  uint8
+			}{{"imm", SrcK}, {"reg", SrcX}} {
+				insns := []Instruction{
+					{Op: ClassALU64 | OpMov | SrcK, Dst: R1, Imm: 0x11}, // overwritten by args below
+					{Op: cls.class | op.op | src.bit, Dst: R1, Src: R2, Imm: 13},
+					{Op: ClassALU64 | OpMov | SrcX, Dst: R0, Src: R1},
+					{Op: ClassJMP | OpExit},
+				}
+				t.Run(cls.name+"/"+op.name+"/"+src.name, func(t *testing.T) {
+					assertJITCompiled(t, insns)
+					runBoth(t, insns, a, b)
+					runBoth(t, insns, b, a)
+				})
+			}
+		}
+		// neg has no source operand.
+		insns := []Instruction{
+			{Op: cls.class | OpNeg, Dst: R1},
+			{Op: ClassALU64 | OpMov | SrcX, Dst: R0, Src: R1},
+			{Op: ClassJMP | OpExit},
+		}
+		t.Run(cls.name+"/neg", func(t *testing.T) {
+			assertJITCompiled(t, insns)
+			runBoth(t, insns, a)
+			runBoth(t, insns, b)
+		})
+	}
+
+	jmps := []alu{
+		{"jeq", OpJeq}, {"jgt", OpJgt}, {"jge", OpJge}, {"jset", OpJset},
+		{"jne", OpJne}, {"jsgt", OpJsgt}, {"jsge", OpJsge}, {"jlt", OpJlt},
+		{"jle", OpJle}, {"jslt", OpJslt}, {"jsle", OpJsle},
+	}
+	for _, cls := range []struct {
+		name  string
+		class uint8
+	}{{"jmp", ClassJMP}, {"jmp32", ClassJMP32}} {
+		for _, op := range jmps {
+			for _, src := range []struct {
+				name string
+				bit  uint8
+			}{{"imm", SrcK}, {"reg", SrcX}} {
+				insns := []Instruction{
+					{Op: cls.class | op.op | src.bit, Dst: R1, Src: R2, Imm: -5, Off: 2},
+					{Op: ClassALU64 | OpMov | SrcK, Dst: R0, Imm: 1},
+					{Op: ClassJMP | OpExit},
+					{Op: ClassALU64 | OpMov | SrcK, Dst: R0, Imm: 2},
+					{Op: ClassJMP | OpExit},
+				}
+				t.Run(cls.name+"/"+op.name+"/"+src.name, func(t *testing.T) {
+					assertJITCompiled(t, insns)
+					for _, pair := range [][2]uint64{
+						{a, b}, {b, a}, {a, a},
+						{0xffff_ffff, 0x1_0000_0001}, // equal low words, unequal values
+						{0x8000_0000, 5},             // negative as int32, positive as int64
+					} {
+						runBoth(t, insns, pair[0], pair[1])
+					}
+				})
+			}
+		}
+	}
+
+	t.Run("ja", func(t *testing.T) {
+		insns := []Instruction{
+			{Op: ClassJMP | OpJa, Off: 2},
+			{Op: ClassALU64 | OpMov | SrcK, Dst: R0, Imm: 1},
+			{Op: ClassJMP | OpExit},
+			{Op: ClassALU64 | OpMov | SrcK, Dst: R0, Imm: 2},
+			{Op: ClassJMP | OpExit},
+		}
+		assertJITCompiled(t, insns)
+		runBoth(t, insns)
+	})
+
+	t.Run("lddw", func(t *testing.T) {
+		insns := []Instruction{
+			{Op: OpLdImm64, Dst: R0, Imm: int32(-1)},
+			{Imm: int32(0x7eadbeef)},
+			{Op: ClassJMP | OpExit},
+		}
+		assertJITCompiled(t, insns)
+		if r0, _ := runBoth(t, insns); r0 != 0x7eadbeef_ffffffff {
+			t.Fatalf("lddw reassembly: got %#x", r0)
+		}
+	})
+
+	// Memory: every access width, fp-relative (static form) and via a
+	// copied frame pointer (dynamic form with runtime bounds checks).
+	for _, sz := range []struct {
+		name string
+		bits uint8
+	}{{"b", SizeB}, {"h", SizeH}, {"w", SizeW}, {"dw", SizeDW}} {
+		t.Run("mem/fp/"+sz.name, func(t *testing.T) {
+			insns := []Instruction{
+				{Op: ClassSTX | ModeMEM | sz.bits, Dst: R10, Src: R1, Off: -16},
+				{Op: ClassST | ModeMEM | sz.bits, Dst: R10, Off: -32, Imm: -2},
+				{Op: ClassLDX | ModeMEM | sz.bits, Dst: R0, Src: R10, Off: -16},
+				{Op: ClassLDX | ModeMEM | sz.bits, Dst: R3, Src: R10, Off: -32},
+				{Op: ClassALU64 | OpAdd | SrcX, Dst: R0, Src: R3},
+				{Op: ClassJMP | OpExit},
+			}
+			assertJITCompiled(t, insns)
+			runBoth(t, insns, a)
+		})
+		t.Run("mem/dyn/"+sz.name, func(t *testing.T) {
+			insns := []Instruction{
+				{Op: ClassALU64 | OpMov | SrcX, Dst: R2, Src: R10},
+				{Op: ClassALU64 | OpAdd | SrcK, Dst: R2, Imm: -64},
+				{Op: ClassSTX | ModeMEM | sz.bits, Dst: R2, Src: R1, Off: 8},
+				{Op: ClassLDX | ModeMEM | sz.bits, Dst: R0, Src: R2, Off: 8},
+				{Op: ClassJMP | OpExit},
+			}
+			assertJITCompiled(t, insns)
+			runBoth(t, insns, a)
+		})
+	}
+
+	t.Run("call", func(t *testing.T) {
+		insns := []Instruction{
+			{Op: ClassALU64 | OpMov | SrcX, Dst: R1, Src: R2},
+			{Op: ClassJMP | OpCall, Imm: kfuncProbe},
+			{Op: ClassJMP | OpExit},
+		}
+		assertJITCompiled(t, insns)
+		runBoth(t, insns, 1, 42)
+	})
+}
+
+func assertJITCompiled(t *testing.T, insns []Instruction) {
+	t.Helper()
+	e := newEngineEnv(t)
+	p, err := e.vm.Load("opcode", insns)
+	if err != nil {
+		t.Fatalf("verifier rejected the test program: %v\n%s", err, Disassemble(insns))
+	}
+	if p.jit == nil {
+		t.Fatalf("verifier-accepted program did not JIT-compile\n%s", Disassemble(insns))
+	}
+}
+
+// TestEnginesAgreeHelperIdioms covers the capture/prefetch program
+// shapes: fused map-helper preambles, kfunc calls with register
+// arguments and the self-disable tail.
+func TestEnginesAgreeHelperIdioms(t *testing.T) {
+	t.Run("mapUpdateLookup", func(t *testing.T) {
+		// runBoth environments register the map under the same fd.
+		fd := newEngineEnv(t).fd
+		insns := mapHelperProgram(fd)
+		assertJITCompiled(t, insns)
+		runBoth(t, insns, 3, 99)
+		runBoth(t, insns, 0, 0)
+	})
+	t.Run("captureShaped", func(t *testing.T) {
+		insns := benchProgram()
+		assertJITCompiled(t, insns)
+		runBoth(t, insns, 1, 17)
+		runBoth(t, insns, 2, 17) // filter miss path
+	})
+	t.Run("ktimeAndPrintk", func(t *testing.T) {
+		b := NewBuilder()
+		b.Call(HelperKtimeGetNS).
+			Mov64Reg(R6, R0).
+			Call(HelperKtimeGetNS).
+			Add64Reg(R0, R6).
+			Exit()
+		insns := b.MustProgram()
+		assertJITCompiled(t, insns)
+		runBoth(t, insns)
+	})
+	t.Run("kfuncRegArg", func(t *testing.T) {
+		// Prefetch-shaped: the kfunc argument is a register copy, not a
+		// constant — exercises the argReg spec and the full stack wipe.
+		b := NewBuilder()
+		b.Mov64Reg(R6, R1).
+			Add64Imm(R6, 5).
+			Mov64Reg(R1, R6).
+			Raw(Instruction{Op: ClassJMP | OpCall, Imm: kfuncProbe}).
+			Exit()
+		insns := b.MustProgram()
+		assertJITCompiled(t, insns)
+		runBoth(t, insns, 11)
+	})
+}
+
+// TestEnginesAgreeBudgetExhaustion: an infinite loop must abort with
+// the identical instruction-budget error on both engines — the JIT
+// charges the budget per block and hands the tail to the interpreter.
+func TestEnginesAgreeBudgetExhaustion(t *testing.T) {
+	insns := []Instruction{
+		{Op: ClassALU64 | OpMov | SrcK, Dst: R0, Imm: 0},
+		{Op: ClassALU64 | OpAdd | SrcK, Dst: R0, Imm: 1},
+		{Op: ClassJMP | OpJa, Off: -2},
+		{Op: ClassJMP | OpExit},
+	}
+	assertJITCompiled(t, insns)
+	_, err := runBoth(t, insns)
+	if err == nil || !strings.Contains(err.Error(), "instruction budget") {
+		t.Fatalf("want budget abort, got %v", err)
+	}
+}
+
+// TestEnginesAgreeNearBudget runs a loop whose instruction count lands
+// close to InsnBudget so the last blocks execute through the
+// interpreter fallback, then exits normally: the fallback must not
+// change the result.
+func TestEnginesAgreeNearBudget(t *testing.T) {
+	// sum(1..N) with 4 instructions per iteration; N chosen so the
+	// total lands within a few blocks of the budget.
+	n := int32(InsnBudget/4 - 2)
+	insns := []Instruction{
+		{Op: ClassALU64 | OpMov | SrcK, Dst: R0, Imm: 0},
+		{Op: ClassALU64 | OpMov | SrcK, Dst: R2, Imm: 0},
+		{Op: ClassALU64 | OpMov | SrcK, Dst: R1, Imm: n},
+		{Op: ClassJMP | OpJge | SrcX, Dst: R2, Src: R1, Off: 3},
+		{Op: ClassALU64 | OpAdd | SrcK, Dst: R2, Imm: 1},
+		{Op: ClassALU64 | OpAdd | SrcX, Dst: R0, Src: R2},
+		{Op: ClassJMP | OpJa, Off: -4},
+		{Op: ClassJMP | OpExit},
+	}
+	assertJITCompiled(t, insns)
+	want := uint64(n) * uint64(n+1) / 2
+	if r0, err := runBoth(t, insns); err != nil || r0 != want {
+		t.Fatalf("near-budget loop: got %d, %v; want %d", r0, err, want)
+	}
+}
+
+// TestJITScratchReuse: the span-based stack wipe must leave reruns
+// indistinguishable from fresh frames — a read of a slot the previous
+// run dirtied (but which this program can also read) sees zero.
+func TestJITScratchReuse(t *testing.T) {
+	// Writes fp-8, reads fp-16: the wipe span covers the read; the
+	// write slot may stay dirty but is unreadable.
+	insns := []Instruction{
+		{Op: ClassSTX | ModeMEM | SizeDW, Dst: R10, Src: R1, Off: -8},
+		{Op: ClassLDX | ModeMEM | SizeDW, Dst: R0, Src: R10, Off: -16},
+		{Op: ClassJMP | OpExit},
+	}
+	e := newEngineEnv(t)
+	p, err := e.vm.Load("reuse", insns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.jit == nil {
+		t.Fatal("did not compile")
+	}
+	if p.jit.zeroFrom <= 0 || p.jit.zeroFrom > StackSize-16 {
+		t.Fatalf("zeroFrom = %d; want a value covering the fp-16 read", p.jit.zeroFrom)
+	}
+	for i := 0; i < 4; i++ {
+		r0, err := p.Run(nil, 0xffff_ffff_ffff_ffff)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r0 != 0 {
+			t.Fatalf("run %d: read %#x from a slot that must be zero", i, r0)
+		}
+	}
+	// Interleave an interpreter run (full wipe) and repeat.
+	if r0, err := p.Interp(nil, 0xdead); err != nil || r0 != 0 {
+		t.Fatalf("interp run: %d, %v", r0, err)
+	}
+	if r0, err := p.Run(nil, 0xbeef); err != nil || r0 != 0 {
+		t.Fatalf("post-interp jit run: %d, %v", r0, err)
+	}
+}
+
+// TestJITCompilesRandomVerifiablePrograms: everything the generator
+// produces that passes the verifier must either compile or fall back,
+// and in both cases agree with the interpreter.
+func TestJITCompilesRandomVerifiablePrograms(t *testing.T) {
+	scratch := newEngineEnv(t)
+	const trials = 3000
+	accepted, compiled := 0, 0
+	for seed := int64(0); seed < trials; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		insns := randomProgram(rng, scratch.fd)
+		if Verify(insns, scratch.vm) != nil {
+			continue
+		}
+		accepted++
+		je := newEngineEnv(t)
+		if p, err := je.vm.Load("rand", insns); err == nil && p.jit != nil {
+			compiled++
+		}
+		runBoth(t, insns, rng.Uint64(), rng.Uint64())
+	}
+	if accepted == 0 {
+		t.Fatal("generator produced no verifiable programs")
+	}
+	if compiled == 0 {
+		t.Fatal("no accepted program JIT-compiled")
+	}
+	t.Logf("differential: %d/%d accepted, %d jitted", accepted, trials, compiled)
+}
+
+// FuzzJITvsInterp is the native differential fuzz target behind the
+// tests above: arbitrary bytes decode into an instruction stream; when
+// the verifier accepts it, the JIT and the interpreter must agree on
+// every observable. The seed corpus covers the capture/prefetch-shaped
+// programs, the helper idioms and a spread of generator output (the
+// same families FuzzVerifier seeds with, so known verifier crashers
+// double as engine-equivalence inputs).
+func FuzzJITvsInterp(f *testing.F) {
+	seedEnv := newEngineEnv(f)
+	addProgram := func(insns []Instruction) {
+		if data, err := MarshalInstructions(insns); err == nil {
+			f.Add(data)
+		}
+	}
+	addProgram(benchProgram())
+	addProgram(mapHelperProgram(seedEnv.fd))
+	addProgram([]Instruction{
+		{Op: ClassALU64 | OpMov | SrcK, Dst: R0, Imm: 0},
+		{Op: ClassJMP | OpExit},
+	})
+	addProgram([]Instruction{
+		{Op: ClassALU64 | OpMov | SrcX, Dst: R1, Src: R2},
+		{Op: ClassJMP | OpCall, Imm: kfuncProbe},
+		{Op: ClassJMP | OpExit},
+	})
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 24; i++ {
+		addProgram(randomProgram(rng, seedEnv.fd))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		insns, err := UnmarshalInstructions(data)
+		if err != nil {
+			return
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on %d-instruction stream: %v\n%s", len(insns), r, Disassemble(insns))
+			}
+		}()
+		if Verify(insns, seedEnv.vm) != nil {
+			return
+		}
+		runBoth(t, insns, 1, 2)
+	})
+}

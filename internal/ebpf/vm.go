@@ -99,6 +99,7 @@ type Program struct {
 	Name  string
 	insns []Instruction
 	dec   []decoded // pre-decoded text; see decode.go
+	jit   *jitProg  // compiled closure chain; nil on the interpreter engine
 	vm    *VM
 
 	// mapCache memoizes map-FD resolution: a dense fd-indexed snapshot
@@ -112,22 +113,34 @@ type Program struct {
 	// group ("the eBPF program will disable itself").
 	Enabled bool
 
-	// Runs counts completed executions (updated atomically).
-	Runs int64
-
 	// scratch is the reusable run state. A program belongs to one
 	// simulated kernel, whose probe dispatch is sequential, so a single
-	// buffer serves virtually every run; running arbitrates the rare
-	// concurrent Run (tests), which falls back to a fresh allocation.
+	// buffer serves virtually every run; state's owner bit arbitrates
+	// the rare concurrent Run (tests), which falls back to a fresh
+	// allocation.
 	scratch *runState
-	running atomic.Bool
+
+	// state packs the scratch-owner flag (bit 0) with the
+	// completed-run count (bits 1+): a successful scratch run releases
+	// the buffer and counts itself in one atomic add, which keeps the
+	// per-fault fast path at two lock-prefixed instructions instead of
+	// three (acquire, count, release).
+	state atomic.Uint64
 }
 
-// runState is the per-execution state: the call context and the
-// 512-byte stack frame, kept together so one allocation (reused across
-// runs) covers both.
+// Runs returns the number of completed (non-erroring) executions.
+func (p *Program) Runs() int64 { return int64(p.state.Load() >> 1) }
+
+// runState is the per-execution state: the call context, the register
+// file and the 512-byte stack frame, kept together so one allocation
+// (reused across runs) covers everything. Registers live here rather
+// than on the goroutine stack so the JIT's closures, the interpreter
+// and the budget handoff between them all see one machine state; err
+// carries a failing closure's error out of the block walk.
 type runState struct {
 	ctx   CallContext
+	regs  [numRegisters]uint64
+	err   error
 	stack [StackSize]byte
 }
 
@@ -149,6 +162,11 @@ func (vm *VM) Load(name string, insns []Instruction) (*Program, error) {
 		if fd >= 0 && int(fd) < len(p.mapCache) {
 			p.mapCache[fd] = m
 		}
+	}
+	if DefaultEngine() == EngineJIT {
+		// compileJIT returns nil for anything it cannot translate
+		// one-to-one; such programs stay on the interpreter.
+		p.jit = compileJIT(p)
 	}
 	return p, nil
 }
@@ -228,44 +246,110 @@ func stackIndex(addr uint64, size int) (int, error) {
 // Run executes the program with up to five u64 arguments in R1–R5 and
 // returns R0. Env is made available to helpers via the CallContext.
 //
-// The dispatch loop walks the pre-decoded instruction cache built at
-// Load time (decode.go): no opcode bit-masking, immediate
+// On the default JIT engine a run walks the closure chain compiled at
+// Load (jit.go); otherwise the dispatch loop walks the pre-decoded
+// instruction cache (decode.go): no opcode bit-masking, immediate
 // sign-extension, lddw reassembly or helper-table lookup happens per
-// step. Run state (call context + stack) is a single buffer reused
-// across sequential runs; concurrent runs of one program fall back to
-// a fresh buffer.
+// step on either engine. Run state (call context + registers + stack)
+// is a single buffer reused across sequential runs; concurrent runs of
+// one program fall back to a fresh buffer.
 func (p *Program) Run(env any, args ...uint64) (uint64, error) {
+	return p.launch(env, args, false)
+}
+
+// Interp executes the program on the reference interpreter regardless
+// of the engine it was loaded under — the escape hatch the equivalence
+// tests and the differential fuzzer compare the JIT against.
+func (p *Program) Interp(env any, args ...uint64) (uint64, error) {
+	return p.launch(env, args, true)
+}
+
+// launch prepares the machine state shared by both engines and
+// dispatches the run.
+func (p *Program) launch(env any, args []uint64, forceInterp bool) (uint64, error) {
 	if len(args) > 5 {
 		return 0, fmt.Errorf("ebpf: too many arguments (%d > 5)", len(args))
 	}
-	var regs [numRegisters]uint64
-	for i, a := range args {
-		regs[R1+Register(i)] = a
+	j := p.jit
+	if forceInterp {
+		j = nil
 	}
-	regs[R10] = stackTop
-
 	var st *runState
-	if p.running.CompareAndSwap(false, true) {
-		defer p.running.Store(false)
+	scratch := false
+	if s := p.state.Load(); s&1 == 0 && p.state.CompareAndSwap(s, s|1) {
+		scratch = true
 		if p.scratch == nil {
-			p.scratch = new(runState)
+			p.scratch = p.newRunState()
 		}
 		st = p.scratch
-		st.stack = [StackSize]byte{} // fresh runs see a zeroed frame
+		// Fresh runs see a zeroed frame. The JIT's read-span analysis
+		// bounds every address the program (or a helper, through an
+		// argument) can read, so only that suffix needs wiping on
+		// scratch reuse; the interpreter path and programs with
+		// dynamic addressing wipe everything.
+		if j != nil && j.zeroFrom > 0 {
+			clear(st.stack[j.zeroFrom:])
+		} else {
+			st.stack = [StackSize]byte{}
+		}
 	} else {
-		st = new(runState)
+		st = p.newRunState()
 	}
-	ctx := &st.ctx
-	*ctx = CallContext{VM: p.vm, Prog: p, stack: st.stack[:], Env: env}
+	st.regs = [numRegisters]uint64{}
+	for i, a := range args {
+		st.regs[R1+Register(i)] = a
+	}
+	st.regs[R10] = stackTop
+	st.ctx.Env = env
+	var ret uint64
+	var err error
+	if j != nil {
+		ret, err = p.runJIT(st)
+	} else {
+		ret, err = p.runInterp(st, 0, 0)
+	}
+	// Release the scratch buffer and/or count the completed run. A
+	// panicking helper skips this and orphans the scratch (later runs
+	// stay correct on fresh buffers), which is fine: helper panics are
+	// programming errors that kill the simulated kernel anyway.
+	switch {
+	case scratch && err == nil:
+		p.state.Add(1) // clears the owner bit and counts, in one add
+	case scratch:
+		p.state.Add(^uint64(0)) // clears the owner bit; errors don't count
+	case err == nil:
+		p.state.Add(2)
+	}
+	return ret, err
+}
 
+// newRunState allocates machine state wired to this program. The
+// CallContext's VM/Prog/stack fields never change across runs, so they
+// are set once here and only Env is written per launch — the full
+// struct assignment was four pointer writes (and their GC barriers) on
+// every kprobe firing. The scratch state keeps the last run's Env
+// reference alive until the next run; environments are long-lived
+// kernel objects, so nothing of consequence is ever retained.
+func (p *Program) newRunState() *runState {
+	st := new(runState)
+	st.ctx = CallContext{VM: p.vm, Prog: p, stack: st.stack[:]}
+	return st
+}
+
+// runInterp is the reference dispatch loop. It picks up the machine
+// state from st at pc with steps already charged, so the JIT can hand
+// over a run whose remaining instruction budget might not cover a whole
+// block; plain interpreted runs enter with pc = steps = 0.
+func (p *Program) runInterp(st *runState, pc, steps int) (uint64, error) {
+	regs := st.regs
+	ctx := &st.ctx
 	dec := p.dec
 	if dec == nil {
 		// Program constructed without Load (tests); decode on first use.
 		dec = decodeProgram(p.insns, p.vm)
 		p.dec = dec
 	}
-	pc := 0
-	for steps := 0; ; steps++ {
+	for ; ; steps++ {
 		if steps >= InsnBudget {
 			return 0, fmt.Errorf("ebpf: %s: instruction budget exceeded", p.Name)
 		}
@@ -330,7 +414,7 @@ func (p *Program) Run(env any, args ...uint64) (uint64, error) {
 			storeSized(st.stack[i:], int(in.size), uint64(in.imm))
 			pc++
 		case decExit:
-			atomic.AddInt64(&p.Runs, 1)
+			st.regs = regs // expose the final register file (engine tests)
 			return regs[R0], nil
 		case decCall:
 			if in.helper == nil {
@@ -346,7 +430,7 @@ func (p *Program) Run(env any, args ...uint64) (uint64, error) {
 			// R1-R5 are caller-clobbered; poison them to catch
 			// programs that slipped past verification.
 			for r := R1; r <= R5; r++ {
-				regs[r] = 0xdead_beef_dead_beef
+				regs[r] = poison
 			}
 			pc++
 		case decJa:

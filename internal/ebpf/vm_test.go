@@ -427,8 +427,8 @@ func TestProgramRunCounter(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if prog.Runs != 3 {
-		t.Fatalf("Runs = %d, want 3", prog.Runs)
+	if prog.Runs() != 3 {
+		t.Fatalf("Runs = %d, want 3", prog.Runs())
 	}
 }
 

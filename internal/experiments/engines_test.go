@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"testing"
+
+	"snapbpf/internal/ebpf"
+	"snapbpf/internal/faults"
+)
+
+// TestEnginesProduceIdenticalResults pins the execution-engine
+// contract at the experiment level: switching the eBPF engine between
+// the interpreter and the template JIT may change how fast a cell
+// runs, never what it computes. CSV bytes and guest-memory digests
+// must match exactly, with the invariant checker armed under both.
+func TestEnginesProduceIdenticalResults(t *testing.T) {
+	fns := goldenFunctions(t)
+	fn := fns[0]
+	if fn.Name != "json" {
+		fn = fns[1]
+	}
+	heavy := faults.Heavy(5)
+
+	type result struct {
+		table1  string
+		healthy uint64
+		faulted uint64
+	}
+	runWith := func(e ebpf.Engine) result {
+		prev := ebpf.DefaultEngine()
+		ebpf.SetDefaultEngine(e)
+		defer ebpf.SetDefaultEngine(prev)
+		tbl, err := Table1(Options{Functions: fns, Parallel: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return result{
+			table1:  tbl.CSV(),
+			healthy: checkedDigest(t, fn, SchemeSnapBPF, Config{N: 2}),
+			faulted: checkedDigest(t, fn, SchemeSnapBPF, Config{N: 2, Faults: &heavy}),
+		}
+	}
+
+	interp := runWith(ebpf.EngineInterp)
+	jit := runWith(ebpf.EngineJIT)
+
+	if interp.table1 != jit.table1 {
+		t.Errorf("table1 CSV differs across engines:\n--- interp ---\n%s--- jit ---\n%s",
+			interp.table1, jit.table1)
+	}
+	if interp.healthy != jit.healthy {
+		t.Errorf("healthy digest: interp %016x, jit %016x", interp.healthy, jit.healthy)
+	}
+	if interp.faulted != jit.faulted {
+		t.Errorf("fault-injected digest: interp %016x, jit %016x", interp.faulted, jit.faulted)
+	}
+}

@@ -45,7 +45,11 @@ func NewRegistry() *Registry {
 
 // Probe is one named hook point.
 type Probe struct {
-	name     string
+	name string
+	// attached is copy-on-write: Attach and Detach build fresh slices
+	// and never mutate one a Fire in progress may be iterating, so the
+	// fire path can walk it without taking a defensive copy — Fire runs
+	// once per page-cache insertion and must not allocate.
 	attached []*ebpf.Program
 	fires    int64
 }
@@ -76,7 +80,10 @@ func (r *Registry) Attach(name string, prog *ebpf.Program) (*Attachment, error) 
 			return nil, fmt.Errorf("kprobe: program %q already attached to %q", prog.Name, name)
 		}
 	}
-	p.attached = append(p.attached, prog)
+	next := make([]*ebpf.Program, len(p.attached)+1)
+	copy(next, p.attached)
+	next[len(p.attached)] = prog
+	p.attached = next
 	return &Attachment{probe: p, prog: prog}, nil
 }
 
@@ -84,7 +91,10 @@ func (r *Registry) Attach(name string, prog *ebpf.Program) (*Attachment, error) 
 func (r *Registry) Detach(a *Attachment) error {
 	for i, q := range a.probe.attached {
 		if q == a.prog {
-			a.probe.attached = append(a.probe.attached[:i], a.probe.attached[i+1:]...)
+			next := make([]*ebpf.Program, 0, len(a.probe.attached)-1)
+			next = append(next, a.probe.attached[:i]...)
+			next = append(next, a.probe.attached[i+1:]...)
+			a.probe.attached = next
 			return nil
 		}
 	}
@@ -109,9 +119,10 @@ func (r *Registry) Fire(name string, args ...uint64) {
 	}
 	r.active = true
 	defer func() { r.active = false }()
-	// Copy: a program may detach or disable itself while running.
-	progs := append([]*ebpf.Program(nil), p.attached...)
-	for _, prog := range progs {
+	// The attachment list is copy-on-write: a program that detaches
+	// (itself or another) while running swaps in a fresh slice, so the
+	// one read here stays valid for the whole walk without a copy.
+	for _, prog := range p.attached {
 		if !prog.Enabled {
 			continue
 		}

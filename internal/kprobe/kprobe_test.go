@@ -209,3 +209,79 @@ func TestOnErrorHandler(t *testing.T) {
 		t.Fatal("OnError not invoked")
 	}
 }
+
+// TestFireDoesNotAllocate pins the copy-on-write contract: the fire
+// path runs once per simulated page-cache insertion and must not
+// allocate (neither the attachment-list walk nor the program run).
+func TestFireDoesNotAllocate(t *testing.T) {
+	vm := ebpf.NewVM()
+	m := ebpf.MustNewMap(ebpf.MapTypeHash, "counts", 4096)
+	fd := vm.RegisterMap(m)
+	prog := countingProg(t, vm, fd)
+	r := NewRegistry()
+	if _, err := r.Attach("add_to_page_cache_lru", prog); err != nil {
+		t.Fatal(err)
+	}
+	r.Fire("add_to_page_cache_lru", 1) // warm up map + scratch state
+	allocs := testing.AllocsPerRun(200, func() {
+		r.Fire("add_to_page_cache_lru", 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("Fire allocates %.1f times per firing; want 0", allocs)
+	}
+}
+
+// TestDetachDuringFire: a program that detaches another mid-fire must
+// not disturb the in-progress walk — the detach swaps in a fresh
+// copy-on-write slice while Fire keeps iterating the one it read.
+func TestDetachDuringFire(t *testing.T) {
+	vm := ebpf.NewVM()
+	m := ebpf.MustNewMap(ebpf.MapTypeHash, "counts", 16)
+	fd := vm.RegisterMap(m)
+
+	r := NewRegistry()
+	first := countingProg(t, vm, fd)
+	second := countingProg(t, vm, fd)
+	second.Name = "count2"
+
+	var att2 *Attachment
+	detach := ebpf.NewVM()
+	done := false
+	detach.MustRegisterHelper(ebpf.KfuncBase+9, "detach_second", func(ctx *ebpf.CallContext, args [5]uint64) (uint64, error) {
+		if !done {
+			done = true
+			if err := r.Detach(att2); err != nil {
+				t.Errorf("detach during fire: %v", err)
+			}
+		}
+		return 0, nil
+	})
+	b := ebpf.NewBuilder()
+	b.Call(ebpf.KfuncBase + 9).Exit()
+	detacher := detach.MustLoad("detacher", b.MustProgram())
+
+	if _, err := r.Attach("hook", detacher); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Attach("hook", first); err != nil {
+		t.Fatal(err)
+	}
+	var err error
+	if att2, err = r.Attach("hook", second); err != nil {
+		t.Fatal(err)
+	}
+
+	// The walk reads the pre-detach slice: all three run this firing.
+	r.Fire("hook", 7)
+	if v, _ := m.Lookup(7); v != 2 {
+		t.Fatalf("first firing: count = %d; want 2 (both counters ran)", v)
+	}
+	if r.AttachedCount("hook") != 2 {
+		t.Fatalf("attached = %d after detach; want 2", r.AttachedCount("hook"))
+	}
+	// The next firing sees the new slice: one counter left.
+	r.Fire("hook", 8)
+	if v, _ := m.Lookup(8); v != 1 {
+		t.Fatalf("second firing: count = %d; want 1", v)
+	}
+}

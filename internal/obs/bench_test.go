@@ -1,0 +1,76 @@
+package obs
+
+import "testing"
+
+// Benchmarks for the observer hot path: what one guest-access / IO /
+// prefetch round (hotPath, ~14 observer calls) costs with
+// observability disabled, with metrics counters, and with the tracer
+// armed. bench-json records these as the per-fault observability
+// budget; the companion Test*Allocs tests pin the allocation
+// contracts the numbers here depend on.
+
+func BenchmarkHotPathDisabled(b *testing.B) {
+	r, p := testRecorder(Config{})
+	ino, vm := hotFixtures()
+	hotPath(r, p, ino, vm)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hotPath(r, p, ino, vm)
+	}
+}
+
+func BenchmarkHotPathMetrics(b *testing.B) {
+	r, p := testRecorder(Config{Metrics: true})
+	ino, vm := hotFixtures()
+	hotPath(r, p, ino, vm)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hotPath(r, p, ino, vm)
+	}
+}
+
+func BenchmarkHotPathArmed(b *testing.B) {
+	r, p := testRecorder(Config{Trace: true, Metrics: true})
+	ino, vm := hotFixtures()
+	hotPath(r, p, ino, vm)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Swap in a fresh buffer periodically so memory stays bounded
+		// without tripping the MaxTraceEvents cap; amortized chunk
+		// allocations are part of what is being measured.
+		if r.events.len() >= 1<<16 {
+			r.events = &eventBuf{}
+		}
+		hotPath(r, p, ino, vm)
+	}
+}
+
+// countWriter discards writes while counting bytes, so the serializer
+// benchmark reports throughput without filesystem noise.
+type countWriter struct{ n int64 }
+
+func (w *countWriter) Write(p []byte) (int, error) {
+	w.n += int64(len(p))
+	return len(p), nil
+}
+
+func BenchmarkWriteTrace(b *testing.B) {
+	r, p := testRecorder(Config{Trace: true})
+	ino, vm := hotFixtures()
+	for i := 0; i < 2000; i++ {
+		hotPath(r, p, ino, vm)
+	}
+	rep := r.Finish()
+	cells := []TraceCell{{Name: "bench", Report: rep}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := &countWriter{}
+		if err := WriteTrace(w, cells); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(w.n)
+	}
+}

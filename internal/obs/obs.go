@@ -107,13 +107,20 @@ type Recorder struct {
 	m meters
 
 	maxEvents int
-	events    []Event
-	threads   []string // tid -> thread name; tid 0 is the host
+	events    *eventBuf // non-nil iff cfg.Trace
+	threads   []string  // tid -> thread name; tid 0 is the host
 	tids      map[*sim.Proc]int64
 	frames    map[*sim.Proc]*frameStack
 	vmEnd     map[*vmm.MicroVM]sim.Time // restore-end time per sandbox
 	ioOpen    map[int64]sim.Time        // submit time per in-flight IO id
 	fileRefs  map[pageKey]int32         // rmap refs for dedup counting
+
+	// Faults arrive in bursts from one process; memoizing the last
+	// proc's tid and frame stack removes two map lookups per guest
+	// access on the hot path.
+	lastProc   *sim.Proc
+	lastTid    int64
+	lastFrames *frameStack
 }
 
 // Attach builds a recorder for cfg and installs it on every layer of
@@ -139,6 +146,9 @@ func Attach(h *vmm.Host, cfg Config, next Chain) *Recorder {
 	if r.maxEvents <= 0 {
 		r.maxEvents = DefaultMaxTraceEvents
 	}
+	if cfg.Trace {
+		r.events = &eventBuf{}
+	}
 	h.Eng.SetObserver(r)
 	h.Dev.SetObserver(r)
 	h.Cache.SetObserver(r)
@@ -158,7 +168,7 @@ func Attach(h *vmm.Host, cfg Config, next Chain) *Recorder {
 type Report struct {
 	m          meters
 	hasMetrics bool
-	trace      []Event
+	trace      *eventBuf // non-nil iff the run traced
 	threads    []string
 }
 
@@ -169,7 +179,7 @@ func (r *Recorder) Finish() *Report {
 	if r.cfg.Trace {
 		rep.trace = r.events
 		if rep.trace == nil {
-			rep.trace = []Event{}
+			rep.trace = &eventBuf{}
 		}
 	}
 	return rep
@@ -186,7 +196,12 @@ func (r *Report) Metrics() *Snapshot {
 
 // TraceEventCount reports how many span events were recorded (0 when
 // tracing was off).
-func (r *Report) TraceEventCount() int { return len(r.trace) }
+func (r *Report) TraceEventCount() int {
+	if r.trace == nil {
+		return 0
+	}
+	return r.trace.len()
+}
 
 // TraceDropped reports events lost to the MaxTraceEvents cap.
 func (r *Report) TraceDropped() int64 { return r.m.c[cTraceDropped] }
@@ -200,22 +215,36 @@ func (r *Recorder) tid(p *sim.Proc) int64 {
 	if p == nil {
 		return 0
 	}
+	if p == r.lastProc {
+		return r.lastTid
+	}
 	t, ok := r.tids[p]
 	if !ok {
 		t = int64(len(r.threads))
 		r.tids[p] = t
 		r.threads = append(r.threads, p.Name())
 	}
+	r.cacheProc(p, t)
 	return t
 }
 
-func (r *Recorder) stack(p *sim.Proc) *frameStack {
+// cacheProc primes the single-entry proc memo with p's tid and frame
+// stack (creating the stack on first use).
+func (r *Recorder) cacheProc(p *sim.Proc, t int64) {
 	fs, ok := r.frames[p]
 	if !ok {
 		fs = &frameStack{}
 		r.frames[p] = fs
 	}
-	return fs
+	r.lastProc, r.lastTid, r.lastFrames = p, t, fs
+}
+
+func (r *Recorder) stack(p *sim.Proc) *frameStack {
+	if p == r.lastProc {
+		return r.lastFrames
+	}
+	r.tid(p) // assigns the tid and primes the memo
+	return r.lastFrames
 }
 
 func (r *Recorder) push(p *sim.Proc, f frame) {
@@ -224,7 +253,12 @@ func (r *Recorder) push(p *sim.Proc, f frame) {
 }
 
 func (r *Recorder) pop(p *sim.Proc) (frame, bool) {
-	fs := r.frames[p]
+	var fs *frameStack
+	if p == r.lastProc {
+		fs = r.lastFrames
+	} else {
+		fs = r.frames[p]
+	}
 	if fs == nil || len(fs.fs) == 0 {
 		return frame{}, false
 	}
@@ -233,15 +267,18 @@ func (r *Recorder) pop(p *sim.Proc) (frame, bool) {
 	return f, true
 }
 
-// emit appends ev unless the buffer is full. Callers must gate on
-// cfg.Trace *before* building the event, so the disabled-tracer path
-// never allocates argument slices.
-func (r *Recorder) emit(ev Event) {
-	if len(r.events) >= r.maxEvents {
+// emit appends an event with its arguments unless the buffer is full.
+// The variadic args never escape (they are copied into the event's
+// inline array before it is buffered), so a traced emit costs no heap
+// allocation; callers still gate on cfg.Trace *before* building the
+// event so the disabled-tracer path stays free.
+func (r *Recorder) emit(ev Event, args ...Arg) {
+	if r.events.len() >= r.maxEvents {
 		r.m.c[cTraceDropped]++
 		return
 	}
-	r.events = append(r.events, ev)
+	ev.nargs = uint8(copy(ev.args[:], args))
+	r.events.append(&ev)
 }
 
 // ---------------------------------------------------------------------------
@@ -282,9 +319,9 @@ func (r *Recorder) IOSubmitted(id, off, length int64, sync bool, attempt, parts 
 		if !sync {
 			cls = "readahead"
 		}
-		r.emit(Event{Name: "io", Cat: "io", Ph: 'b', Ts: r.eng.Now(), ID: id,
-			Args: []Arg{argInt("off", off), argInt("len", length),
-				argStr("class", cls), argInt("attempt", int64(attempt)), argInt("parts", int64(parts))}})
+		r.emit(Event{Name: "io", Cat: "io", Ph: 'b', Ts: r.eng.Now(), ID: id},
+			argInt("off", off), argInt("len", length),
+			argStr("class", cls), argInt("attempt", int64(attempt)), argInt("parts", int64(parts)))
 	}
 	if r.next.Dev != nil {
 		r.next.Dev.IOSubmitted(id, off, length, sync, attempt, parts)
@@ -335,8 +372,8 @@ func (r *Recorder) IOCompleted(id int64, failed bool) {
 		if failed {
 			fl = 1
 		}
-		r.emit(Event{Name: "io", Cat: "io", Ph: 'e', Ts: now, ID: id,
-			Args: []Arg{argInt("failed", fl)}})
+		r.emit(Event{Name: "io", Cat: "io", Ph: 'e', Ts: now, ID: id},
+			argInt("failed", fl))
 	}
 	if r.next.Dev != nil {
 		r.next.Dev.IOCompleted(id, failed)
@@ -382,9 +419,9 @@ func (r *Recorder) ReadaheadIssued(ino *pagecache.Inode, start, n, inserted int6
 	r.m.c[cReadaheadPages] += inserted
 	r.m.h[hReadaheadRunPages].observe(histUnits[hReadaheadRunPages], n)
 	if r.cfg.Trace {
-		r.emit(Event{Name: "readahead", Cat: "prefetch", Ph: 'i', Ts: r.eng.Now(),
-			Args: []Arg{argStr("file", ino.Name()), argInt("start", start),
-				argInt("pages", n), argInt("inserted", inserted)}})
+		r.emit(Event{Name: "readahead", Cat: "prefetch", Ph: 'i', Ts: r.eng.Now()},
+			argStr("file", ino.Name()), argInt("start", start),
+			argInt("pages", n), argInt("inserted", inserted))
 	}
 	if r.next.Cache != nil {
 		r.next.Cache.ReadaheadIssued(ino, start, n, inserted)
@@ -475,7 +512,11 @@ func (r *Recorder) FaultResolved(p *sim.Proc, as *hostmm.AddressSpace, page int6
 	r.m.c[faultCounter(kind)]++
 	// Attribute the resolution to the innermost open guest access of
 	// the faulting task so its span is named after how it resolved.
-	if fs := r.frames[p]; fs != nil && len(fs.fs) > 0 {
+	fs := r.lastFrames
+	if p != r.lastProc {
+		fs = r.frames[p]
+	}
+	if fs != nil && len(fs.fs) > 0 {
 		fs.fs[len(fs.fs)-1].kind = int8(kind) + 1
 	}
 	if r.next.MM != nil {
@@ -526,8 +567,8 @@ func (r *Recorder) AccessEnd(p *sim.Proc, v *kvm.VM, pfn int64, write, mirror bo
 				if write {
 					wr = 1
 				}
-				r.emit(Event{Name: name, Cat: "fault", Ph: 'X', Ts: f.start, Dur: d, Tid: r.tid(p),
-					Args: []Arg{argInt("pfn", pfn), argInt("write", wr)}})
+				r.emit(Event{Name: name, Cat: "fault", Ph: 'X', Ts: f.start, Dur: d, Tid: r.tid(p)},
+					argInt("pfn", pfn), argInt("write", wr))
 			}
 		}
 	}
@@ -552,7 +593,7 @@ func (r *Recorder) RestoreEnd(p *sim.Proc, vm *vmm.MicroVM) {
 		r.m.h[hRestore].observe(histUnits[hRestore], int64(now.Sub(f.start)))
 		if r.cfg.Trace {
 			r.emit(Event{Name: "restore", Cat: "vm", Ph: 'X', Ts: f.start, Dur: now.Sub(f.start),
-				Tid: r.tid(p), Args: []Arg{argStr("vm", vm.Name)}})
+				Tid: r.tid(p)}, argStr("vm", vm.Name))
 		}
 	}
 	r.vmEnd[vm] = now
@@ -571,7 +612,7 @@ func (r *Recorder) VMPrepared(p *sim.Proc, vm *vmm.MicroVM, prep time.Duration) 
 			start = now
 		}
 		r.emit(Event{Name: "prepare", Cat: "vm", Ph: 'X', Ts: start, Dur: now.Sub(start),
-			Tid: r.tid(p), Args: []Arg{argStr("vm", vm.Name)}})
+			Tid: r.tid(p)}, argStr("vm", vm.Name))
 	}
 }
 
@@ -589,7 +630,7 @@ func (r *Recorder) InvokeEnd(p *sim.Proc, vm *vmm.MicroVM, st vmm.InvokeStats) {
 	if f, ok := r.pop(p); ok {
 		if r.cfg.Trace {
 			r.emit(Event{Name: "invoke", Cat: "vm", Ph: 'X', Ts: f.start, Dur: now.Sub(f.start),
-				Tid: r.tid(p), Args: []Arg{argStr("vm", vm.Name)}})
+				Tid: r.tid(p)}, argStr("vm", vm.Name))
 		}
 	}
 }
@@ -626,8 +667,8 @@ func (r *Recorder) PrepareDone(scheme string, vm *vmm.MicroVM) {
 func (r *Recorder) Degraded(scheme string, vm *vmm.MicroVM, reason string) {
 	r.m.c[cDegraded]++
 	if r.cfg.Trace {
-		r.emit(Event{Name: "degraded", Cat: "scheme", Ph: 'i', Ts: r.eng.Now(),
-			Args: []Arg{argStr("scheme", scheme), argStr("vm", vm.Name), argStr("reason", reason)}})
+		r.emit(Event{Name: "degraded", Cat: "scheme", Ph: 'i', Ts: r.eng.Now()},
+			argStr("scheme", scheme), argStr("vm", vm.Name), argStr("reason", reason))
 	}
 	if r.next.Prefetch != nil {
 		r.next.Prefetch.Degraded(scheme, vm, reason)
@@ -640,9 +681,9 @@ func (r *Recorder) PrefetchIssued(p *sim.Proc, scheme string, vm *vmm.MicroVM, s
 	r.m.c[cPrefetchPages] += npages
 	r.m.h[hPrefetchGroupPages].observe(histUnits[hPrefetchGroupPages], npages)
 	if r.cfg.Trace {
-		r.emit(Event{Name: "prefetch-issue", Cat: "prefetch", Ph: 'i', Ts: r.eng.Now(), Tid: r.tid(p),
-			Args: []Arg{argStr("scheme", scheme), argStr("vm", vm.Name),
-				argInt("start", start), argInt("pages", npages)}})
+		r.emit(Event{Name: "prefetch-issue", Cat: "prefetch", Ph: 'i', Ts: r.eng.Now(), Tid: r.tid(p)},
+			argStr("scheme", scheme), argStr("vm", vm.Name),
+			argInt("start", start), argInt("pages", npages))
 	}
 	if r.next.Prefetch != nil {
 		r.next.Prefetch.PrefetchIssued(p, scheme, vm, start, npages)
@@ -656,8 +697,8 @@ func (r *Recorder) OffsetsLoaded(p *sim.Proc, scheme string, vm *vmm.MicroVM, gr
 	r.m.h[hOffsetLoad].observe(histUnits[hOffsetLoad], int64(took))
 	if r.cfg.Trace {
 		r.emit(Event{Name: "ws-load", Cat: "prefetch", Ph: 'X',
-			Ts: now.Add(-took), Dur: sim.Duration(took), Tid: r.tid(p),
-			Args: []Arg{argStr("scheme", scheme), argStr("vm", vm.Name), argInt("groups", int64(groups))}})
+			Ts: now.Add(-took), Dur: sim.Duration(took), Tid: r.tid(p)},
+			argStr("scheme", scheme), argStr("vm", vm.Name), argInt("groups", int64(groups)))
 	}
 	if r.next.Prefetch != nil {
 		r.next.Prefetch.OffsetsLoaded(p, scheme, vm, groups, took)

@@ -12,6 +12,7 @@ profile="${1:-coverage.out}"
 
 declare -A floors=(
   [snapbpf/internal/sim]=93.0
+  [snapbpf/internal/ebpf]=86.0
   [snapbpf/internal/pagecache]=84.0
   [snapbpf/internal/kvm]=78.0
   [snapbpf/internal/prefetch]=61.0
