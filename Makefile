@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint vendorcheck fmtcheck check race cover bench bench-json repro examples clean
+.PHONY: all build test vet lint vendorcheck fmtcheck check race cover bench bench-json fitness repro examples clean
 
 all: build vet test
 
@@ -34,8 +34,16 @@ fmtcheck:
 	if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-# Full hygiene gate: build, vet, lint, vendoring, formatting, tests.
-check: build vet lint vendorcheck fmtcheck test
+# Full hygiene gate: build, vet, lint, vendoring, formatting, tests,
+# and the calibration fitness gate against the paper's numbers.
+check: build vet lint vendorcheck fmtcheck test fitness
+
+# Calibration drift alarm: regenerate the referenced figures on the
+# full suite with the invariant checker armed and score them against
+# the embedded paper numbers (internal/calib); any figure outside its
+# tolerance band exits nonzero. Verdicts land in results/fitness.json.
+fitness:
+	$(GO) run ./cmd/snapbpf-bench -check -fitness -parallel 0 -exp table1,fig3a,fig4,overheads -fitness-out results/fitness.json
 
 test:
 	$(GO) test ./...

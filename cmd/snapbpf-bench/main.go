@@ -15,6 +15,8 @@
 //	snapbpf-bench -check               # arm the invariant-checking harness
 //	snapbpf-bench -trace t.json        # write a Chrome trace of every cell
 //	snapbpf-bench -metrics m.json      # write metrics JSON + Prometheus text
+//	snapbpf-bench -fitness             # score results vs the paper's numbers
+//	snapbpf-bench -replay json         # counterfactual prefetch-decision replay
 //	snapbpf-bench -list                # list experiment ids
 //	snapbpf-bench -v                   # per-cell progress on stderr
 package main
@@ -23,6 +25,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -30,6 +33,7 @@ import (
 	"strings"
 	"time"
 
+	"snapbpf/internal/calib"
 	"snapbpf/internal/ebpf"
 	"snapbpf/internal/experiments"
 	"snapbpf/internal/faults"
@@ -56,6 +60,10 @@ func main() {
 		metricsJS = flag.String("metrics", "", "write the metrics document to this JSON file, plus Prometheus text next to it (.prom)")
 		engineFl  = flag.String("engine", os.Getenv("SNAPBPF_EBPF_ENGINE"),
 			"eBPF execution engine: jit (default) or interp; also via SNAPBPF_EBPF_ENGINE")
+		fitness    = flag.Bool("fitness", false, "score the regenerated figures against the paper's published values; nonzero exit on drift")
+		fitnessOut = flag.String("fitness-out", "results/fitness.json", "where -fitness writes its JSON verdict")
+		replayFns  = flag.String("replay", "", "comma-separated function names: counterfactual prefetch-decision replay instead of experiments")
+		replayK    = flag.Int("replay-k", 3, "alternative schedules to replay per function, beyond the recorded one")
 	)
 	flag.Parse()
 	if *parallel < 0 {
@@ -71,6 +79,13 @@ func main() {
 	if *list {
 		for _, e := range all {
 			fmt.Println(e.ID)
+		}
+		return
+	}
+
+	if *replayFns != "" {
+		if err := runReplay(*replayFns, *replayK, *parallel); err != nil {
+			fatal(err)
 		}
 		return
 	}
@@ -160,7 +175,7 @@ func main() {
 	total := time.Since(suiteStart)
 	fmt.Fprintf(os.Stderr, "[total wall-clock %v, %d workers]\n", total.Round(time.Millisecond), workers(*parallel))
 	if *timing != "" {
-		if err := writeTiming(*timing, *parallel, engineName(engine), timings, total); err != nil {
+		if err := writeTiming(*timing, *parallel, engineName(engine), timings, total, os.Stderr); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintln(os.Stderr, "timings written to", *timing)
@@ -182,6 +197,25 @@ func main() {
 		fmt.Fprintf(os.Stderr, "metrics written to %s and %s\n", *metricsJS, promPath)
 	}
 
+	if *fitness {
+		rep, err := calib.Evaluate(tables, calib.References(),
+			calib.Options{AllowMissingRows: *fnFlag != ""})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(rep.VerdictTable().Render())
+		if err := mkdirFor(*fitnessOut); err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*fitnessOut, rep.JSON(), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "fitness verdicts written to", *fitnessOut)
+		if !rep.Pass {
+			fatal(fmt.Errorf("fitness: drift alarm: at least one figure exceeds its tolerance band (see %s)", *fitnessOut))
+		}
+	}
+
 	if *verify {
 		fmt.Println("== paper claim verification ==")
 		for _, r := range paper.CheckAll(tables) {
@@ -200,6 +234,29 @@ func main() {
 		}
 		fmt.Fprintln(os.Stderr, "report written to", *report)
 	}
+}
+
+// runReplay replays each named function's recorded prefetch decisions
+// against k alternative schedules (see internal/calib). The recorded
+// schedule replayed through the override path must land on the
+// recorded E2E exactly — a nonzero delta means the simulator lost
+// determinism, and the run fails loudly.
+func runReplay(fns string, k, parallel int) error {
+	for _, name := range strings.Split(fns, ",") {
+		fn, err := workload.ByName(strings.TrimSpace(name))
+		if err != nil {
+			return err
+		}
+		rep, err := calib.Replay(fn, calib.ReplayConfig{K: k, Parallel: parallel})
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep.Table().Render())
+		if d := rep.Alternatives[0].Delta; d != 0 {
+			return fmt.Errorf("replay %s: recorded schedule replayed with delta %v (determinism violation)", fn.Name, d)
+		}
+	}
+	return nil
 }
 
 // renderReport assembles a markdown report: every table plus the
@@ -278,8 +335,9 @@ func gitState() string {
 // pool width, experiments not re-run this time are carried over, so a
 // partial `-exp` run refreshes rows instead of clobbering the file;
 // a stamp mismatch discards the old rows (merging timings measured on
-// different code or configurations would silently mix regimes).
-func writeTiming(path string, parallel int, engine string, timings []expTiming, total time.Duration) error {
+// different code or configurations would silently mix regimes), with a
+// note on diag.
+func writeTiming(path string, parallel int, engine string, timings []expTiming, total time.Duration, diag io.Writer) error {
 	doc := timingReport{
 		GitState:     gitState(),
 		Engine:       engine,
@@ -302,7 +360,7 @@ func writeTiming(path string, parallel int, engine string, timings []expTiming, 
 					}
 				}
 			} else if len(prev.Experiments) > 0 {
-				fmt.Fprintf(os.Stderr,
+				fmt.Fprintf(diag,
 					"timing: discarding stale rows from %s (stamp %s/%s/%d workers != %s/%s/%d workers)\n",
 					path, prev.GitState, prev.Engine, prev.Workers, doc.GitState, doc.Engine, doc.Workers)
 			}

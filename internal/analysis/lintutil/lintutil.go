@@ -28,6 +28,7 @@ var deterministicRoots = map[string]bool{
 	"check":     true,
 	"obs":       true,
 	"workload":  true,
+	"calib":     true,
 }
 
 // DeterministicPkg reports whether the import path is bound by the

@@ -13,6 +13,7 @@ func TestDeterministicPkg(t *testing.T) {
 		{"snapbpf/internal/prefetch/groups", true},
 		{"snapbpf/internal/workload", true},
 		{"snapbpf/internal/check", true},
+		{"snapbpf/internal/calib", true},
 		{"snapbpf/internal/experiments", false},
 		{"snapbpf/internal/units", false},
 		{"snapbpf", false},

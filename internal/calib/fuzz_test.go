@@ -1,0 +1,90 @@
+package calib
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"snapbpf/internal/experiments"
+)
+
+// FuzzFitness fuzzes the reference-table parser and drives every
+// successfully parsed figure through the MAPE/Pearson kernels and the
+// full fitness engine as a self-comparison. The invariants: the parser
+// never panics, a figure compared against its own values has MAPE
+// exactly 0 and Pearson exactly 1 whenever those are defined, and the
+// engine reports that self-comparison as passing unless both kernels
+// are degenerate (which it must flag as a structural failure, never a
+// silent pass).
+func FuzzFitness(f *testing.F) {
+	// The shipped reference table is the richest well-formed seed.
+	f.Add(refTableSrc)
+	// Degenerate shapes the kernels special-case.
+	f.Add("figure tiny\ntolerance mape=0.1 pearson=0.9\ncolumns A\nrow x|1\n")
+	f.Add("figure single\ntolerance mape=0.5 pearson=0.5\ncolumns A\nrow only|3.25\n")
+	f.Add("figure const\ntolerance mape=0.1 pearson=0.9\ncolumns A|B\nrow x|5|5\nrow y|5|5\n")
+	f.Add("figure zero\ntolerance mape=0.1 pearson=0.9\ncolumns A\nrow x|0\nrow y|0\n")
+	f.Add("figure signs\ntolerance mape=0.9 pearson=-1\ncolumns A|B\nrow x|-1|2\nrow y|3|-4\nrow z|-5|6\n")
+	// Suffix handling and booleans.
+	f.Add("figure suffix\ntolerance mape=0.2 pearson=0\ncolumns Speedup|WS\nrow a|3.5x|12%\nrow b|No|Yes\n")
+	// Malformed inputs the parser must reject without panicking.
+	f.Add("# comment only\n")
+	f.Add("tolerance mape=0.1 pearson=0.9\n")
+	f.Add("figure f\ncolumns A\nrow x|NaN\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		refs, err := ParseRefTable(src)
+		if err != nil {
+			return // rejected input; only a panic is a failure here
+		}
+		for _, rf := range refs {
+			var vals []float64
+			for _, row := range rf.Rows {
+				vals = append(vals, row.Vals...)
+			}
+			if m, _, err := MAPE(vals, vals); err == nil && m != 0 {
+				t.Fatalf("%s: MAPE(x,x) = %v, want exactly 0", rf.ID, m)
+			}
+			if r, err := Pearson(vals, vals); err == nil && r != 1 {
+				t.Fatalf("%s: Pearson(x,x) = %v, want exactly 1", rf.ID, r)
+			}
+
+			// Rebuild the figure as a results table and self-evaluate.
+			// FormatFloat 'g'/-1 round-trips exactly, so the engine is
+			// comparing bit-identical series. The key column gets an
+			// empty header, which the parser forbids for reference
+			// columns, so it can never be matched as a value column.
+			tbl := &experiments.Table{ID: rf.ID, Columns: append([]string{""}, rf.Columns...)}
+			for _, row := range rf.Rows {
+				cells := []string{row.Key}
+				for _, v := range row.Vals {
+					cells = append(cells, strconv.FormatFloat(v, 'g', -1, 64))
+				}
+				tbl.AddRow(cells...)
+			}
+			rep, err := Evaluate(map[string]*experiments.Table{rf.ID: tbl}, []RefFigure{rf}, Options{})
+			if err != nil {
+				t.Fatalf("%s: self-evaluate: %v", rf.ID, err)
+			}
+			ff := rep.Figures[0]
+			if ff.Err != "" {
+				// Only both-kernels-degenerate may fail structurally.
+				if !strings.Contains(ff.Err, "degenerate") {
+					t.Fatalf("%s: unexpected structural failure: %s", rf.ID, ff.Err)
+				}
+				if !ff.MAPEDegenerate || !ff.PearsonDegenerate {
+					t.Fatalf("%s: structural failure without double degeneracy: %+v", rf.ID, ff)
+				}
+				continue
+			}
+			if !ff.Pass {
+				t.Fatalf("%s: self-comparison failed: %+v", rf.ID, ff)
+			}
+			if !ff.MAPEDegenerate && ff.MAPE != 0 {
+				t.Fatalf("%s: self MAPE = %v, want exactly 0", rf.ID, ff.MAPE)
+			}
+			if !ff.PearsonDegenerate && ff.Pearson != 1 {
+				t.Fatalf("%s: self Pearson = %v, want exactly 1", rf.ID, ff.Pearson)
+			}
+		}
+	})
+}

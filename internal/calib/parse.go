@@ -1,0 +1,189 @@
+package calib
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// RefRow is one reference row: the row key (function or scheme name,
+// matching column 0 of the regenerated table) and one value per
+// reference column.
+type RefRow struct {
+	Key  string
+	Vals []float64
+}
+
+// RefFigure is the reference data and tolerance band for one figure.
+type RefFigure struct {
+	// ID matches experiments.Table.ID ("fig3a", "table1", ...).
+	ID string
+	// MAPETol is the maximum acceptable MAPE for the figure.
+	MAPETol float64
+	// PearsonMin is the minimum acceptable Pearson r; ignored when the
+	// paired series are degenerate (see FigureFitness.PearsonDegenerate).
+	PearsonMin float64
+	// Columns names the compared columns, matching the regenerated
+	// table's header exactly.
+	Columns []string
+	Rows    []RefRow
+}
+
+// ParseValue converts one table cell to a float. Alongside plain
+// numbers it accepts the conventions the experiment tables use:
+// qualitative Yes/No cells map to 1/0, and "2.31x" / "0.18%" ratio
+// suffixes are stripped (the percent cell keeps percent units — both
+// sides of a comparison go through this same parser). Non-finite
+// values are rejected.
+func ParseValue(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	switch s {
+	case "Yes":
+		return 1, nil
+	case "No":
+		return 0, nil
+	}
+	s = strings.TrimSuffix(strings.TrimSuffix(s, "x"), "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("calib: bad value %q", s)
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("calib: non-finite value %q", s)
+	}
+	return v, nil
+}
+
+// ParseRefTable parses the reference-dataset text format:
+//
+//	# comment (provenance notes)
+//	figure fig3a
+//	tolerance mape=0.15 pearson=0.95
+//	columns REAP|FaaSnap
+//	row chameleon|1.05|1.10
+//
+// Fields within columns/row lines are |-separated because column
+// names contain spaces. Every figure needs a tolerance line, a
+// columns line before its first row, matching value counts, and no
+// duplicate figure IDs, column names or row keys.
+func ParseRefTable(src string) ([]RefFigure, error) {
+	var figs []RefFigure
+	var tolSeen []bool // parallel to figs: figure has a tolerance line
+	cur := -1          // index into figs of the figure being parsed
+	for ln, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		directive, rest, _ := strings.Cut(line, " ")
+		rest = strings.TrimSpace(rest)
+		switch directive {
+		case "figure":
+			if rest == "" {
+				return nil, fmt.Errorf("calib: line %d: figure needs an id", ln+1)
+			}
+			for _, f := range figs {
+				if f.ID == rest {
+					return nil, fmt.Errorf("calib: line %d: duplicate figure %q", ln+1, rest)
+				}
+			}
+			figs = append(figs, RefFigure{ID: rest})
+			tolSeen = append(tolSeen, false)
+			cur = len(figs) - 1
+		case "tolerance":
+			if cur < 0 {
+				return nil, fmt.Errorf("calib: line %d: tolerance before figure", ln+1)
+			}
+			if tolSeen[cur] {
+				return nil, fmt.Errorf("calib: line %d: duplicate tolerance for figure %q", ln+1, figs[cur].ID)
+			}
+			for _, field := range strings.Fields(rest) {
+				key, val, ok := strings.Cut(field, "=")
+				if !ok {
+					return nil, fmt.Errorf("calib: line %d: bad tolerance field %q", ln+1, field)
+				}
+				v, err := strconv.ParseFloat(val, 64)
+				if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+					return nil, fmt.Errorf("calib: line %d: bad tolerance value %q", ln+1, val)
+				}
+				switch key {
+				case "mape":
+					if v < 0 {
+						return nil, fmt.Errorf("calib: line %d: negative mape tolerance", ln+1)
+					}
+					figs[cur].MAPETol = v
+				case "pearson":
+					if v < -1 || v > 1 {
+						return nil, fmt.Errorf("calib: line %d: pearson tolerance outside [-1,1]", ln+1)
+					}
+					figs[cur].PearsonMin = v
+				default:
+					return nil, fmt.Errorf("calib: line %d: unknown tolerance key %q", ln+1, key)
+				}
+			}
+			tolSeen[cur] = true
+		case "columns":
+			if cur < 0 {
+				return nil, fmt.Errorf("calib: line %d: columns before figure", ln+1)
+			}
+			if figs[cur].Columns != nil {
+				return nil, fmt.Errorf("calib: line %d: duplicate columns for figure %q", ln+1, figs[cur].ID)
+			}
+			cols := strings.Split(rest, "|")
+			for i, c := range cols {
+				cols[i] = strings.TrimSpace(c)
+				if cols[i] == "" {
+					return nil, fmt.Errorf("calib: line %d: empty column name", ln+1)
+				}
+				for _, prev := range cols[:i] {
+					if prev == cols[i] {
+						return nil, fmt.Errorf("calib: line %d: duplicate column %q", ln+1, cols[i])
+					}
+				}
+			}
+			figs[cur].Columns = cols
+		case "row":
+			if cur < 0 {
+				return nil, fmt.Errorf("calib: line %d: row before figure", ln+1)
+			}
+			if figs[cur].Columns == nil {
+				return nil, fmt.Errorf("calib: line %d: row before columns", ln+1)
+			}
+			fields := strings.Split(rest, "|")
+			if len(fields) != len(figs[cur].Columns)+1 {
+				return nil, fmt.Errorf("calib: line %d: row has %d values, figure %q has %d columns",
+					ln+1, len(fields)-1, figs[cur].ID, len(figs[cur].Columns))
+			}
+			key := strings.TrimSpace(fields[0])
+			if key == "" {
+				return nil, fmt.Errorf("calib: line %d: empty row key", ln+1)
+			}
+			for _, r := range figs[cur].Rows {
+				if r.Key == key {
+					return nil, fmt.Errorf("calib: line %d: duplicate row %q in figure %q", ln+1, key, figs[cur].ID)
+				}
+			}
+			vals := make([]float64, len(fields)-1)
+			for i, f := range fields[1:] {
+				v, err := ParseValue(f)
+				if err != nil {
+					return nil, fmt.Errorf("calib: line %d: %v", ln+1, err)
+				}
+				vals[i] = v
+			}
+			figs[cur].Rows = append(figs[cur].Rows, RefRow{Key: key, Vals: vals})
+		default:
+			return nil, fmt.Errorf("calib: line %d: unknown directive %q", ln+1, directive)
+		}
+	}
+	for i, f := range figs {
+		if len(f.Rows) == 0 {
+			return nil, fmt.Errorf("calib: figure %q has no rows", f.ID)
+		}
+		if !tolSeen[i] {
+			return nil, fmt.Errorf("calib: figure %q has no tolerance band", f.ID)
+		}
+	}
+	return figs, nil
+}

@@ -1,0 +1,136 @@
+package calib
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseValue(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+	}{
+		{"1.25", 1.25},
+		{" 0.5 ", 0.5},
+		{"Yes", 1},
+		{"No", 0},
+		{"2.31x", 2.31},
+		{"0.18%", 0.18},
+		{"-3", -3},
+		{"1e-3", 0.001},
+	}
+	for _, c := range cases {
+		got, err := ParseValue(c.in)
+		if err != nil {
+			t.Errorf("ParseValue(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseValue(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "abc", "NaN", "+Inf", "-Inf", "1.2.3"} {
+		if _, err := ParseValue(bad); err == nil {
+			t.Errorf("ParseValue(%q): want error", bad)
+		}
+	}
+}
+
+func TestParseRefTable(t *testing.T) {
+	src := `
+# provenance comment
+figure f1
+tolerance mape=0.1 pearson=0.9
+columns A|B two
+row x|1|2
+row y|Yes|No
+
+figure f2
+tolerance mape=0.2
+columns C
+row z|3.5x
+`
+	figs, err := ParseRefTable(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 2 {
+		t.Fatalf("got %d figures, want 2", len(figs))
+	}
+	f1 := figs[0]
+	if f1.ID != "f1" || f1.MAPETol != 0.1 || f1.PearsonMin != 0.9 {
+		t.Errorf("f1 header = %+v", f1)
+	}
+	if len(f1.Columns) != 2 || f1.Columns[1] != "B two" {
+		t.Errorf("f1 columns = %v", f1.Columns)
+	}
+	if len(f1.Rows) != 2 || f1.Rows[1].Key != "y" || f1.Rows[1].Vals[0] != 1 || f1.Rows[1].Vals[1] != 0 {
+		t.Errorf("f1 rows = %+v", f1.Rows)
+	}
+	if figs[1].Rows[0].Vals[0] != 3.5 {
+		t.Errorf("f2 row = %+v", figs[1].Rows[0])
+	}
+}
+
+func TestParseRefTableErrors(t *testing.T) {
+	cases := map[string]string{
+		"row before figure":    "row x|1\n",
+		"columns before fig":   "columns A\n",
+		"tolerance before fig": "tolerance mape=0.1\n",
+		"no figure id":         "figure\n",
+		"duplicate figure":     "figure f\ntolerance mape=1\ncolumns A\nrow x|1\nfigure f\n",
+		"row before columns":   "figure f\ntolerance mape=1\nrow x|1\n",
+		"value count mismatch": "figure f\ntolerance mape=1\ncolumns A|B\nrow x|1\n",
+		"duplicate row":        "figure f\ntolerance mape=1\ncolumns A\nrow x|1\nrow x|2\n",
+		"duplicate column":     "figure f\ntolerance mape=1\ncolumns A|A\n",
+		"empty column":         "figure f\ntolerance mape=1\ncolumns A||B\n",
+		"empty row key":        "figure f\ntolerance mape=1\ncolumns A\nrow |1\n",
+		"bad value":            "figure f\ntolerance mape=1\ncolumns A\nrow x|wat\n",
+		"non-finite value":     "figure f\ntolerance mape=1\ncolumns A\nrow x|NaN\n",
+		"bad tolerance field":  "figure f\ntolerance mape\ncolumns A\nrow x|1\n",
+		"bad tolerance value":  "figure f\ntolerance mape=wat\ncolumns A\nrow x|1\n",
+		"negative mape":        "figure f\ntolerance mape=-1\ncolumns A\nrow x|1\n",
+		"pearson out of range": "figure f\ntolerance pearson=2\ncolumns A\nrow x|1\n",
+		"unknown tol key":      "figure f\ntolerance frobs=1\ncolumns A\nrow x|1\n",
+		"duplicate tolerance":  "figure f\ntolerance mape=1\ntolerance mape=2\ncolumns A\nrow x|1\n",
+		"duplicate columns":    "figure f\ntolerance mape=1\ncolumns A\ncolumns B\nrow x|1\n",
+		"unknown directive":    "figure f\nfrobnicate\n",
+		"figure without rows":  "figure f\ntolerance mape=1\ncolumns A\n",
+		"missing tolerance":    "figure f\ncolumns A\nrow x|1\n",
+	}
+	for name, src := range cases {
+		if _, err := ParseRefTable(src); err == nil {
+			t.Errorf("%s: want error for %q", name, src)
+		}
+	}
+}
+
+// The embedded dataset must parse and carry the four figures the CI
+// drift alarm evaluates.
+func TestReferencesParse(t *testing.T) {
+	refs := References()
+	want := []string{"table1", "fig3a", "fig4", "overheads"}
+	got := map[string]RefFigure{}
+	for _, f := range refs {
+		got[f.ID] = f
+	}
+	for _, id := range want {
+		f, ok := got[id]
+		if !ok {
+			t.Errorf("embedded dataset is missing figure %q (have %d of %v)", id, len(refs), want)
+			continue
+		}
+		if f.MAPETol <= 0 {
+			t.Errorf("%s: MAPE tolerance %v not positive", id, f.MAPETol)
+		}
+		if f.PearsonMin <= 0 {
+			t.Errorf("%s: Pearson minimum %v not positive", id, f.PearsonMin)
+		}
+		if id != "table1" && len(f.Rows) != 15 {
+			t.Errorf("%s: %d rows, want the 15-function suite", id, len(f.Rows))
+		}
+	}
+	if strings.Count(refTableSrc, "#") < 5 {
+		t.Error("embedded dataset lost its provenance comments")
+	}
+}

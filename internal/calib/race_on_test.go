@@ -1,0 +1,5 @@
+//go:build race
+
+package calib
+
+const raceEnabled = true

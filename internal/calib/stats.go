@@ -1,0 +1,133 @@
+// Package calib is the calibration and fitness layer: it proves the
+// simulator's regenerated figures against the paper's published
+// numbers and re-evaluates recorded prefetch decisions against their
+// alternatives.
+//
+//   - The reference dataset (refdata.go) embeds the published values
+//     of the figures the repo reproduces, with provenance notes.
+//   - The fitness engine (fitness.go) scores each regenerated figure
+//     with MAPE and Pearson r against its reference and applies
+//     per-figure tolerance bands — the CI drift alarm.
+//   - Counterfactual replay (replay.go) extracts every recorded
+//     prefetch-issue/readahead decision from the observability event
+//     stream and re-simulates alternative orderings, reporting the
+//     end-to-end latency delta each decision is responsible for.
+//
+// Determinism contract: everything here is a pure function of its
+// inputs — the kernels sum their terms in sorted order, so MAPE and
+// Pearson are exactly (bit-for-bit) invariant under row permutation
+// and column reordering of the compared tables.
+package calib
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// sumSorted adds terms in ascending order. Floating-point addition is
+// not associative, so a plain loop would make the kernels sensitive to
+// the order rows arrive in; sorting first makes every permutation of
+// the same multiset of terms sum to the same bits.
+func sumSorted(terms []float64) float64 {
+	sort.Float64s(terms)
+	var s float64
+	for _, t := range terms {
+		s += t
+	}
+	return s
+}
+
+// checkFinite rejects NaN and ±Inf inputs up front so the kernels
+// never propagate them into a silently-passing comparison.
+func checkFinite(name string, xs []float64) error {
+	for i, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return fmt.Errorf("calib: non-finite %s value at index %d", name, i)
+		}
+	}
+	return nil
+}
+
+// MAPE returns the mean absolute percentage error of sim against ref:
+// mean over i of |sim[i]-ref[i]| / |ref[i]|. Pairs whose reference is
+// exactly zero are skipped (the quotient is undefined there) and the
+// number of pairs actually used is returned; if every pair is skipped
+// MAPE is undefined and an error is returned. MAPE(x, x) is exactly 0.
+func MAPE(ref, sim []float64) (mape float64, used int, err error) {
+	if len(ref) != len(sim) {
+		return 0, 0, fmt.Errorf("calib: MAPE length mismatch: %d reference vs %d simulated", len(ref), len(sim))
+	}
+	if err := checkFinite("reference", ref); err != nil {
+		return 0, 0, err
+	}
+	if err := checkFinite("simulated", sim); err != nil {
+		return 0, 0, err
+	}
+	terms := make([]float64, 0, len(ref))
+	for i := range ref {
+		if ref[i] == 0 {
+			continue
+		}
+		terms = append(terms, math.Abs(sim[i]-ref[i])/math.Abs(ref[i]))
+	}
+	if len(terms) == 0 {
+		return 0, 0, fmt.Errorf("calib: MAPE undefined: no pairs with a nonzero reference")
+	}
+	return sumSorted(terms) / float64(len(terms)), len(terms), nil
+}
+
+// Pearson returns the Pearson correlation coefficient of x and y.
+// It needs at least two points and nonzero variance in both series;
+// degenerate inputs return an error rather than NaN. The kernel is
+// exactly symmetric in its arguments, and Pearson(x, x) is exactly 1.
+func Pearson(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("calib: Pearson length mismatch: %d vs %d", len(x), len(y))
+	}
+	if len(x) < 2 {
+		return 0, fmt.Errorf("calib: Pearson needs at least 2 points, got %d", len(x))
+	}
+	if err := checkFinite("x", x); err != nil {
+		return 0, err
+	}
+	if err := checkFinite("y", y); err != nil {
+		return 0, err
+	}
+	n := float64(len(x))
+	mx := sumSorted(append([]float64(nil), x...)) / n
+	my := sumSorted(append([]float64(nil), y...)) / n
+	sxx := make([]float64, len(x))
+	syy := make([]float64, len(x))
+	sxy := make([]float64, len(x))
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxx[i] = dx * dx
+		syy[i] = dy * dy
+		sxy[i] = dx * dy
+	}
+	vx, vy, cov := sumSorted(sxx), sumSorted(syy), sumSorted(sxy)
+	if vx == 0 || vy == 0 {
+		return 0, fmt.Errorf("calib: Pearson undefined: zero-variance series")
+	}
+	// Identical accumulations mean the series are perfectly correlated;
+	// returning the exact ±1 avoids a last-ulp sqrt wobble.
+	if cov == vx && cov == vy {
+		return 1, nil
+	}
+	if cov == -vx && cov == -vy {
+		return -1, nil
+	}
+	r := cov / (math.Sqrt(vx) * math.Sqrt(vy))
+	if math.IsNaN(r) {
+		// Intermediate overflow (finite inputs, infinite sums).
+		return 0, fmt.Errorf("calib: Pearson overflowed on extreme values")
+	}
+	// Clamp rounding spill; |r| <= 1 mathematically.
+	if r > 1 {
+		r = 1
+	} else if r < -1 {
+		r = -1
+	}
+	return r, nil
+}

@@ -1,0 +1,183 @@
+package calib
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// series returns a deterministic pseudo-random series including
+// negative values and an exact zero (which MAPE must skip).
+func series(seed int64, n int) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = (rng.Float64() - 0.3) * 100
+	}
+	xs[n/2] = 0
+	return xs
+}
+
+// permute returns xs reordered by a seeded shuffle.
+func permute(seed int64, xs []float64) []float64 {
+	out := append([]float64(nil), xs...)
+	rand.New(rand.NewSource(seed)).Shuffle(len(out), func(i, j int) {
+		out[i], out[j] = out[j], out[i]
+	})
+	return out
+}
+
+func TestMAPEIdentity(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		xs := series(seed, 31)
+		m, used, err := MAPE(xs, xs)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if m != 0 {
+			t.Errorf("seed %d: MAPE(x,x) = %v, want exactly 0", seed, m)
+		}
+		if used != len(xs)-1 { // the one zero reference is skipped
+			t.Errorf("seed %d: used %d pairs, want %d", seed, used, len(xs)-1)
+		}
+	}
+}
+
+func TestPearsonIdentity(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		xs := series(seed, 31)
+		r, err := Pearson(xs, xs)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if r != 1 {
+			t.Errorf("seed %d: Pearson(x,x) = %v, want exactly 1", seed, r)
+		}
+		// Negation flips each term's sign, which reverses the sorted
+		// summation order, so r is within rounding of -1 rather than
+		// bit-exact (the clamp guarantees it never undershoots).
+		neg := make([]float64, len(xs))
+		for i, x := range xs {
+			neg[i] = -x
+		}
+		r, err = Pearson(xs, neg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if r < -1 || r > -1+1e-12 {
+			t.Errorf("seed %d: Pearson(x,-x) = %v, want -1 within rounding", seed, r)
+		}
+	}
+}
+
+// The kernels sum sorted terms, so reordering the paired rows — which
+// is what reordering table rows or scheme columns does to the
+// flattened series — must give bit-identical results, not merely close
+// ones.
+func TestKernelsPermutationInvariant(t *testing.T) {
+	ref := series(10, 41)
+	sim := series(11, 41)
+	wantM, wantUsed, err := MAPE(ref, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantR, err := Pearson(ref, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(20); seed < 25; seed++ {
+		idx := make([]int, len(ref))
+		for i := range idx {
+			idx[i] = i
+		}
+		rand.New(rand.NewSource(seed)).Shuffle(len(idx), func(i, j int) {
+			idx[i], idx[j] = idx[j], idx[i]
+		})
+		pRef := make([]float64, len(ref))
+		pSim := make([]float64, len(sim))
+		for i, j := range idx {
+			pRef[i], pSim[i] = ref[j], sim[j]
+		}
+		m, used, err := MAPE(pRef, pSim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m != wantM || used != wantUsed {
+			t.Errorf("seed %d: permuted MAPE = (%v, %d), want exactly (%v, %d)", seed, m, used, wantM, wantUsed)
+		}
+		r, err := Pearson(pRef, pSim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r != wantR {
+			t.Errorf("seed %d: permuted Pearson = %v, want exactly %v", seed, r, wantR)
+		}
+	}
+}
+
+func TestPearsonSymmetric(t *testing.T) {
+	x := series(30, 23)
+	y := series(31, 23)
+	rxy, err := Pearson(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ryx, err := Pearson(y, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rxy != ryx {
+		t.Errorf("Pearson(x,y) = %v != Pearson(y,x) = %v", rxy, ryx)
+	}
+}
+
+func TestMAPEGuards(t *testing.T) {
+	if _, _, err := MAPE([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch: want error")
+	}
+	if _, _, err := MAPE(nil, nil); err == nil {
+		t.Error("empty series: want error")
+	}
+	if _, _, err := MAPE([]float64{0, 0}, []float64{1, 2}); err == nil {
+		t.Error("all-zero reference: want error")
+	}
+	if _, _, err := MAPE([]float64{math.NaN()}, []float64{1}); err == nil {
+		t.Error("NaN reference: want error")
+	}
+	if _, _, err := MAPE([]float64{1}, []float64{math.Inf(1)}); err == nil {
+		t.Error("Inf simulated: want error")
+	}
+	m, used, err := MAPE([]float64{2, 0}, []float64{1, 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 0.5 || used != 1 {
+		t.Errorf("MAPE = (%v, %d), want (0.5, 1): zero-ref pair must be skipped", m, used)
+	}
+}
+
+func TestPearsonGuards(t *testing.T) {
+	if _, err := Pearson([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch: want error")
+	}
+	if _, err := Pearson([]float64{1}, []float64{2}); err == nil {
+		t.Error("single point: want error")
+	}
+	if _, err := Pearson([]float64{3, 3, 3}, []float64{1, 2, 3}); err == nil {
+		t.Error("constant x: want error")
+	}
+	if _, err := Pearson([]float64{1, 2, 3}, []float64{5, 5, 5}); err == nil {
+		t.Error("constant y: want error")
+	}
+	if _, err := Pearson([]float64{1, math.NaN()}, []float64{1, 2}); err == nil {
+		t.Error("NaN: want error")
+	}
+	// Mixed-sign anti-correlated pair stays within [-1, 1].
+	r, err := Pearson([]float64{-5, 0, 5}, []float64{4, 0, -4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < -1 || r > -1+1e-12 {
+		t.Errorf("anti-correlated series: r = %v, want -1 within rounding", r)
+	}
+}

@@ -46,6 +46,13 @@ type SnapBPF struct {
 	// access time (ablation; §3.1 sorted group order).
 	OffsetOrder bool
 
+	// ScheduleOverride, when non-nil, rewrites the captured prefetch
+	// schedule once at the end of Record, before validation. The
+	// counterfactual-replay harness (internal/calib) uses it to rerun
+	// a cell under an alternative group ordering; it never runs on the
+	// fault hot path.
+	ScheduleOverride func([]snapshot.Group) []snapshot.Group
+
 	// PrefetchBatch caps the groups issued per program firing so one
 	// execution stays within the kernel's instruction budget; the
 	// program resumes from its cursor on later firings. 0 uses the
@@ -183,6 +190,9 @@ func (s *SnapBPF) Record(p *sim.Proc, env *prefetch.Env) (err error) {
 	s.CaptureProgRuns += prog.Runs()
 
 	s.ws = buildSchedule(wsMap.Entries(), s.DisableGrouping, s.OffsetOrder)
+	if s.ScheduleOverride != nil {
+		s.ws = &snapshot.OffsetsWS{Groups: s.ScheduleOverride(s.ws.Groups)}
+	}
 	if err := s.ws.Validate(env.Image.NrPages); err != nil {
 		return fmt.Errorf("snapbpf: captured invalid working set: %w", err)
 	}

@@ -76,8 +76,25 @@ type Model struct {
 	VMRestoreBase time.Duration
 }
 
+// perturb, when set, rewrites the model Default returns. Test-only:
+// the calibration sabotage test (internal/calib) installs it to prove
+// the fitness drift alarm fires when a constant drifts. Set it before
+// any hosts are built and clear it after; it is not synchronised.
+var perturb func(Model) Model
+
+// SetPerturb installs or clears (nil) the test-only model perturbation.
+func SetPerturb(f func(Model) Model) { perturb = f }
+
 // Default returns the calibrated model used by all experiments.
 func Default() Model {
+	m := defaultModel()
+	if perturb != nil {
+		m = perturb(m)
+	}
+	return m
+}
+
+func defaultModel() Model {
 	return Model{
 		MinorFault:       1200 * time.Nanosecond,
 		MajorFaultSW:     2500 * time.Nanosecond,

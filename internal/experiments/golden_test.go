@@ -81,6 +81,78 @@ func TestGoldenFig4(t *testing.T) {
 	}
 }
 
+// The remaining pins run json only: fig3b regenerates five schemes per
+// function and takes minutes per extra function on a small runner, and
+// the json row alone already pins every scheme column byte for byte.
+func goldenJSONOnly(t *testing.T) []workload.Function {
+	t.Helper()
+	fn, err := workload.ByName("json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []workload.Function{fn}
+}
+
+const goldenFig3bCSV = `Function,Linux-NoRA,Linux-RA,REAP,SnapBPF,REAP/SnapBPF
+json,0.983,0.204,0.639,0.116,5.53x
+`
+
+const goldenFig3cCSV = `Function,Linux-NoRA,Linux-RA,REAP,SnapBPF,REAP/SnapBPF
+json,0.14,0.15,0.33,0.14,2.4x
+`
+
+const goldenAblationRAWindowCSV = `Function/window,E2E (s),device MiB,requests
+json/w=0,0.983,33.5,8576
+json/w=8,0.277,35.0,1120
+json/w=32,0.204,37.5,300
+json/w=128,0.204,47.5,95
+json/w=512,0.270,84.3,171
+`
+
+// goldenPin runs an experiment serially and pins its CSV bytes, then
+// reruns it on a worker pool and asserts the parallel bytes are equal —
+// the schedule-independence half of the determinism contract.
+func goldenPin(t *testing.T, name string, run func(Options) (*Table, error), want string) {
+	t.Helper()
+	fns := goldenJSONOnly(t)
+	serial, err := run(Options{Functions: fns, Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := serial.CSV(); got != want {
+		t.Errorf("%s CSV drifted:\n--- got ---\n%s--- want ---\n%s", name, got, want)
+	}
+	parallel, err := run(Options{Functions: fns, Parallel: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := parallel.CSV(); got != serial.CSV() {
+		t.Errorf("%s parallel CSV differs from serial:\n--- parallel ---\n%s--- serial ---\n%s",
+			name, got, serial.CSV())
+	}
+}
+
+func TestGoldenFig3b(t *testing.T) {
+	if raceEnabled {
+		t.Skip("byte-pinning is value-level; the non-race suite covers it")
+	}
+	goldenPin(t, "fig3b", Fig3b, goldenFig3bCSV)
+}
+
+func TestGoldenFig3c(t *testing.T) {
+	if raceEnabled {
+		t.Skip("byte-pinning is value-level; the non-race suite covers it")
+	}
+	goldenPin(t, "fig3c", Fig3c, goldenFig3cCSV)
+}
+
+func TestGoldenAblationRAWindow(t *testing.T) {
+	if raceEnabled {
+		t.Skip("byte-pinning is value-level; the non-race suite covers it")
+	}
+	goldenPin(t, "ablation-rawindow", AblationRAWindow, goldenAblationRAWindowCSV)
+}
+
 func TestGoldenOverheads(t *testing.T) {
 	if raceEnabled {
 		t.Skip("byte-pinning is value-level; the non-race suite covers it")

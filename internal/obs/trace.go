@@ -93,6 +93,18 @@ func newEventBuf(evs ...Event) *eventBuf {
 	return b
 }
 
+// Events visits every recorded trace event in record order. It is the
+// read-side counterpart of the tracer: the calibration layer
+// (internal/calib) walks it to extract prefetch decisions for
+// counterfactual replay without adding hooks to the record path. The
+// *Event is a view into the buffer — copy it to retain it.
+func (r *Report) Events(fn func(*Event)) {
+	if r == nil || r.trace == nil {
+		return
+	}
+	r.trace.each(fn)
+}
+
 // TraceCell is one run's trace in a combined document; Name becomes
 // the cell's process name in the viewer.
 type TraceCell struct {
