@@ -17,6 +17,8 @@
 //	snapbpf-bench -metrics m.json      # write metrics JSON + Prometheus text
 //	snapbpf-bench -fitness             # score results vs the paper's numbers
 //	snapbpf-bench -replay json         # counterfactual prefetch-decision replay
+//	snapbpf-bench -exp cluster -hosts 8 -router affinity -keepalive 2
+//	                                   # region-scale run: 8 hosts, one router/budget cell
 //	snapbpf-bench -list                # list experiment ids
 //	snapbpf-bench -v                   # per-cell progress on stderr
 package main
@@ -34,6 +36,7 @@ import (
 	"time"
 
 	"snapbpf/internal/calib"
+	"snapbpf/internal/cluster"
 	"snapbpf/internal/ebpf"
 	"snapbpf/internal/experiments"
 	"snapbpf/internal/faults"
@@ -64,6 +67,9 @@ func main() {
 		fitnessOut = flag.String("fitness-out", "results/fitness.json", "where -fitness writes its JSON verdict")
 		replayFns  = flag.String("replay", "", "comma-separated function names: counterfactual prefetch-decision replay instead of experiments")
 		replayK    = flag.Int("replay-k", 3, "alternative schedules to replay per function, beyond the recorded one")
+		hostsN     = flag.Int("hosts", 0, "cluster experiment: region size in hosts (0 = default 4)")
+		routerFl   = flag.String("router", "", "cluster experiment: comma-separated routing policies (roundrobin, leastloaded, affinity; empty = all)")
+		keepalive  = flag.Int("keepalive", -1, "cluster experiment: warm sandboxes kept per host (-1 = default sweep 0,2)")
 	)
 	flag.Parse()
 	if *parallel < 0 {
@@ -91,6 +97,22 @@ func main() {
 	}
 
 	opts := experiments.Options{Parallel: *parallel, Check: *checkInv}
+	if *hostsN != 0 || *routerFl != "" || *keepalive >= 0 {
+		cp := &experiments.ClusterParams{Hosts: *hostsN}
+		if *routerFl != "" {
+			for _, s := range strings.Split(*routerFl, ",") {
+				r, err := cluster.ParseRouter(strings.TrimSpace(s))
+				if err != nil {
+					fatal(err)
+				}
+				cp.Routers = append(cp.Routers, r)
+			}
+		}
+		if *keepalive >= 0 {
+			cp.Budgets = []int{*keepalive}
+		}
+		opts.Cluster = cp
+	}
 	switch *faultsLvl {
 	case "none", "":
 	case "light":
@@ -117,6 +139,11 @@ func main() {
 			name := fmt.Sprintf("%s/%03d %s/%s/n%d", curExp, cellSeq, res.Scheme, res.Function, res.N)
 			cellSeq++
 			obsCells = append(obsCells, obsCell{name: name, rep: res.Obs})
+		}
+		opts.ObsSinkNamed = func(name string, rep *obs.Report) {
+			full := fmt.Sprintf("%s/%03d %s", curExp, cellSeq, name)
+			cellSeq++
+			obsCells = append(obsCells, obsCell{name: full, rep: rep})
 		}
 	}
 	if *fnFlag != "" {

@@ -29,6 +29,7 @@ var deterministicRoots = map[string]bool{
 	"obs":       true,
 	"workload":  true,
 	"calib":     true,
+	"cluster":   true,
 }
 
 // DeterministicPkg reports whether the import path is bound by the

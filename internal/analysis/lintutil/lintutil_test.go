@@ -12,6 +12,8 @@ func TestDeterministicPkg(t *testing.T) {
 		{"snapbpf/internal/prefetch", true},
 		{"snapbpf/internal/prefetch/groups", true},
 		{"snapbpf/internal/workload", true},
+		{"snapbpf/internal/cluster", true},
+		{"snapbpf/internal/cluster_test", true},
 		{"snapbpf/internal/check", true},
 		{"snapbpf/internal/calib", true},
 		{"snapbpf/internal/experiments", false},

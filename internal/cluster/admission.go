@@ -1,0 +1,58 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"snapbpf/internal/sim"
+)
+
+// Admission is a token-bucket admission controller at the front end:
+// invocations are admitted while tokens remain and rejected outright
+// otherwise (no queueing — rejected requests count toward the
+// reported rejection rate). The bucket refills continuously at
+// RatePerSec up to Burst, measured in virtual time.
+type Admission struct {
+	RatePerSec float64
+	Burst      int
+}
+
+// Validate checks controller sanity.
+func (a Admission) Validate() error {
+	if !(a.RatePerSec > 0) || math.IsInf(a.RatePerSec, 0) {
+		return fmt.Errorf("cluster: admission rate must be positive and finite, got %v", a.RatePerSec)
+	}
+	if a.Burst <= 0 {
+		return fmt.Errorf("cluster: admission burst must be positive, got %d", a.Burst)
+	}
+	return nil
+}
+
+// bucket is the runtime state of one token bucket on the virtual
+// clock. Arithmetic is plain float64 on durations derived from
+// sim.Time differences, so refill is a pure function of the arrival
+// timestamps — deterministic across runs and worker schedules.
+type bucket struct {
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   sim.Time
+}
+
+func newBucket(a Admission, now sim.Time) *bucket {
+	return &bucket{rate: a.RatePerSec, burst: float64(a.Burst), tokens: float64(a.Burst), last: now}
+}
+
+// allow consumes one token if available, refilling for the elapsed
+// virtual time first.
+func (b *bucket) allow(now sim.Time) bool {
+	if elapsed := now.Sub(b.last); elapsed > 0 {
+		b.tokens = math.Min(b.burst, b.tokens+elapsed.Seconds()*b.rate)
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true
+	}
+	return false
+}

@@ -1,0 +1,442 @@
+package cluster_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"snapbpf/internal/cluster"
+	"snapbpf/internal/core"
+	"snapbpf/internal/faults"
+	"snapbpf/internal/prefetch"
+	"snapbpf/internal/workload"
+)
+
+func snapBPF() cluster.Scheme {
+	return cluster.Scheme{Name: "SnapBPF", New: func() prefetch.Prefetcher { return core.New() }}
+}
+
+// burst returns n back-to-back arrivals of fn at t=0.
+func burst(n int, fn string) []workload.Arrival {
+	as := make([]workload.Arrival, n)
+	for i := range as {
+		as[i] = workload.Arrival{Tenant: "t", Seq: i, Fn: fn, Class: workload.ClassStandard}
+	}
+	return as
+}
+
+// spaced returns n arrivals of fn separated by gap.
+func spaced(n int, fn string, gap time.Duration) []workload.Arrival {
+	as := make([]workload.Arrival, n)
+	for i := range as {
+		as[i] = workload.Arrival{At: time.Duration(i) * gap, Tenant: "t", Seq: i,
+			Fn: fn, Class: workload.ClassStandard}
+	}
+	return as
+}
+
+// mix interleaves per-fn spaced arrivals into one sorted stream.
+func mix(n int, gap time.Duration, fns ...string) []workload.Arrival {
+	var as []workload.Arrival
+	for i := 0; i < n; i++ {
+		as = append(as, workload.Arrival{At: time.Duration(i) * gap, Tenant: "t", Seq: i,
+			Fn: fns[i%len(fns)], Class: workload.ClassStandard})
+	}
+	return as
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  cluster.Config
+		want string
+	}{
+		{"no hosts", cluster.Config{Scheme: snapBPF()}, "host count"},
+		{"no scheme", cluster.Config{Hosts: 1}, "no scheme"},
+		{"bad names", cluster.Config{Hosts: 2, HostNames: []string{"only-one"}, Scheme: snapBPF()}, "host names"},
+		{"bad router", cluster.Config{Hosts: 1, Scheme: snapBPF(), Router: "random"}, "unknown router"},
+		{"bad admission", cluster.Config{Hosts: 1, Scheme: snapBPF(),
+			Admission: &cluster.Admission{RatePerSec: 0, Burst: 1}}, "admission rate"},
+		{"bad burst", cluster.Config{Hosts: 1, Scheme: snapBPF(),
+			Admission: &cluster.Admission{RatePerSec: 1, Burst: 0}}, "admission burst"},
+		{"bad budget", cluster.Config{Hosts: 1, Scheme: snapBPF(),
+			KeepAlive: cluster.KeepAlive{Budget: -1}}, "keep-alive budget"},
+		{"bad fault host", cluster.Config{Hosts: 2, Scheme: snapBPF(),
+			Faults: planPtr(faults.Light(1)), FaultHosts: []int{2}}, "fault host index"},
+		{"unknown fn", cluster.Config{Hosts: 1, Scheme: snapBPF(),
+			Arrivals: burst(1, "no-such-fn")}, "no-such-fn"},
+	}
+	for _, c := range cases {
+		if _, err := cluster.Run(c.cfg); err == nil {
+			t.Errorf("%s: expected error containing %q, got nil", c.name, c.want)
+		} else if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestParseRouter(t *testing.T) {
+	for _, kind := range cluster.Routers() {
+		got, err := cluster.ParseRouter(string(kind))
+		if err != nil || got != kind {
+			t.Errorf("ParseRouter(%q) = %q, %v", kind, got, err)
+		}
+	}
+	if _, err := cluster.ParseRouter("fifo"); err == nil {
+		t.Error("ParseRouter accepted an unknown policy")
+	}
+}
+
+// Round-robin must cycle host indices in arrival order.
+func TestRoundRobinPlacement(t *testing.T) {
+	res, err := cluster.Run(cluster.Config{
+		Hosts:    3,
+		Scheme:   snapBPF(),
+		Router:   cluster.RouterRoundRobin,
+		Arrivals: spaced(6, "json", 500*time.Millisecond),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, inv := range res.Invocations {
+		if want := i % 3; inv.Host != want {
+			t.Errorf("invocation %d on host %d, want %d", i, inv.Host, want)
+		}
+	}
+}
+
+// Snapshot-affinity must concentrate each function on one host when
+// invocations never overlap (no load-based fallback).
+func TestAffinityConcentrates(t *testing.T) {
+	res, err := cluster.Run(cluster.Config{
+		Hosts:    4,
+		Scheme:   snapBPF(),
+		Router:   cluster.RouterAffinity,
+		Arrivals: mix(8, time.Second, "json", "pyaes"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perFn := make(map[string]map[int]bool)
+	for _, inv := range res.Invocations {
+		if perFn[inv.Fn] == nil {
+			perFn[inv.Fn] = make(map[int]bool)
+		}
+		perFn[inv.Fn][inv.Host] = true
+	}
+	for _, fn := range res.Functions {
+		if n := len(perFn[fn]); n != 1 {
+			t.Errorf("affinity spread %s across %d hosts, want 1", fn, n)
+		}
+	}
+}
+
+// Least-loaded must not stack overlapping invocations on one host.
+func TestLeastLoadedSpreads(t *testing.T) {
+	res, err := cluster.Run(cluster.Config{
+		Hosts:    2,
+		Scheme:   snapBPF(),
+		Router:   cluster.RouterLeastLoaded,
+		Arrivals: burst(2, "json"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Invocations[0].Host == res.Invocations[1].Host {
+		t.Errorf("two overlapping invocations both routed to host %d", res.Invocations[0].Host)
+	}
+}
+
+// Keep-alive must produce warm hits; warm latency is the function's
+// pure compute time, strictly below the cold latency.
+func TestWarmPoolHits(t *testing.T) {
+	res, err := cluster.Run(cluster.Config{
+		Hosts:     1,
+		Scheme:    snapBPF(),
+		KeepAlive: cluster.KeepAlive{Budget: 1},
+		Arrivals:  spaced(4, "json", time.Second),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cold != 1 || res.Warm != 3 {
+		t.Fatalf("cold=%d warm=%d, want 1 cold + 3 warm", res.Cold, res.Warm)
+	}
+	coldE2E := res.Invocations[0].E2E
+	for _, inv := range res.Invocations[1:] {
+		if !inv.Warm {
+			t.Errorf("invocation %d not warm", inv.Seq)
+		}
+		if inv.E2E >= coldE2E {
+			t.Errorf("warm E2E %v not below cold %v", inv.E2E, coldE2E)
+		}
+	}
+}
+
+// A budget of zero disables keep-alive: every start is cold.
+func TestZeroBudgetAllCold(t *testing.T) {
+	res, err := cluster.Run(cluster.Config{
+		Hosts:    1,
+		Scheme:   snapBPF(),
+		Arrivals: spaced(3, "json", time.Second),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Warm != 0 || res.Cold != 3 {
+		t.Errorf("cold=%d warm=%d, want all 3 cold", res.Cold, res.Warm)
+	}
+}
+
+// The budget caps the pool: distinct functions evict each other's
+// idle sandboxes, and the eviction counter reports it.
+func TestWarmPoolBudgetEviction(t *testing.T) {
+	res, err := cluster.Run(cluster.Config{
+		Hosts:     1,
+		Scheme:    snapBPF(),
+		KeepAlive: cluster.KeepAlive{Budget: 1},
+		Arrivals:  mix(4, time.Second, "json", "pyaes"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Warm != 0 {
+		t.Errorf("warm=%d, want 0: alternating functions under budget 1 never rehit", res.Warm)
+	}
+	if got := res.Hosts[0].WarmEvicted; got != 3 {
+		t.Errorf("WarmEvicted=%d, want 3 (last sandbox drains at end of run)", got)
+	}
+}
+
+// An idle timeout must expire a parked sandbox, forcing the next
+// invocation cold again and autoscaling the pool down.
+func TestIdleTimeout(t *testing.T) {
+	res, err := cluster.Run(cluster.Config{
+		Hosts:     1,
+		Scheme:    snapBPF(),
+		KeepAlive: cluster.KeepAlive{Budget: 2, IdleTimeout: 2 * time.Second},
+		Arrivals: []workload.Arrival{
+			{At: 0, Tenant: "t", Seq: 0, Fn: "json"},
+			{At: time.Second, Tenant: "t", Seq: 1, Fn: "json"},      // warm rehit
+			{At: 10 * time.Second, Tenant: "t", Seq: 2, Fn: "json"}, // after expiry
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cold != 2 || res.Warm != 1 {
+		t.Fatalf("cold=%d warm=%d, want 2 cold + 1 warm", res.Cold, res.Warm)
+	}
+	if res.Invocations[2].Warm {
+		t.Error("invocation after idle timeout served warm")
+	}
+	if res.Hosts[0].WarmEvicted == 0 {
+		t.Error("idle timeout evicted nothing")
+	}
+}
+
+// The token bucket must reject the overflow of a burst and admit
+// trickle traffic untouched.
+func TestAdmissionControl(t *testing.T) {
+	res, err := cluster.Run(cluster.Config{
+		Hosts:     2,
+		Scheme:    snapBPF(),
+		Admission: &cluster.Admission{RatePerSec: 1, Burst: 2},
+		Arrivals:  burst(5, "json"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Admitted != 2 || res.Rejected != 3 {
+		t.Fatalf("admitted=%d rejected=%d, want 2/3: burst 2 at t=0 with no refill", res.Admitted, res.Rejected)
+	}
+	trickle, err := cluster.Run(cluster.Config{
+		Hosts:     2,
+		Scheme:    snapBPF(),
+		Admission: &cluster.Admission{RatePerSec: 1, Burst: 2},
+		Arrivals:  spaced(4, "json", 2*time.Second),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trickle.Rejected != 0 {
+		t.Errorf("trickle under the bucket rate rejected %d", trickle.Rejected)
+	}
+}
+
+func planPtr(p faults.Plan) *faults.Plan { return &p }
+
+// Conservation: across every router and fault preset, arrivals ==
+// admitted + rejected, admitted == cold + warm == completed, per-host
+// tallies agree with the stream, fault injection stays confined to
+// the configured hosts, and the per-host checkers see zero invariant
+// violations (a violation fails Run).
+func TestConservationAcrossRoutersAndFaults(t *testing.T) {
+	presets := []struct {
+		name  string
+		plan  *faults.Plan
+		hosts []int
+	}{
+		{"healthy", nil, nil},
+		{"light-subset", planPtr(faults.Light(3)), []int{0}},
+		{"heavy-subset", planPtr(faults.Heavy(4)), []int{1, 2}},
+	}
+	arrivals := mix(9, 300*time.Millisecond, "json", "pyaes", "json")
+	for _, router := range cluster.Routers() {
+		for _, preset := range presets {
+			t.Run(string(router)+"/"+preset.name, func(t *testing.T) {
+				res, err := cluster.Run(cluster.Config{
+					Hosts:      3,
+					Scheme:     snapBPF(),
+					Router:     router,
+					KeepAlive:  cluster.KeepAlive{Budget: 1},
+					Admission:  &cluster.Admission{RatePerSec: 5, Burst: 3},
+					Arrivals:   arrivals,
+					Faults:     preset.plan,
+					FaultHosts: preset.hosts,
+					Check:      true,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := res.Admitted + res.Rejected; got != len(arrivals) {
+					t.Errorf("admitted %d + rejected %d != %d arrivals", res.Admitted, res.Rejected, got)
+				}
+				if got := res.Cold + res.Warm; got != res.Admitted {
+					t.Errorf("cold %d + warm %d != admitted %d", res.Cold, res.Warm, res.Admitted)
+				}
+				var completed, hostCold, hostWarm int
+				for _, inv := range res.Invocations {
+					if inv.Rejected {
+						if inv.Host != -1 {
+							t.Errorf("rejected invocation %d has host %d", inv.Seq, inv.Host)
+						}
+						continue
+					}
+					completed++
+					if inv.Host < 0 || inv.Host >= 3 {
+						t.Errorf("invocation %d on host %d out of range", inv.Seq, inv.Host)
+					}
+					if inv.E2E <= 0 || inv.Done < inv.Arrived {
+						t.Errorf("invocation %d has impossible timing E2E=%v arrived=%v done=%v",
+							inv.Seq, inv.E2E, inv.Arrived, inv.Done)
+					}
+				}
+				if completed != res.Admitted {
+					t.Errorf("completed %d != admitted %d", completed, res.Admitted)
+				}
+				for hi, hs := range res.Hosts {
+					hostCold += hs.Cold
+					hostWarm += hs.Warm
+					faulty := false
+					for _, f := range preset.hosts {
+						if f == hi {
+							faulty = true
+						}
+					}
+					if !faulty && hs.Faults.Injected() != 0 {
+						t.Errorf("healthy host %d reports %d injected faults", hi, hs.Faults.Injected())
+					}
+					if hs.CheckCounts == nil {
+						t.Errorf("host %d missing check counts under -check", hi)
+					}
+				}
+				if hostCold != res.Cold || hostWarm != res.Warm {
+					t.Errorf("per-host cold/warm %d/%d != totals %d/%d", hostCold, hostWarm, res.Cold, res.Warm)
+				}
+				if len(res.Digests) == 0 {
+					t.Error("no digests recorded under -check")
+				}
+			})
+		}
+	}
+}
+
+// The whole run is a pure function of its Config: byte-identical
+// outcome streams on every rerun.
+func TestRunDeterministic(t *testing.T) {
+	cfg := cluster.Config{
+		Hosts:     3,
+		Scheme:    snapBPF(),
+		Router:    cluster.RouterAffinity,
+		KeepAlive: cluster.KeepAlive{Budget: 2, IdleTimeout: 3 * time.Second},
+		Admission: &cluster.Admission{RatePerSec: 4, Burst: 2},
+		Arrivals:  mix(10, 400*time.Millisecond, "json", "pyaes"),
+		Check:     true,
+	}
+	one, err := cluster.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := cluster.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(one.Invocations, two.Invocations) {
+		t.Error("reruns produced different invocation streams")
+	}
+	if !reflect.DeepEqual(one.Digests, two.Digests) {
+		t.Error("reruns produced different digests")
+	}
+}
+
+// Host names are labels: renaming hosts must not change any outcome.
+func TestHostNamesAreLabels(t *testing.T) {
+	base := cluster.Config{
+		Hosts:     3,
+		Scheme:    snapBPF(),
+		Router:    cluster.RouterAffinity,
+		KeepAlive: cluster.KeepAlive{Budget: 1},
+		Arrivals:  mix(6, 500*time.Millisecond, "json", "pyaes"),
+		Check:     true,
+	}
+	want, err := cluster.Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	renamed := base
+	renamed.HostNames = []string{"zebra", "alpha", "mango"}
+	got, err := cluster.Run(renamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.Invocations, got.Invocations) {
+		t.Error("renaming hosts changed invocation outcomes")
+	}
+}
+
+// Latency/fairness summaries on a hand-built result.
+func TestReportSummaries(t *testing.T) {
+	res := &cluster.Result{}
+	for i, e2e := range []time.Duration{10, 20, 30, 40, 100} {
+		tn := "a"
+		if i >= 3 {
+			tn = "b"
+		}
+		res.Invocations = append(res.Invocations, &cluster.Invocation{
+			Seq: i, Tenant: tn, Class: workload.ClassStandard, E2E: e2e * time.Millisecond,
+		})
+	}
+	res.Invocations = append(res.Invocations, &cluster.Invocation{Seq: 5, Tenant: "b", Rejected: true})
+	all := res.Latency(nil)
+	if all.N != 5 {
+		t.Fatalf("N=%d, want 5 (rejected excluded)", all.N)
+	}
+	if all.P50 != 30*time.Millisecond || all.P99 != 100*time.Millisecond {
+		t.Errorf("p50=%v p99=%v, want 30ms/100ms", all.P50, all.P99)
+	}
+	if f := res.Fairness(); f <= 0.5 || f >= 1 {
+		t.Errorf("fairness=%v, want in (0.5, 1): tenant means differ", f)
+	}
+	if got := res.Tenants(); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Errorf("Tenants=%v", got)
+	}
+	empty := &cluster.Result{}
+	if s := empty.Latency(nil); s.N != 0 || s.P99 != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+	if f := empty.Fairness(); f != 1 {
+		t.Errorf("empty fairness = %v, want 1", f)
+	}
+}

@@ -1,0 +1,230 @@
+package cluster
+
+import (
+	"sort"
+	"time"
+
+	"snapbpf/internal/check"
+	"snapbpf/internal/faults"
+	"snapbpf/internal/obs"
+	"snapbpf/internal/units"
+	"snapbpf/internal/workload"
+)
+
+// Invocation is the outcome of one dispatched request.
+type Invocation struct {
+	Seq    int // index into the merged arrival stream
+	Tenant string
+	Fn     string
+	Class  workload.SLOClass
+
+	// Rejected means admission control dropped the request; no other
+	// outcome field is set.
+	Rejected bool
+
+	// Host is the index of the serving host.
+	Host int
+
+	// Warm means the request hit an idle warm sandbox (no restore).
+	Warm bool
+
+	// Arrived/Done are offsets from the start of the invocation phase.
+	Arrived time.Duration
+	Done    time.Duration
+
+	// E2E is the serving latency: restore + preparation + execution
+	// for a cold start, pure execution for a warm hit.
+	E2E time.Duration
+
+	// Digest is the checker's guest-memory digest for cold starts
+	// under -check (zero otherwise).
+	Digest uint64
+}
+
+// HostStats aggregates one host's view of the run.
+type HostStats struct {
+	Name string
+
+	Cold, Warm int
+
+	// SystemMemory is the host footprint at end of run, before the
+	// final warm-pool teardown — parked sandboxes hold memory.
+	SystemMemory units.ByteSize
+
+	// DeviceBytes/DeviceRequests count invocation-phase storage
+	// traffic (record-phase traffic excluded).
+	DeviceBytes    int64
+	DeviceRequests int64
+
+	// Evictions counts page-cache reclaim events.
+	Evictions int64
+
+	// WarmEvicted counts warm sandboxes torn down by budget pressure
+	// or idle timeout (end-of-run drain excluded).
+	WarmEvicted int
+
+	// Faults reports what this host's injector did (zero when the
+	// host ran healthy).
+	Faults faults.Report
+
+	// Obs is the host's observability report, non-nil only when
+	// Config.Obs asked for recording.
+	Obs *obs.Report
+
+	// CheckCounts is the host checker's event tally, non-nil only
+	// when Config.Check was set.
+	CheckCounts *check.Counts
+}
+
+// Result is the outcome of one cluster run.
+type Result struct {
+	// Invocations holds every arrival's outcome in arrival order.
+	Invocations []*Invocation
+
+	Admitted, Rejected int
+	Cold, Warm         int
+
+	// Hosts holds per-host statistics in host-index order.
+	Hosts []HostStats
+
+	// Digests maps each function (sorted-name order of Functions) to
+	// the guest-memory digest its cold starts converged to, when
+	// Config.Check was set.
+	Digests map[string]uint64
+
+	// Functions is the sorted list of function names the run served.
+	Functions []string
+}
+
+// LatencySummary is an order-statistics summary of a latency set.
+type LatencySummary struct {
+	N             int
+	P50, P95, P99 time.Duration
+	Mean          time.Duration
+}
+
+// summarize computes nearest-rank percentiles over a copy of ds.
+func summarize(ds []time.Duration) LatencySummary {
+	s := LatencySummary{N: len(ds)}
+	if s.N == 0 {
+		return s
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	s.Mean = sum / time.Duration(s.N)
+	rank := func(p float64) time.Duration {
+		i := int(float64(s.N)*p+0.5) - 1 // nearest rank, 1-based
+		if i < 0 {
+			i = 0
+		}
+		if i >= s.N {
+			i = s.N - 1
+		}
+		return sorted[i]
+	}
+	s.P50, s.P95, s.P99 = rank(0.50), rank(0.95), rank(0.99)
+	return s
+}
+
+// filter selects completed invocations matching keep.
+func (r *Result) filter(keep func(*Invocation) bool) []*Invocation {
+	var out []*Invocation
+	for _, inv := range r.Invocations {
+		if !inv.Rejected && keep(inv) {
+			out = append(out, inv)
+		}
+	}
+	return out
+}
+
+func latencies(invs []*Invocation) []time.Duration {
+	ds := make([]time.Duration, len(invs))
+	for i, inv := range invs {
+		ds[i] = inv.E2E
+	}
+	return ds
+}
+
+// Latency summarizes E2E over completed invocations matching keep
+// (nil keeps all).
+func (r *Result) Latency(keep func(*Invocation) bool) LatencySummary {
+	if keep == nil {
+		keep = func(*Invocation) bool { return true }
+	}
+	return summarize(latencies(r.filter(keep)))
+}
+
+// ColdLatency summarizes E2E over cold starts matching keep (nil
+// keeps all cold starts).
+func (r *Result) ColdLatency(keep func(*Invocation) bool) LatencySummary {
+	return r.Latency(func(inv *Invocation) bool {
+		return !inv.Warm && (keep == nil || keep(inv))
+	})
+}
+
+// Classes returns the sorted distinct SLO classes among completed
+// invocations.
+func (r *Result) Classes() []workload.SLOClass {
+	seen := make(map[workload.SLOClass]bool)
+	var out []workload.SLOClass
+	for _, inv := range r.Invocations {
+		if !inv.Rejected && !seen[inv.Class] {
+			seen[inv.Class] = true
+			out = append(out, inv.Class)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Tenants returns the sorted distinct tenants across all arrivals.
+func (r *Result) Tenants() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, inv := range r.Invocations {
+		if !seen[inv.Tenant] {
+			seen[inv.Tenant] = true
+			out = append(out, inv.Tenant)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Fairness is Jain's fairness index over per-tenant mean latencies:
+// (Σx)² / (n·Σx²), 1.0 when every tenant sees the same mean, 1/n in
+// the worst case. Tenants with no completed invocations are skipped.
+func (r *Result) Fairness() float64 {
+	var means []float64
+	for _, tn := range r.Tenants() {
+		s := r.Latency(func(inv *Invocation) bool { return inv.Tenant == tn })
+		if s.N > 0 {
+			means = append(means, s.Mean.Seconds())
+		}
+	}
+	if len(means) == 0 {
+		return 1
+	}
+	var sum, sq float64
+	for _, x := range means {
+		sum += x
+		sq += x * x
+	}
+	if sq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(means)) * sq)
+}
+
+// DeviceBytes totals invocation-phase storage reads across hosts.
+func (r *Result) DeviceBytes() int64 {
+	var n int64
+	for _, h := range r.Hosts {
+		n += h.DeviceBytes
+	}
+	return n
+}

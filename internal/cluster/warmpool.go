@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"snapbpf/internal/sim"
+	"snapbpf/internal/vmm"
+)
+
+// KeepAlive configures the per-host warm sandbox pool.
+type KeepAlive struct {
+	// Budget caps warm sandboxes kept per host (idle + serving).
+	// 0 disables keep-alive entirely: every completed sandbox is torn
+	// down and every invocation is a cold start.
+	Budget int
+
+	// IdleTimeout evicts a warm sandbox idle for this long; <= 0
+	// keeps idle sandboxes until the run ends or the budget forces
+	// them out. Eviction is a scheduled virtual-time event, so the
+	// pool autoscales down after a traffic burst passes.
+	IdleTimeout time.Duration
+}
+
+// Validate checks keep-alive sanity.
+func (k KeepAlive) Validate() error {
+	if k.Budget < 0 {
+		return fmt.Errorf("cluster: keep-alive budget must be >= 0, got %d", k.Budget)
+	}
+	return nil
+}
+
+// warmVM is one parked (or currently serving) warm sandbox.
+type warmVM struct {
+	vm     *vmm.MicroVM
+	fn     string
+	parked sim.Time // when it last became idle
+	epoch  int      // bumped per park; stale idle timers check it
+	idle   bool
+}
+
+// warmPool holds one host's warm sandboxes. idle is in park order
+// (oldest first); take scans newest-first (MRU keeps the hottest
+// sandbox hot), budget eviction removes the oldest idle entry.
+type warmPool struct {
+	idle    []*warmVM
+	serving int
+}
+
+// total counts all live warm sandboxes, idle and serving.
+func (w *warmPool) total() int { return len(w.idle) + w.serving }
+
+// hasIdle reports whether an idle warm sandbox for fn exists.
+func (w *warmPool) hasIdle(fn string) bool {
+	for _, v := range w.idle {
+		if v.fn == fn {
+			return true
+		}
+	}
+	return false
+}
+
+// take removes and returns the most recently parked idle sandbox for
+// fn, or nil. The caller owns it until release or shutdown.
+func (w *warmPool) take(fn string) *warmVM {
+	for i := len(w.idle) - 1; i >= 0; i-- {
+		if v := w.idle[i]; v.fn == fn {
+			w.idle = append(w.idle[:i], w.idle[i+1:]...)
+			v.idle = false
+			v.epoch++ // invalidate any pending idle timer
+			w.serving++
+			return v
+		}
+	}
+	return nil
+}
+
+// park adds v as idle (newest).
+func (w *warmPool) park(v *warmVM, now sim.Time) {
+	v.idle = true
+	v.parked = now
+	v.epoch++
+	w.idle = append(w.idle, v)
+}
+
+// evictOldestIdle removes and returns the oldest idle sandbox, or nil
+// if every budgeted sandbox is busy serving.
+func (w *warmPool) evictOldestIdle() *warmVM {
+	if len(w.idle) == 0 {
+		return nil
+	}
+	v := w.idle[0]
+	w.idle = w.idle[1:]
+	v.idle = false
+	v.epoch++
+	return v
+}
+
+// remove drops v from the idle list (idle-timeout eviction). Returns
+// false if v is no longer idle.
+func (w *warmPool) remove(v *warmVM) bool {
+	for i, e := range w.idle {
+		if e == v {
+			w.idle = append(w.idle[:i], w.idle[i+1:]...)
+			v.idle = false
+			return true
+		}
+	}
+	return false
+}
+
+// drain empties the pool at end of run, returning all idle sandboxes
+// oldest-first for teardown.
+func (w *warmPool) drain() []*warmVM {
+	out := w.idle
+	w.idle = nil
+	for _, v := range out {
+		v.idle = false
+		v.epoch++
+	}
+	return out
+}

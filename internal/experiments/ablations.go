@@ -333,5 +333,6 @@ func All() []struct {
 		{"ext-snapshot-creation", ExtSnapshotCreation},
 		{"ext-cache-pressure", ExtCachePressure},
 		{"ext-steady-state", ExtSteadyState},
+		{"cluster", Cluster},
 	}
 }

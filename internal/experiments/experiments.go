@@ -47,6 +47,17 @@ type Options struct {
 	// between serial and parallel execution. Only cells that produced
 	// an observability report are delivered.
 	ObsSink func(i int, cell Cell, res *RunResult)
+
+	// ObsSinkNamed receives observability reports from experiments
+	// whose unit of measurement is not a single-host RunResult — the
+	// cluster experiment delivers one report per (cell, host), always
+	// in (cell, host-index) order for the same byte-identical-output
+	// guarantee ObsSink gives.
+	ObsSinkNamed func(name string, rep *obs.Report)
+
+	// Cluster tunes the cluster experiment; nil means the golden
+	// 4-host configuration (see ClusterParams).
+	Cluster *ClusterParams
 }
 
 func (o Options) functions() []workload.Function {

@@ -66,9 +66,20 @@ type Observer interface {
 // SetObserver installs obs (nil disables observation).
 func (h *Host) SetObserver(obs Observer) { h.obs = obs }
 
-// NewHost assembles a host around the given device parameters.
+// NewHost assembles a host around the given device parameters on its
+// own private simulation engine.
 func NewHost(devParams blockdev.Params) *Host {
-	eng := sim.NewEngine()
+	return NewHostOnEngine(sim.NewEngine(), devParams)
+}
+
+// NewHostOnEngine assembles a host on an existing engine, so several
+// hosts can share one virtual clock (the cluster simulator builds a
+// region this way). Every other layer — device, page cache, memory
+// manager, probes, eBPF — stays private to the host.
+//
+// Note the eBPF VM clock is bound to eng, so hosts sharing an engine
+// also share ktime; that is exactly the region-wide clock contract.
+func NewHostOnEngine(eng *sim.Engine, devParams blockdev.Params) *Host {
 	cm := costmodel.Default()
 	dev := blockdev.New(eng, devParams)
 	probes := kprobe.NewRegistry()

@@ -1,0 +1,172 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Arrival is one generated invocation request.
+type Arrival struct {
+	At     time.Duration // offset from the start of the run
+	Tenant string
+	Seq    int // per-tenant arrival index
+	Fn     string
+	Class  SLOClass
+}
+
+// tenantSeed derives a tenant's private stream seed. When the spec
+// carries an explicit seed it wins; otherwise the seed is a splitmix64
+// hash of the cluster seed and the tenant name, so a tenant's stream
+// depends only on its own identity — never on declaration order.
+func tenantSeed(clusterSeed int64, t TenantSpec) int64 {
+	if t.Seed != 0 {
+		return t.Seed
+	}
+	h := uint64(clusterSeed) ^ 0x9e3779b97f4a7c15
+	for _, b := range []byte(t.Name) {
+		h ^= uint64(b)
+		h *= 0xff51afd7ed558ccd
+		h ^= h >> 33
+	}
+	// splitmix64 finalizer.
+	h += 0x9e3779b97f4a7c15
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	h ^= h >> 31
+	s := int64(h)
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
+
+// gammaSample draws from Gamma(shape k, scale 1) via Marsaglia–Tsang,
+// using only the seeded rng's own methods (determinism contract).
+func gammaSample(rng *rand.Rand, k float64) float64 {
+	if k < 1 {
+		// Boost: Gamma(k) = Gamma(k+1) * U^(1/k).
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return gammaSample(rng, k+1) * math.Pow(u, 1/k)
+	}
+	d := k - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// interarrival draws one interarrival gap with mean 1/rate.
+func (t TenantSpec) interarrival(rng *rand.Rand) time.Duration {
+	mean := 1 / t.RatePerSec
+	var gap float64
+	switch t.Arrival {
+	case ArrivalGamma:
+		// Gamma(k, θ) with kθ = mean.
+		gap = gammaSample(rng, t.Shape) * (mean / t.Shape)
+	default: // poisson: exponential interarrivals
+		gap = rng.ExpFloat64() * mean
+	}
+	d := time.Duration(gap * float64(time.Second))
+	if d < time.Nanosecond {
+		d = time.Nanosecond // keep virtual time strictly advancing
+	}
+	return d
+}
+
+// weights returns the tenant's effective selection weights: explicit
+// shares, or Zipf ranks over declaration order.
+func (t TenantSpec) weights() []float64 {
+	w := make([]float64, len(t.Funcs))
+	for i, fs := range t.Funcs {
+		if t.Zipf > 0 {
+			w[i] = math.Pow(float64(i+1), -t.Zipf)
+		} else {
+			w[i] = fs.Weight
+		}
+	}
+	return w
+}
+
+// pickFn selects a function from the mix.
+func (t TenantSpec) pickFn(rng *rand.Rand, w []float64) string {
+	total := 0.0
+	for _, x := range w {
+		total += x
+	}
+	u := rng.Float64() * total
+	for i, x := range w {
+		u -= x
+		if u < 0 {
+			return t.Funcs[i].Name
+		}
+	}
+	return t.Funcs[len(t.Funcs)-1].Name
+}
+
+// TenantArrivals generates one tenant's arrival stream over the
+// horizon. The stream is a pure function of (clusterSeed, spec).
+func TenantArrivals(clusterSeed int64, t TenantSpec, horizon time.Duration) []Arrival {
+	rng := rand.New(rand.NewSource(tenantSeed(clusterSeed, t)))
+	class := t.Class
+	if class == "" {
+		class = ClassStandard
+	}
+	w := t.weights()
+	var out []Arrival
+	at := time.Duration(0)
+	for {
+		at += t.interarrival(rng)
+		if at >= horizon {
+			return out
+		}
+		out = append(out, Arrival{
+			At:     at,
+			Tenant: t.Name,
+			Seq:    len(out),
+			Fn:     t.pickFn(rng, w),
+			Class:  class,
+		})
+	}
+}
+
+// Arrivals generates the merged region-wide arrival stream: every
+// tenant's stream, sorted by (At, Tenant, Seq). Because each tenant's
+// stream is seeded from its own name, the result is byte-identical
+// under any permutation of the Tenants slice.
+func (s ClusterSpec) Arrivals() ([]Arrival, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	var all []Arrival
+	for _, t := range s.Tenants {
+		all = append(all, TenantArrivals(s.Seed, t, s.Horizon)...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Tenant != b.Tenant {
+			return a.Tenant < b.Tenant
+		}
+		return a.Seq < b.Seq
+	})
+	return all, nil
+}

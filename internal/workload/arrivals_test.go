@@ -1,0 +1,176 @@
+package workload
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func jsonOnly() []FuncShare { return []FuncShare{{Name: "json", Weight: 1}} }
+
+// Same seed, same spec: the arrival stream must be identical — the
+// cluster experiment's byte-pinned CSV stands on this.
+func TestArrivalsDeterministic(t *testing.T) {
+	spec := ClusterSpec{
+		Seed:    7,
+		Horizon: 30 * time.Second,
+		Tenants: []TenantSpec{
+			{Name: "a", RatePerSec: 3, Arrival: ArrivalPoisson, Funcs: jsonOnly()},
+			{Name: "b", RatePerSec: 2, Arrival: ArrivalGamma, Shape: 0.5, Funcs: jsonOnly()},
+		},
+	}
+	first, err := spec.Arrivals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := spec.Arrivals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Error("same spec generated different arrival streams")
+	}
+	if len(first) == 0 {
+		t.Fatal("empty arrival stream")
+	}
+	for i := 1; i < len(first); i++ {
+		if first[i].At < first[i-1].At {
+			t.Fatalf("arrivals not time-sorted at %d: %v < %v", i, first[i].At, first[i-1].At)
+		}
+	}
+}
+
+// Permuting tenant declaration order must not change the merged
+// stream: each tenant's randomness is seeded from its own name.
+func TestArrivalsTenantOrderInvariant(t *testing.T) {
+	a := TenantSpec{Name: "a", RatePerSec: 3, Arrival: ArrivalPoisson, Funcs: jsonOnly(), Class: "latency"}
+	b := TenantSpec{Name: "b", RatePerSec: 2, Arrival: ArrivalGamma, Shape: 2, Funcs: jsonOnly()}
+	c := TenantSpec{Name: "c", RatePerSec: 1, Arrival: ArrivalPoisson, Funcs: jsonOnly(), Class: "batch"}
+	base := ClusterSpec{Seed: 11, Horizon: 20 * time.Second, Tenants: []TenantSpec{a, b, c}}
+	perm := ClusterSpec{Seed: 11, Horizon: 20 * time.Second, Tenants: []TenantSpec{c, a, b}}
+	want, err := base.Arrivals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := perm.Arrivals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Error("permuting tenant declaration order changed the arrival stream")
+	}
+}
+
+// An explicit tenant seed pins the stream regardless of cluster seed.
+func TestArrivalsExplicitSeed(t *testing.T) {
+	spec := TenantSpec{Name: "x", RatePerSec: 5, Arrival: ArrivalPoisson, Funcs: jsonOnly(), Seed: 99}
+	one := TenantArrivals(1, spec, 10*time.Second)
+	two := TenantArrivals(2, spec, 10*time.Second)
+	if !reflect.DeepEqual(one, two) {
+		t.Error("explicit tenant seed did not pin the stream across cluster seeds")
+	}
+	spec.Seed = 0
+	three := TenantArrivals(1, spec, 10*time.Second)
+	four := TenantArrivals(2, spec, 10*time.Second)
+	if reflect.DeepEqual(three, four) {
+		t.Error("derived seeds identical across different cluster seeds")
+	}
+}
+
+// meanGap returns the mean interarrival of a stream.
+func meanGap(as []Arrival) float64 {
+	if len(as) < 2 {
+		return math.NaN()
+	}
+	total := as[len(as)-1].At - as[0].At
+	return total.Seconds() / float64(len(as)-1)
+}
+
+// Interarrival means must land within tolerance of 1/rate for every
+// arrival process — the seeded-determinism property from the issue.
+func TestInterarrivalMeans(t *testing.T) {
+	const (
+		rate    = 5.0
+		horizon = 400 * time.Second // ~2000 samples
+		tol     = 0.10
+	)
+	cases := []TenantSpec{
+		{Name: "poisson", RatePerSec: rate, Arrival: ArrivalPoisson, Funcs: jsonOnly()},
+		{Name: "gamma-burst", RatePerSec: rate, Arrival: ArrivalGamma, Shape: 0.5, Funcs: jsonOnly()},
+		{Name: "gamma-smooth", RatePerSec: rate, Arrival: ArrivalGamma, Shape: 4, Funcs: jsonOnly()},
+	}
+	for _, spec := range cases {
+		as := TenantArrivals(1, spec, horizon)
+		if len(as) < 100 {
+			t.Fatalf("%s: only %d arrivals", spec.Name, len(as))
+		}
+		want := 1 / rate
+		got := meanGap(as)
+		if math.Abs(got-want)/want > tol {
+			t.Errorf("%s: mean interarrival %.4fs, want %.4fs ± %.0f%%", spec.Name, got, want, tol*100)
+		}
+	}
+}
+
+// Zipf popularity must order function frequencies by rank.
+func TestZipfPopularity(t *testing.T) {
+	spec := TenantSpec{
+		Name: "z", RatePerSec: 50, Arrival: ArrivalPoisson,
+		Funcs: []FuncShare{{Name: "first"}, {Name: "second"}, {Name: "third"}},
+		Zipf:  1.2,
+	}
+	as := TenantArrivals(1, spec, 100*time.Second) // ~5000 samples
+	counts := make(map[string]int)
+	for _, a := range as {
+		counts[a.Fn]++
+	}
+	if !(counts["first"] > counts["second"] && counts["second"] > counts["third"]) {
+		t.Errorf("zipf rank order violated: %v", counts)
+	}
+	if counts["third"] == 0 {
+		t.Error("zipf starved the tail rank entirely")
+	}
+}
+
+// Explicit weights must drive selection shares.
+func TestWeightedMix(t *testing.T) {
+	spec := TenantSpec{
+		Name: "w", RatePerSec: 50, Arrival: ArrivalPoisson,
+		Funcs: []FuncShare{{Name: "hot", Weight: 9}, {Name: "cold", Weight: 1}},
+	}
+	as := TenantArrivals(1, spec, 100*time.Second)
+	hot := 0
+	for _, a := range as {
+		if a.Fn == "hot" {
+			hot++
+		}
+	}
+	share := float64(hot) / float64(len(as))
+	if share < 0.85 || share > 0.95 {
+		t.Errorf("hot share %.3f, want ~0.9", share)
+	}
+}
+
+// Default class is standard; declared classes pass through.
+func TestArrivalClass(t *testing.T) {
+	spec := TenantSpec{Name: "x", RatePerSec: 5, Arrival: ArrivalPoisson, Funcs: jsonOnly()}
+	for _, a := range TenantArrivals(1, spec, 5*time.Second) {
+		if a.Class != ClassStandard {
+			t.Fatalf("default class = %q, want standard", a.Class)
+		}
+	}
+	spec.Class = ClassBatch
+	for _, a := range TenantArrivals(1, spec, 5*time.Second) {
+		if a.Class != ClassBatch {
+			t.Fatalf("class = %q, want batch", a.Class)
+		}
+	}
+}
+
+func TestArrivalsRejectsInvalidSpec(t *testing.T) {
+	bad := ClusterSpec{Horizon: time.Second}
+	if _, err := bad.Arrivals(); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}

@@ -1,0 +1,51 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzWorkloadSpec fuzzes the tenant-spec parser: any accepted line
+// must validate, render canonically, and round-trip through
+// String/ParseTenantSpec to the identical spec. The committed corpus
+// under testdata/fuzz/FuzzWorkloadSpec seeds the interesting shapes.
+func FuzzWorkloadSpec(f *testing.F) {
+	seeds := []string{
+		"name=acme rate=1.5 funcs=json:3,html:1",
+		"name=batchco rate=0.5 arrival=gamma:0.5 funcs=image,video zipf=1.1",
+		"name=burst rate=100 arrival=gamma:2 funcs=json class=latency seed=42",
+		"name=t rate=2.5e-1 funcs=a:0.25,b:0.75 class=batch",
+		"name=x rate=1 arrival=poisson funcs=json",
+		"name=x rate=0 funcs=json",
+		"name=x rate=1 funcs=json zipf=-1",
+		"name=x rate=inf funcs=json",
+		"name=x rate=1 funcs=json:nan",
+		"rate=1 funcs=json",
+		"",
+		"name==x rate=1 funcs=json",
+		"name=x rate=1 funcs=json seed=-9223372036854775808",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		spec, err := ParseTenantSpec(line)
+		if err != nil {
+			return // rejected input: nothing more to hold
+		}
+		if verr := spec.Validate(); verr != nil {
+			t.Fatalf("parser accepted %q but Validate rejects it: %v", line, verr)
+		}
+		canon := spec.String()
+		again, err := ParseTenantSpec(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q (of %q) does not reparse: %v", canon, line, err)
+		}
+		if !reflect.DeepEqual(spec, again) {
+			t.Fatalf("round trip of %q drifted:\n first: %+v\nsecond: %+v", line, spec, again)
+		}
+		if again.String() != canon {
+			t.Fatalf("canonical form of %q unstable: %q != %q", line, canon, again.String())
+		}
+	})
+}

@@ -1,0 +1,133 @@
+package workload
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseTenantSpecRoundTrip(t *testing.T) {
+	lines := []string{
+		"name=acme rate=1.5 funcs=json:3,html:1",
+		"name=acme rate=1.5 arrival=poisson funcs=json:1",
+		"name=batchco rate=0.5 arrival=gamma:0.5 funcs=image,video zipf=1.1",
+		"name=burst rate=100 arrival=gamma:2 funcs=json:1 class=latency seed=42",
+		"name=t rate=2.5e-1 funcs=a:0.25,b:0.75 class=batch",
+	}
+	for _, line := range lines {
+		spec, err := ParseTenantSpec(line)
+		if err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		again, err := ParseTenantSpec(spec.String())
+		if err != nil {
+			t.Fatalf("reparse %q (from %q): %v", spec.String(), line, err)
+		}
+		if !reflect.DeepEqual(spec, again) {
+			t.Errorf("round trip of %q: %+v != %+v", line, spec, again)
+		}
+		if spec.String() != again.String() {
+			t.Errorf("canonical form of %q unstable: %q != %q", line, spec.String(), again.String())
+		}
+	}
+}
+
+func TestParseTenantSpecDefaults(t *testing.T) {
+	spec, err := ParseTenantSpec("name=x rate=1 funcs=json,html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Arrival != ArrivalPoisson {
+		t.Errorf("default arrival = %q, want poisson", spec.Arrival)
+	}
+	for _, fs := range spec.Funcs {
+		if fs.Weight != 1 {
+			t.Errorf("default weight for %s = %v, want 1", fs.Name, fs.Weight)
+		}
+	}
+	gamma, err := ParseTenantSpec("name=x rate=1 arrival=gamma funcs=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gamma.Shape != 1 {
+		t.Errorf("bare gamma shape = %v, want 1", gamma.Shape)
+	}
+}
+
+func TestParseTenantSpecErrors(t *testing.T) {
+	cases := []struct {
+		line, want string
+	}{
+		{"", "missing required key"},
+		{"name=x rate=1", "missing required key \"funcs\""},
+		{"rate=1 funcs=json", "missing required key \"name\""},
+		{"name=x funcs=json", "missing required key \"rate\""},
+		{"name=x rate=0 funcs=json", "rate must be positive"},
+		{"name=x rate=-2 funcs=json", "rate must be positive"},
+		{"name=x rate=NaN funcs=json", "rate must be positive"},
+		{"name=x rate=1 funcs=json name=y", "duplicate key"},
+		{"name=x rate=1 funcs=json,json", "duplicate function"},
+		{"name=x rate=1 funcs=json:-1", "bad weight"},
+		{"name=x rate=1 funcs=json:0,html:0", "weights sum to zero"},
+		{"name=x rate=1 funcs=json:2 zipf=1", "mutually exclusive"},
+		{"name=x rate=1 funcs=json zipf=-1", "zipf exponent"},
+		{"name=x rate=1 arrival=uniform funcs=json", "unknown arrival"},
+		{"name=x rate=1 arrival=poisson:2 funcs=json", "takes no parameter"},
+		{"name=x rate=1 arrival=gamma:0 funcs=json", "gamma shape"},
+		{"name=x rate=1 funcs=json color=red", "unknown tenant spec key"},
+		{"name=x rate=1 funcs=json garbage", "not key=value"},
+		{"name=a=b rate=1 funcs=json", "separator characters"},
+		{"name=x rate=1 funcs=", "empty function name"},
+		{"name=x rate=1 funcs=json seed=abc", "bad seed"},
+	}
+	for _, c := range cases {
+		if _, err := ParseTenantSpec(c.line); err == nil {
+			t.Errorf("parse %q: expected error containing %q, got nil", c.line, c.want)
+		} else if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("parse %q: error %q does not contain %q", c.line, err, c.want)
+		}
+	}
+}
+
+func TestClusterSpecValidate(t *testing.T) {
+	ok := TenantSpec{Name: "a", RatePerSec: 1, Arrival: ArrivalPoisson,
+		Funcs: []FuncShare{{Name: "json", Weight: 1}}}
+	cases := []struct {
+		name string
+		spec ClusterSpec
+		want string
+	}{
+		{"no tenants", ClusterSpec{Horizon: time.Second}, "no tenants"},
+		{"no horizon", ClusterSpec{Tenants: []TenantSpec{ok}}, "horizon"},
+		{"duplicate tenant", ClusterSpec{Tenants: []TenantSpec{ok, ok}, Horizon: time.Second}, "duplicate tenant"},
+	}
+	for _, c := range cases {
+		if err := c.spec.Validate(); err == nil {
+			t.Errorf("%s: expected error containing %q", c.name, c.want)
+		} else if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.want)
+		}
+	}
+	good := ClusterSpec{Tenants: []TenantSpec{ok}, Horizon: time.Second}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+}
+
+func TestClusterSpecFunctionNames(t *testing.T) {
+	spec := ClusterSpec{
+		Horizon: time.Second,
+		Tenants: []TenantSpec{
+			{Name: "a", RatePerSec: 1, Arrival: ArrivalPoisson,
+				Funcs: []FuncShare{{Name: "json", Weight: 1}, {Name: "html", Weight: 1}}},
+			{Name: "b", RatePerSec: 1, Arrival: ArrivalPoisson,
+				Funcs: []FuncShare{{Name: "json", Weight: 1}, {Name: "bert", Weight: 1}}},
+		},
+	}
+	got := spec.FunctionNames()
+	want := []string{"bert", "html", "json"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("FunctionNames = %v, want %v", got, want)
+	}
+}

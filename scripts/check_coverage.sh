@@ -20,6 +20,8 @@ declare -A floors=(
   [snapbpf/internal/prefetch/faast]=76.0
   [snapbpf/internal/prefetch/reap]=76.0
   [snapbpf/internal/check]=58.0
+  [snapbpf/internal/cluster]=83.0
+  [snapbpf/internal/workload]=90.0
   [snapbpf/internal/calib]=85.0
   [snapbpf/internal/obs]=64.0
   [snapbpf/internal/analysis]=98.0
