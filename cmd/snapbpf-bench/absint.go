@@ -1,0 +1,28 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"snapbpf/internal/core"
+	"snapbpf/internal/ebpf"
+)
+
+// writeAbsintReport prints the abstract-interpretation report for the
+// built-in capture and prefetch programs — the same analysis
+// snapbpf-ebpf-check enforces in CI, surfaced here next to the
+// experiment harness that runs those programs.
+func writeAbsintReport(w io.Writer) error {
+	bad := 0
+	for _, bp := range core.BuiltinPrograms() {
+		r := bp.VM.Analyze(bp.Insns)
+		unproven := ebpf.WriteAbsintReport(w, bp.Name, bp.Insns, r)
+		if !r.OK || unproven > 0 {
+			bad++
+		}
+	}
+	if bad > 0 {
+		return fmt.Errorf("absint-report: %d program(s) with unproven accesses", bad)
+	}
+	return nil
+}

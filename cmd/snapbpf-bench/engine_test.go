@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"snapbpf/internal/ebpf"
+)
+
+// TestEngineFlagValidation pins the flag-parse-time contract: every
+// value the -engine flag (or SNAPBPF_EBPF_ENGINE) can carry is either
+// a known engine or a fatal error that names the valid values — no
+// silent fallback to the default.
+func TestEngineFlagValidation(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want ebpf.Engine
+	}{
+		{"", ebpf.EngineJIT},
+		{"jit", ebpf.EngineJIT},
+		{"interp", ebpf.EngineInterp},
+		{"interpreter", ebpf.EngineInterp},
+	} {
+		e, err := ebpf.ParseEngine(tc.in)
+		if err != nil || e != tc.want {
+			t.Errorf("ParseEngine(%q) = %v, %v; want %v", tc.in, e, err, tc.want)
+		}
+	}
+	for _, bad := range []string{"JIT", "native", "jit ", "interp,jit", "0"} {
+		_, err := ebpf.ParseEngine(bad)
+		if err == nil {
+			t.Errorf("ParseEngine(%q) silently accepted", bad)
+			continue
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, "jit") || !strings.Contains(msg, "interp") {
+			t.Errorf("ParseEngine(%q) error %q does not list the valid values", bad, msg)
+		}
+	}
+}
+
+// TestAbsintReportOutput checks the -absint-report path: both built-in
+// programs appear, both verify, and the capture program carries a
+// finite worst-case bound.
+func TestAbsintReportOutput(t *testing.T) {
+	var sb strings.Builder
+	if err := writeAbsintReport(&sb); err != nil {
+		t.Fatalf("built-in programs must verify cleanly: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"program snapbpf-capture: OK",
+		"program snapbpf-prefetch: OK",
+		"worst case 39 insns",
+		"worst case unbounded (dynamic budget applies)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

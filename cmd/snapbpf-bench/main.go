@@ -67,6 +67,8 @@ func main() {
 		fitnessOut = flag.String("fitness-out", "results/fitness.json", "where -fitness writes its JSON verdict")
 		replayFns  = flag.String("replay", "", "comma-separated function names: counterfactual prefetch-decision replay instead of experiments")
 		replayK    = flag.Int("replay-k", 3, "alternative schedules to replay per function, beyond the recorded one")
+		absintRep  = flag.Bool("absint-report", false, "print the abstract-interpretation report for the built-in eBPF programs and exit")
+		absintPr   = flag.Bool("absint-prune", false, "feed abstract-interpretation facts to the JIT: dead-block elision, branch flattening, bounded-loop budget elision")
 		hostsN     = flag.Int("hosts", 0, "cluster experiment: region size in hosts (0 = default 4)")
 		routerFl   = flag.String("router", "", "cluster experiment: comma-separated routing policies (roundrobin, leastloaded, affinity; empty = all)")
 		keepalive  = flag.Int("keepalive", -1, "cluster experiment: warm sandboxes kept per host (-1 = default sweep 0,2)")
@@ -80,6 +82,14 @@ func main() {
 		fatal(err)
 	}
 	ebpf.SetDefaultEngine(engine)
+	ebpf.SetAbsintPrune(*absintPr)
+
+	if *absintRep {
+		if err := writeAbsintReport(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	all := experiments.All()
 	if *list {

@@ -1,0 +1,43 @@
+// snapbpf-ebpf-check runs the abstract interpreter over the built-in
+// SnapBPF eBPF programs (capture and prefetch) and prints the static
+// analysis report: verdict, worst-case instruction count, dead code,
+// infeasible branches, and any unproven memory accesses with the
+// abstract register state at the failure point.
+//
+// The exit status is the compile-time contract enforced in CI: zero
+// only when every program is accepted with zero unproven accesses.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"snapbpf/internal/core"
+	"snapbpf/internal/ebpf"
+)
+
+func main() {
+	disasm := flag.Bool("disasm", false, "also print each program's full disassembly")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "usage: snapbpf-ebpf-check [-disasm]\n")
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, bp := range core.BuiltinPrograms() {
+		r := bp.VM.Analyze(bp.Insns)
+		unproven := ebpf.WriteAbsintReport(os.Stdout, bp.Name, bp.Insns, r)
+		if *disasm {
+			fmt.Println(ebpf.Disassemble(bp.Insns))
+		}
+		if !r.OK || unproven > 0 {
+			failed = true
+		}
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "snapbpf-ebpf-check: FAIL: unproven accesses or rejected programs")
+		os.Exit(1)
+	}
+}

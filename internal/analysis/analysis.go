@@ -8,6 +8,7 @@ import (
 	"golang.org/x/tools/go/analysis"
 
 	"snapbpf/internal/analysis/passes/allowcheck"
+	"snapbpf/internal/analysis/passes/clusterepoch"
 	"snapbpf/internal/analysis/passes/detnondet"
 	"snapbpf/internal/analysis/passes/maporder"
 	"snapbpf/internal/analysis/passes/observerorder"
@@ -19,6 +20,7 @@ import (
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		detnondet.Analyzer,
+		clusterepoch.Analyzer,
 		maporder.Analyzer,
 		simtime.Analyzer,
 		observerorder.Analyzer,

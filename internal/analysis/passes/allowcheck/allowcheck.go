@@ -16,6 +16,7 @@ import (
 // Known is the set of analyzer names a directive may target.
 var Known = map[string]bool{
 	"detnondet":     true,
+	"clusterepoch":  true,
 	"maporder":      true,
 	"simtime":       true,
 	"observerorder": true,

@@ -1,0 +1,12 @@
+package clusterepoch_test
+
+import (
+	"testing"
+
+	"snapbpf/internal/analysis/analysistest"
+	"snapbpf/internal/analysis/passes/clusterepoch"
+)
+
+func TestClusterEpoch(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), clusterepoch.Analyzer, "cluster", "otherpkg")
+}

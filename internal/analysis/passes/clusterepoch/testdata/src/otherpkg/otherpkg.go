@@ -1,0 +1,21 @@
+// Package otherpkg is outside cluster: the epoch contract does not
+// apply, but a stray directive is still flagged as unused.
+package otherpkg
+
+import "sim"
+
+type pool struct{ n int }
+
+func (p *pool) drain() {}
+
+// timersElsewhereOK: Schedule closures outside internal/cluster are
+// not warm-pool timers.
+func timersElsewhereOK(eng *sim.Engine, p *pool) {
+	eng.Schedule(10, func() {
+		p.drain()
+		p.n++
+	})
+}
+
+//lint:allow clusterepoch nothing to suppress here // want `unused //lint:allow clusterepoch directive`
+func clean() {}

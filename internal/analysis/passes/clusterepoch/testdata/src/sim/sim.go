@@ -1,0 +1,20 @@
+// Package sim is a miniature stand-in for snapbpf/internal/sim.
+package sim
+
+// Time is a virtual-clock instant.
+type Time int64
+
+// Observer receives engine events; a nil observer disables them.
+type Observer interface {
+	EventScheduled(at Time)
+	ClockAdvanced(now Time)
+}
+
+// Engine is the discrete-event scheduler.
+type Engine struct{}
+
+// Schedule arms fn after a delay.
+func (e *Engine) Schedule(d int64, fn func()) {}
+
+// ScheduleAt arms fn at an absolute instant.
+func (e *Engine) ScheduleAt(at Time, fn func()) {}

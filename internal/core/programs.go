@@ -6,6 +6,37 @@ import "snapbpf/internal/ebpf"
 // attach to the add_to_page_cache_lru kprobe and receive (inode id,
 // page offset) as context arguments.
 
+// BuiltinProgram is one kernel-side SnapBPF program paired with a VM
+// whose map and helper tables match what attachCapture/armPrefetch
+// register at runtime, so static analysis sees the real load
+// environment. Used by snapbpf-ebpf-check and -absint-report.
+type BuiltinProgram struct {
+	Name  string
+	VM    *ebpf.VM
+	Insns []ebpf.Instruction
+}
+
+// BuiltinPrograms assembles both built-in programs in
+// analysis-faithful environments (the map sizes are nominal; only
+// fds, types and helper ids matter to verification).
+func BuiltinPrograms() []BuiltinProgram {
+	cvm := ebpf.NewVM()
+	confFD := cvm.RegisterMap(ebpf.MustNewMap(ebpf.MapTypeArray, "snapbpf_capture_conf", 2))
+	wsFD := cvm.RegisterMap(ebpf.MustNewMap(ebpf.MapTypeHash, "snapbpf_ws", 1024))
+
+	pvm := ebpf.NewVM()
+	pvm.MustRegisterHelper(KfuncSnapbpfPrefetchID, "snapbpf_prefetch",
+		func(ctx *ebpf.CallContext, args [5]uint64) (uint64, error) { return 0, nil })
+	pconfFD := pvm.RegisterMap(ebpf.MustNewMap(ebpf.MapTypeArray, "snapbpf_pconf", 5))
+	gstartFD := pvm.RegisterMap(ebpf.MustNewMap(ebpf.MapTypeArray, "snapbpf_gstart", 1024))
+	glenFD := pvm.RegisterMap(ebpf.MustNewMap(ebpf.MapTypeArray, "snapbpf_glen", 1024))
+
+	return []BuiltinProgram{
+		{Name: "snapbpf-capture", VM: cvm, Insns: buildCaptureProgram(confFD, wsFD)},
+		{Name: "snapbpf-prefetch", VM: pvm, Insns: buildPrefetchProgram(pconfFD, gstartFD, glenFD)},
+	}
+}
+
 // Capture-program map layout:
 //
 //	conf (array[2]): [0] = target snapshot inode, [1] = next access seq

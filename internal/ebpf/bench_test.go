@@ -52,6 +52,29 @@ func BenchmarkJITCaptureShaped(b *testing.B) {
 	}
 }
 
+// BenchmarkJITCaptureShapedPruned is the same acceptance benchmark
+// with absint pruning enabled at load: dead-branch facts feed the
+// block compiler, and the per-run cost must not regress.
+func BenchmarkJITCaptureShapedPruned(b *testing.B) {
+	vm := NewVM()
+	SetAbsintPrune(true)
+	prog, err := vm.Load("bench", benchProgram())
+	SetAbsintPrune(false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if prog.jit == nil {
+		b.Fatal("bench program did not compile")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prog.Run(nil, 1, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkInterpreterTightLoop(b *testing.B) {
 	// sum(1..1000) per iteration: ~4000 instructions.
 	insns := []Instruction{

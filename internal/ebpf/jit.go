@@ -129,7 +129,25 @@ type jitProg struct {
 	// the program length, which the verifier keeps far under
 	// InsnBudget — the run skips budget accounting entirely.
 	acyclic bool
+	// bounded marks a cyclic program whose static worst-case
+	// instruction count (absint cost analysis) is at or under
+	// InsnBudget: the dynamic budget check can never fire, so the run
+	// takes the same no-accounting path as acyclic programs.
+	bounded bool
 }
+
+// absintPrune gates absint-driven JIT compilation: dead-block
+// elision, dead-edge branch flattening, and budget-check elision for
+// proven-bounded loops. Off by default so engine comparisons measure
+// identical translations unless a caller opts in (snapbpf-bench
+// -absint-prune).
+var absintPrune atomic.Bool
+
+// SetAbsintPrune toggles absint-driven pruning for subsequent Loads.
+func SetAbsintPrune(on bool) { absintPrune.Store(on) }
+
+// AbsintPrune reports whether absint-driven pruning is enabled.
+func AbsintPrune() bool { return absintPrune.Load() }
 
 // poison is the value calls clobber R1-R5 with, as in the interpreter.
 const poison = 0xdead_beef_dead_beef
@@ -143,9 +161,10 @@ var exitTerm jitTerm = func(st *runState) int32 { return blkExit }
 func (p *Program) runJIT(st *runState) (uint64, error) {
 	blocks := p.jit.blocks
 	bi := int32(0)
-	if p.jit.acyclic {
-		// No loops: the budget can never be exceeded, so the walk
-		// carries no step accounting at all.
+	if p.jit.acyclic || p.jit.bounded {
+		// No loops, or loops with a proven worst-case instruction
+		// count under the budget: the budget can never be exceeded,
+		// so the walk carries no step accounting at all.
 		for {
 			b := &blocks[bi]
 			for _, op := range b.ops {
@@ -205,11 +224,52 @@ func (p *Program) runJIT(st *runState) (uint64, error) {
 // ---------------------------------------------------------------------------
 // Compilation
 
+// jitFacts is the slice of an absint result the compiler consumes:
+// which instructions any execution can reach, which conditional edges
+// are statically dead, and the worst-case instruction count. A nil
+// *jitFacts (or one from a non-OK analysis, which Load never passes)
+// compiles the program exactly as without analysis.
+type jitFacts struct {
+	reachable []bool
+	branches  map[int]absintBranch
+	worstCase int64
+}
+
+// absintBranch mirrors absint.Branch without making jit.go depend on
+// the analysis package directly.
+type absintBranch struct {
+	takenDead, fallDead bool
+}
+
+func (f *jitFacts) reach(pc int) bool {
+	return f == nil || f.reachable[pc]
+}
+
+// deadEdges returns the statically dead edges of the conditional jump
+// at pc.
+func (f *jitFacts) deadEdges(pc int) (takenDead, fallDead bool) {
+	if f == nil {
+		return false, false
+	}
+	br, ok := f.branches[pc]
+	if !ok {
+		return false, false
+	}
+	return br.takenDead, br.fallDead
+}
+
 // compileJIT translates a verified, decoded program. It returns nil
 // when anything unexpected appears (an unresolved helper, an invalid
 // decode, a jump into a lddw upper half); Load then leaves the program
 // on the interpreter, which reports such cases with its usual errors.
-func compileJIT(p *Program) *jitProg {
+//
+// With facts (absint pruning enabled at Load), statically dead code
+// compiles to trap stubs instead of being translated or validated,
+// conditional terminators with a statically dead edge flatten into
+// unconditional transfers, and a cyclic program with a proven
+// worst-case instruction count under InsnBudget skips run-time budget
+// accounting the same way acyclic programs always have.
+func compileJIT(p *Program, facts *jitFacts) *jitProg {
 	dec := p.dec
 	n := len(dec)
 	if n == 0 {
@@ -217,7 +277,10 @@ func compileJIT(p *Program) *jitProg {
 	}
 
 	// Basic-block leaders: entry, jump targets, fallthroughs after
-	// terminators.
+	// terminators. Statically dead instructions are neither validated
+	// nor scanned for leaders — a whole dead region becomes one stub
+	// block — so programs whose only invalid or unresolvable parts
+	// are unreachable still compile.
 	leader := make([]bool, n)
 	leader[0] = true
 	mark := func(pc int) bool {
@@ -228,13 +291,20 @@ func compileJIT(p *Program) *jitProg {
 		return true
 	}
 	for pc := 0; pc < n; pc++ {
+		if !facts.reach(pc) {
+			continue
+		}
 		switch dec[pc].kind {
 		case decJa:
 			if !mark(pc+int(dec[pc].off)) || !mark(pc+1) {
 				return nil
 			}
 		case decJump, decJump32:
-			if !mark(pc+int(dec[pc].off)) || !mark(pc+1) {
+			takenDead, fallDead := facts.deadEdges(pc)
+			if !takenDead && !mark(pc+int(dec[pc].off)) {
+				return nil
+			}
+			if !fallDead && !mark(pc+1) {
 				return nil
 			}
 		case decExit:
@@ -249,6 +319,15 @@ func compileJIT(p *Program) *jitProg {
 			return nil
 		}
 	}
+	if facts != nil {
+		// Dead regions still need block boundaries so live blocks end
+		// at the region edge; each region start becomes a leader.
+		for pc := 1; pc < n; pc++ {
+			if !facts.reachable[pc] && facts.reachable[pc-1] {
+				leader[pc] = true
+			}
+		}
+	}
 
 	blockIdx := make(map[int]int32, n)
 	var starts []int
@@ -259,12 +338,16 @@ func compileJIT(p *Program) *jitProg {
 		}
 	}
 
-	c := &jitCompiler{p: p, dec: dec, blockIdx: blockIdx, zeroFrom: StackSize}
+	c := &jitCompiler{p: p, dec: dec, blockIdx: blockIdx, facts: facts, zeroFrom: StackSize}
 	j := &jitProg{blocks: make([]jitBlock, len(starts))}
 	for i, start := range starts {
 		end := n
 		if i+1 < len(starts) {
 			end = starts[i+1]
+		}
+		if !facts.reach(start) {
+			j.blocks[i] = deadBlock(start)
+			continue
 		}
 		blk, ok := c.compileBlock(start, end)
 		if !ok {
@@ -277,18 +360,39 @@ func compileJIT(p *Program) *jitProg {
 	} else {
 		j.zeroFrom = c.zeroFrom
 	}
-	j.acyclic = cfgAcyclic(dec, starts, blockIdx)
+	j.acyclic = cfgAcyclic(dec, starts, blockIdx, facts)
+	if !j.acyclic && facts != nil && facts.worstCase >= 0 && facts.worstCase <= InsnBudget {
+		j.bounded = true
+	}
 	return j
+}
+
+// deadBlock is the stub compiled in place of statically dead code. A
+// sound analysis means it can never run; executing it is loud rather
+// than silent so a pruning bug shows up as an error, not corruption.
+func deadBlock(pc int) jitBlock {
+	return jitBlock{
+		pc: pc,
+		ops: []jitOp{func(st *runState) bool {
+			st.err = fmt.Errorf("ebpf: internal error: statically dead code reached at pc=%d", pc)
+			return false
+		}},
+		next: blkErr,
+	}
 }
 
 // cfgAcyclic reports whether the block graph has no cycles, via an
 // iterative three-color depth-first search over block successors.
-func cfgAcyclic(dec []decoded, starts []int, blockIdx map[int]int32) bool {
+// Statically dead blocks and edges do not contribute.
+func cfgAcyclic(dec []decoded, starts []int, blockIdx map[int]int32, facts *jitFacts) bool {
 	n := len(starts)
 	succs := func(i int) (s [2]int32, k int) {
 		end := len(dec)
 		if i+1 < n {
 			end = starts[i+1]
+		}
+		if !facts.reach(starts[i]) {
+			return s, 0
 		}
 		last := &dec[end-1]
 		switch last.kind {
@@ -296,7 +400,15 @@ func cfgAcyclic(dec []decoded, starts []int, blockIdx map[int]int32) bool {
 		case decJa:
 			s[0], k = blockIdx[end-1+int(last.off)], 1
 		case decJump, decJump32:
-			s[0], s[1], k = blockIdx[end-1+int(last.off)], blockIdx[end], 2
+			takenDead, fallDead := facts.deadEdges(end - 1)
+			if !takenDead {
+				s[k] = blockIdx[end-1+int(last.off)]
+				k++
+			}
+			if !fallDead {
+				s[k] = blockIdx[end]
+				k++
+			}
 		default:
 			if end < len(dec) {
 				s[0], k = blockIdx[end], 1
@@ -342,6 +454,7 @@ type jitCompiler struct {
 	p        *Program
 	dec      []decoded
 	blockIdx map[int]int32
+	facts    *jitFacts
 
 	// Stack-wipe analysis: zeroFrom tracks the lowest statically-known
 	// read index; dynamicRead is set when any read address cannot be
@@ -379,11 +492,15 @@ func (c *jitCompiler) compileBlock(start, end int) (jitBlock, bool) {
 	// Split off the terminator instruction, if any.
 	termPC := -1
 	bodyEnd := end
+	termFusable := true
 	if end > start {
 		switch dec[end-1].kind {
 		case decJa, decJump, decJump32, decExit:
 			termPC = end - 1
 			bodyEnd = end - 1
+			if td, fd := c.facts.deadEdges(termPC); td || fd {
+				termFusable = false
+			}
 		}
 	}
 
@@ -398,8 +515,10 @@ func (c *jitCompiler) compileBlock(start, end int) (jitBlock, bool) {
 	for pc := start; pc < bodyEnd; {
 		// Terminator fusion: when everything from pc to the block end
 		// matches a capture/prefetch idiom, the remaining body and the
-		// control transfer collapse into a single closure.
-		if termPC >= 0 {
+		// control transfer collapse into a single closure. A
+		// conditional with a statically dead edge is never fused:
+		// compileTerm flattens it into an unconditional transfer.
+		if termPC >= 0 && termFusable {
 			if t, ok := c.fuseTerm(pc, bodyEnd, termPC); ok {
 				blk.term = t
 				return blk, true
@@ -455,6 +574,23 @@ func (c *jitCompiler) compileTerm(blk *jitBlock, pc int) (jitBlock, bool) {
 		blk.next = ni
 		return *blk, true
 	case decJump, decJump32:
+		takenDead, fallDead := c.facts.deadEdges(pc)
+		if takenDead || fallDead {
+			// One edge is statically infeasible: the conditional
+			// flattens into an unconditional transfer. The block cost
+			// still charges the jump instruction, exactly as the
+			// interpreter would on the (only possible) edge.
+			target := pc + 1
+			if fallDead {
+				target = pc + int(in.off)
+			}
+			ni, ok := c.blockIdx[target]
+			if !ok {
+				return *blk, false
+			}
+			blk.next = ni
+			return *blk, true
+		}
 		taken, ok1 := c.blockIdx[pc+int(in.off)]
 		fall, ok2 := c.blockIdx[pc+1]
 		if !ok1 || !ok2 {

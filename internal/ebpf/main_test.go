@@ -1,0 +1,24 @@
+package ebpf
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+// TestMain honors SNAPBPF_EBPF_ENGINE for the whole package test run,
+// so `scripts/bench_json.sh` measures the engine it stamps into
+// bench.json instead of silently benchmarking the default. An unknown
+// value is a fatal configuration error, not a silent fallback.
+func TestMain(m *testing.M) {
+	//lint:allow detnondet engine selection for the bench harness, not simulation state
+	if s, ok := os.LookupEnv("SNAPBPF_EBPF_ENGINE"); ok {
+		e, err := ParseEngine(s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "SNAPBPF_EBPF_ENGINE: %v\n", err)
+			os.Exit(2)
+		}
+		SetDefaultEngine(e)
+	}
+	os.Exit(m.Run())
+}

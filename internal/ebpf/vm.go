@@ -138,10 +138,15 @@ func (p *Program) Runs() int64 { return int64(p.state.Load() >> 1) }
 // and the budget handoff between them all see one machine state; err
 // carries a failing closure's error out of the block walk.
 type runState struct {
-	ctx   CallContext
-	regs  [numRegisters]uint64
-	err   error
-	stack [StackSize]byte
+	ctx  CallContext
+	regs [numRegisters]uint64
+	err  error
+	// branchHook, when set, observes every conditional jump the
+	// interpreter evaluates (pc, edge). Only InterpBranches sets it,
+	// on a private state — normal runs never pay more than a nil
+	// check per jump.
+	branchHook func(pc int, taken bool)
+	stack      [StackSize]byte
 }
 
 // Load verifies insns against the VM's helper and map tables and
@@ -164,9 +169,16 @@ func (vm *VM) Load(name string, insns []Instruction) (*Program, error) {
 		}
 	}
 	if DefaultEngine() == EngineJIT {
+		// With pruning enabled, the abstract interpreter's facts let
+		// the JIT elide dead blocks, flatten one-sided conditionals,
+		// and skip budget accounting for proven-bounded loops.
+		var facts *jitFacts
+		if AbsintPrune() {
+			facts = jitFactsFrom(analyzeProgram(cp, vm))
+		}
 		// compileJIT returns nil for anything it cannot translate
 		// one-to-one; such programs stay on the interpreter.
-		p.jit = compileJIT(p)
+		p.jit = compileJIT(p, facts)
 	}
 	return p, nil
 }
@@ -262,6 +274,25 @@ func (p *Program) Run(env any, args ...uint64) (uint64, error) {
 // tests and the differential fuzzer compare the JIT against.
 func (p *Program) Interp(env any, args ...uint64) (uint64, error) {
 	return p.launch(env, args, true)
+}
+
+// InterpBranches runs the program on the reference interpreter with
+// hook observing every conditional jump it evaluates (the instruction
+// pc and whether the jump was taken). The absint differential fuzzer
+// uses this to check that edges the analysis declared infeasible are
+// never executed. Always runs on a private machine state.
+func (p *Program) InterpBranches(env any, hook func(pc int, taken bool), args ...uint64) (uint64, error) {
+	if len(args) > 5 {
+		return 0, fmt.Errorf("ebpf: too many arguments (%d > 5)", len(args))
+	}
+	st := p.newRunState()
+	for i, a := range args {
+		st.regs[R1+Register(i)] = a
+	}
+	st.regs[R10] = stackTop
+	st.ctx.Env = env
+	st.branchHook = hook
+	return p.runInterp(st, 0, 0)
 }
 
 // launch prepares the machine state shared by both engines and
@@ -452,6 +483,9 @@ func (p *Program) runInterp(st *runState, pc, steps int) (uint64, error) {
 			taken, err := jumpTaken(in.op, dst, src)
 			if err != nil {
 				return 0, fmt.Errorf("ebpf: %s @%d: %w", p.Name, pc, err)
+			}
+			if st.branchHook != nil {
+				st.branchHook(pc, taken)
 			}
 			if taken {
 				pc += int(in.off)

@@ -17,6 +17,13 @@ set -euo pipefail
 out="${1:-results/bench.json}"
 benchtime="${SNAPBPF_BENCHTIME:-20000x}"
 engine="${SNAPBPF_EBPF_ENGINE:-jit}"
+case "$engine" in
+  jit|interp) ;;
+  *)
+    echo "bench_json.sh: unknown engine '$engine' (valid: jit, interp)" >&2
+    exit 2
+    ;;
+esac
 pkgs=(./internal/ebpf ./internal/obs ./internal/pagecache)
 
 git_state="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"

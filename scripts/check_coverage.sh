@@ -13,6 +13,7 @@ profile="${1:-coverage.out}"
 declare -A floors=(
   [snapbpf/internal/sim]=93.0
   [snapbpf/internal/ebpf]=86.0
+  [snapbpf/internal/ebpf/absint]=89.0
   [snapbpf/internal/pagecache]=84.0
   [snapbpf/internal/kvm]=78.0
   [snapbpf/internal/prefetch]=61.0
@@ -31,6 +32,7 @@ declare -A floors=(
   [snapbpf/internal/analysis/passes/observerorder]=92.0
   [snapbpf/internal/analysis/passes/unitsafety]=95.0
   [snapbpf/internal/analysis/passes/allowcheck]=98.0
+  [snapbpf/internal/analysis/passes/clusterepoch]=87.0
 )
 
 out="$(go test -count=1 -coverprofile="$profile" ./internal/...)"
