@@ -19,6 +19,8 @@
 //	snapbpf-bench -replay json         # counterfactual prefetch-decision replay
 //	snapbpf-bench -exp cluster -hosts 8 -router affinity -keepalive 2
 //	                                   # region-scale run: 8 hosts, one router/budget cell
+//	snapbpf-bench -store cold -fetch-policy wslazy
+//	                                   # restore from a cold remote chunk store
 //	snapbpf-bench -list                # list experiment ids
 //	snapbpf-bench -v                   # per-cell progress on stderr
 package main
@@ -42,6 +44,7 @@ import (
 	"snapbpf/internal/faults"
 	"snapbpf/internal/obs"
 	"snapbpf/internal/paper"
+	"snapbpf/internal/store"
 	"snapbpf/internal/workload"
 )
 
@@ -69,6 +72,8 @@ func main() {
 		replayK    = flag.Int("replay-k", 3, "alternative schedules to replay per function, beyond the recorded one")
 		absintRep  = flag.Bool("absint-report", false, "print the abstract-interpretation report for the built-in eBPF programs and exit")
 		absintPr   = flag.Bool("absint-prune", false, "feed abstract-interpretation facts to the JIT: dead-block elision, branch flattening, bounded-loop budget elision")
+		storeTier  = flag.String("store", "", "snapshot tier for every experiment: local, warm, cold (empty = local SSD)")
+		fetchPol   = flag.String("fetch-policy", "", "remote chunk fetch policy: demand, full, wslazy (empty = demand)")
 		hostsN     = flag.Int("hosts", 0, "cluster experiment: region size in hosts (0 = default 4)")
 		routerFl   = flag.String("router", "", "cluster experiment: comma-separated routing policies (roundrobin, leastloaded, affinity; empty = all)")
 		keepalive  = flag.Int("keepalive", -1, "cluster experiment: warm sandboxes kept per host (-1 = default sweep 0,2)")
@@ -133,6 +138,20 @@ func main() {
 		opts.Faults = &plan
 	default:
 		fatal(fmt.Errorf("-faults must be none, light or heavy, got %q", *faultsLvl))
+	}
+	tier, err := store.ParseTier(*storeTier)
+	if err != nil {
+		fatal(err)
+	}
+	policy, err := store.ParsePolicy(*fetchPol)
+	if err != nil {
+		fatal(err)
+	}
+	if *fetchPol != "" && tier == store.TierLocal {
+		fatal(fmt.Errorf("-fetch-policy requires -store warm or cold (local SSD has no remote to fetch from)"))
+	}
+	if tier != store.TierLocal {
+		opts.Store = &store.Setup{Tier: tier, Policy: policy, Params: store.DefaultParams()}
 	}
 	if *verbose {
 		opts.Progress = func(msg string) { fmt.Fprintln(os.Stderr, "  "+msg) }

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"snapbpf/internal/store"
+)
+
+// TestStoreFlagValidation pins the -store flag's parse contract: every
+// value is either a known tier or a fatal error naming the valid
+// spellings — no silent fallback to local SSD.
+func TestStoreFlagValidation(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want store.Tier
+	}{
+		{"", store.TierLocal},
+		{"local", store.TierLocal},
+		{"warm", store.TierWarm},
+		{"cold", store.TierCold},
+	} {
+		tier, err := store.ParseTier(tc.in)
+		if err != nil || tier != tc.want {
+			t.Errorf("ParseTier(%q) = %v, %v; want %v", tc.in, tier, err, tc.want)
+		}
+	}
+	for _, bad := range []string{"Cold", "remote", "warm ", "warm,cold", "s3", "0"} {
+		_, err := store.ParseTier(bad)
+		if err == nil {
+			t.Errorf("ParseTier(%q) silently accepted", bad)
+			continue
+		}
+		msg := err.Error()
+		for _, name := range []string{"local", "warm", "cold"} {
+			if !strings.Contains(msg, name) {
+				t.Errorf("ParseTier(%q) error %q does not list %q", bad, msg, name)
+			}
+		}
+	}
+}
+
+// TestFetchPolicyFlagValidation pins the -fetch-policy flag's parse
+// contract the same way.
+func TestFetchPolicyFlagValidation(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want store.Policy
+	}{
+		{"", store.PolicyDemand},
+		{"demand", store.PolicyDemand},
+		{"full", store.PolicyFull},
+		{"wslazy", store.PolicyWSLazy},
+		{"lazy", store.PolicyWSLazy},
+	} {
+		p, err := store.ParsePolicy(tc.in)
+		if err != nil || p != tc.want {
+			t.Errorf("ParsePolicy(%q) = %v, %v; want %v", tc.in, p, err, tc.want)
+		}
+	}
+	for _, bad := range []string{"Demand", "eager", "full ", "demand,full", "ws", "1"} {
+		_, err := store.ParsePolicy(bad)
+		if err == nil {
+			t.Errorf("ParsePolicy(%q) silently accepted", bad)
+			continue
+		}
+		msg := err.Error()
+		for _, name := range []string{"demand", "full", "wslazy"} {
+			if !strings.Contains(msg, name) {
+				t.Errorf("ParsePolicy(%q) error %q does not list %q", bad, msg, name)
+			}
+		}
+	}
+}

@@ -30,6 +30,7 @@ var deterministicRoots = map[string]bool{
 	"workload":  true,
 	"calib":     true,
 	"cluster":   true,
+	"store":     true,
 }
 
 // DeterministicPkg reports whether the import path is bound by the

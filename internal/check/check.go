@@ -34,6 +34,7 @@ import (
 	"snapbpf/internal/kvm"
 	"snapbpf/internal/pagecache"
 	"snapbpf/internal/sim"
+	"snapbpf/internal/store"
 	"snapbpf/internal/units"
 	"snapbpf/internal/vmm"
 )
@@ -140,6 +141,17 @@ type Checker struct {
 	preparesDone int
 	degraded     int64
 
+	// store shadow (see store.go): the mirror of the host chunk cache
+	// plus expected refcounts and chunk sizes from registered
+	// manifests.
+	storeCached  map[uint64]int64
+	storeOpen    map[uint64]int
+	storeBytes   map[uint64]int64
+	storeRefs    map[uint64]int64
+	storeHC      *store.HostCache
+	storeRetries int64
+	storeSpikes  int64
+
 	// event tally, exposed via Counts for reconciliation against the
 	// observability layer's metrics (internal/obs).
 	counts Counts
@@ -171,6 +183,13 @@ type Counts struct {
 	PrefetchGroups int64 // prefetch groups issued by user-space schemes
 	PrefetchPages  int64 // pages covered by those groups
 	OffsetLoads    int64 // SnapBPF offset-schedule loads
+
+	StoreManifests  int64 // manifests bound to the host chunk cache
+	StoreFetches    int64 // remote chunk fetches (== chunk misses)
+	StoreFetchBytes int64 // payload bytes of those fetches
+	StoreHits       int64 // resident-chunk lookups
+	StoreDedupHits  int64 // hits on chunks fetched by another function
+	StoreEvictions  int64 // chunks removed by LRU or cold-tier drop
 }
 
 // Counts returns the checker's event tally so far.
@@ -198,6 +217,11 @@ func New(h *vmm.Host, inj *faults.Injector) *Checker {
 		fileRefs: make(map[pageKey]int),
 		spaces:   make(map[*hostmm.AddressSpace]*spaceShadow),
 		access:   make(map[*sim.Proc][]accessCtx),
+
+		storeCached: make(map[uint64]int64),
+		storeOpen:   make(map[uint64]int),
+		storeBytes:  make(map[uint64]int64),
+		storeRefs:   make(map[uint64]int64),
 	}
 	c.lastNow = h.Eng.Now()
 	h.Eng.SetObserver(c)
@@ -797,6 +821,9 @@ func (c *Checker) Finish() error {
 	conserve("retries", rep.Retries, c.failedIOs)
 	conserve("fallbacks", rep.Fallbacks, c.degraded)
 	conserve("degradations", rep.ArtifactCorruptions+rep.MapLoadFailures, c.degraded)
+	conserve("store-errors", rep.StoreErrors, c.storeRetries)
+	conserve("store-spikes", rep.StoreSpikes, c.storeSpikes)
+	c.finishStore()
 
 	// Rmap dedup cross-check: the cache's per-page map counts must
 	// match the reference counts derived purely from address-space

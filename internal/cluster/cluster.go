@@ -28,6 +28,7 @@ import (
 	"snapbpf/internal/prefetch"
 	"snapbpf/internal/sim"
 	"snapbpf/internal/snapshot"
+	"snapbpf/internal/store"
 	"snapbpf/internal/units"
 	"snapbpf/internal/vmm"
 	"snapbpf/internal/workload"
@@ -92,6 +93,14 @@ type Config struct {
 	// Obs arms one observability recorder per host; reports land in
 	// Result.Hosts in host-index order.
 	Obs *obs.Config
+
+	// Store, when non-nil with a non-local tier, places every snapshot
+	// in one region-shared remote store: each host runs its own chunk
+	// cache (warm or cold per Store.Tier), and the shared remote's
+	// duplicate-request accounting exposes cross-host dedup — chunks
+	// the region fetched more than once because hosts do not share
+	// caches.
+	Store *store.Setup
 }
 
 // hostFn is one (host, function) serving context: the prefetcher and
@@ -102,19 +111,21 @@ type hostFn struct {
 	env      *prefetch.Env
 	img      *snapshot.MemoryImage
 	inode    *pagecache.Inode
-	warmExec time.Duration // pure compute time of one invocation
+	bind     *store.Binding // nil when the snapshot is on local SSD
+	warmExec time.Duration  // pure compute time of one invocation
 }
 
 // host is one machine of the region.
 type host struct {
-	idx  int
-	name string
-	h    *vmm.Host
-	inj  *faults.Injector
-	chk  *check.Checker
-	rec  *obs.Recorder
-	fns  map[string]*hostFn
-	pool warmPool
+	idx   int
+	name  string
+	h     *vmm.Host
+	inj   *faults.Injector
+	chk   *check.Checker
+	rec   *obs.Recorder
+	cache *store.HostCache // nil when the snapshot is on local SSD
+	fns   map[string]*hostFn
+	pool  warmPool
 
 	active      int // in-flight invocations (router load signal)
 	cold, warm  int
@@ -280,6 +291,12 @@ func Run(cfg Config) (*Result, error) {
 	// --- Build the region: N hosts on one engine ---
 	eng := sim.NewEngine()
 	hosts := make([]*host, cfg.Hosts)
+	var remote *store.Remote
+	if cfg.Store != nil && cfg.Store.Tier != store.TierLocal {
+		// One remote per region: per-chunk duplicate accounting across
+		// hosts is exactly the cross-host dedup the report surfaces.
+		remote = store.NewRemote(cfg.Store.Params)
+	}
 	var simHeads []sim.Observer
 	for i := range hosts {
 		name := fmt.Sprintf("host%d", i)
@@ -299,9 +316,21 @@ func Run(cfg Config) (*Result, error) {
 			var next obs.Chain
 			if ho.chk != nil {
 				c := ho.chk
-				next = obs.Chain{Sim: c, Dev: c, Cache: c, MM: c, KVM: c, Prefetch: c}
+				next = obs.Chain{Sim: c, Dev: c, Cache: c, MM: c, KVM: c, Prefetch: c, Store: c}
 			}
 			ho.rec = obs.Attach(hv, *cfg.Obs, next)
+		}
+		if remote != nil {
+			ho.cache = store.NewHostCache(eng, remote, ho.inj)
+			switch {
+			case ho.rec != nil:
+				ho.cache.SetObserver(ho.rec)
+			case ho.chk != nil:
+				ho.cache.SetObserver(ho.chk)
+			}
+			if ho.chk != nil {
+				ho.chk.AttachStore(ho.cache)
+			}
 		}
 		for _, fname := range fnNames {
 			fn := fnByName[fname]
@@ -326,8 +355,15 @@ func Run(cfg Config) (*Result, error) {
 			case ho.chk != nil:
 				env.Check = ho.chk
 			}
+			var bind *store.Binding
+			if ho.cache != nil {
+				man := store.BuildManifest(fn.Name, img.PageTags, remote.Params().ChunkPages)
+				bind = ho.cache.Bind(man, cfg.Store.Policy, img.PageTags)
+				inode.SetStager(bind)
+				env.ChunkPlan = bind.Plan
+			}
 			ho.fns[fname] = &hostFn{
-				fn: fn, pf: pf, env: env, img: img, inode: inode,
+				fn: fn, pf: pf, env: env, img: img, inode: inode, bind: bind,
 				warmExec: env.InvokeTrace.Summarize().TotalCompute,
 			}
 		}
@@ -369,6 +405,26 @@ func Run(cfg Config) (*Result, error) {
 		ho.h.Cache.DropCaches()
 		ho.h.Dev.ResetStats()
 		ho.h.Cache.SetMemLimit(cfg.CacheLimitPages)
+	}
+	if remote != nil {
+		switch cfg.Store.Tier {
+		case store.TierCold:
+			for _, ho := range hosts {
+				ho.cache.Drop()
+			}
+		case store.TierWarm:
+			// Preload every host's chunk cache through the normal fetch
+			// path, one proc per host, drained before dispatch begins.
+			for _, ho := range hosts {
+				ho := ho
+				eng.Go(ho.name+"/store-preload", func(p *sim.Proc) {
+					for _, fname := range fnNames {
+						ho.fns[fname].bind.Preload(p)
+					}
+				})
+			}
+			eng.Run()
+		}
 	}
 
 	// --- Invocation phase: front end dispatches the arrival stream ---
@@ -450,7 +506,15 @@ func Run(cfg Config) (*Result, error) {
 			cc := ho.chk.Counts()
 			hs.CheckCounts = &cc
 		}
+		if ho.cache != nil {
+			cs := ho.cache.Stats()
+			hs.Store = &cs
+		}
 		res.Hosts = append(res.Hosts, hs)
+	}
+	if remote != nil {
+		rs := remote.Stats()
+		res.StoreRemote = &rs
 	}
 	if cfg.Check {
 		if err := checkDigests(res); err != nil {
@@ -487,6 +551,9 @@ func (st *runState) serve(p *sim.Proc, ho *host, inv *Invocation) {
 			st.fail(inv.Seq, err)
 			ho.active--
 			return
+		}
+		if hf.bind != nil {
+			hf.bind.BeginRestore(p)
 		}
 		if err := hf.pf.PrepareVM(p, hf.env, vm); err != nil {
 			st.fail(inv.Seq, err)

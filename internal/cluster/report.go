@@ -7,6 +7,7 @@ import (
 	"snapbpf/internal/check"
 	"snapbpf/internal/faults"
 	"snapbpf/internal/obs"
+	"snapbpf/internal/store"
 	"snapbpf/internal/units"
 	"snapbpf/internal/workload"
 )
@@ -74,6 +75,10 @@ type HostStats struct {
 	// CheckCounts is the host checker's event tally, non-nil only
 	// when Config.Check was set.
 	CheckCounts *check.Counts
+
+	// Store is this host's chunk-cache traffic, non-nil only when
+	// Config.Store selected a non-local tier.
+	Store *store.CacheStats
 }
 
 // Result is the outcome of one cluster run.
@@ -94,6 +99,12 @@ type Result struct {
 
 	// Functions is the sorted list of function names the run served.
 	Functions []string
+
+	// StoreRemote is the region-shared remote's accounting, non-nil
+	// only when Config.Store selected a non-local tier. DupRequests
+	// and DupBytes are the cross-host dedup gap: chunks the region
+	// fetched more than once because hosts do not share caches.
+	StoreRemote *store.RemoteStats
 }
 
 // LatencySummary is an order-statistics summary of a latency set.

@@ -314,6 +314,19 @@ func (s *SnapBPF) PrepareVM(p *sim.Proc, env *prefetch.Env, vm *vmm.MicroVM) err
 	s.OffsetLoads = append(s.OffsetLoads, loadTook)
 	env.NotifyOffsetsLoaded(p, s.Name(), vm, n, loadTook)
 
+	// The captured offsets double as the distribution tier's chunk
+	// priority: hand the schedule's page order to the store so
+	// WS-guided lazy pull fetches those chunks first.
+	if env.ChunkPlan != nil {
+		var pages []int64
+		for _, g := range s.ws.Groups {
+			for k := int64(0); k < g.NPages; k++ {
+				pages = append(pages, g.Start+k)
+			}
+		}
+		env.NotifyChunkPlan(p, pages)
+	}
+
 	// Step 2: attach the prefetch program.
 	prog, err := h.BPF.Load("snapbpf-prefetch", buildPrefetchProgram(pconfFD, gstartFD, glenFD))
 	if err != nil {

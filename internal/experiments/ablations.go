@@ -334,5 +334,6 @@ func All() []struct {
 		{"ext-cache-pressure", ExtCachePressure},
 		{"ext-steady-state", ExtSteadyState},
 		{"cluster", Cluster},
+		{"locality", Locality},
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"snapbpf/internal/faults"
 	"snapbpf/internal/obs"
+	"snapbpf/internal/store"
 	"snapbpf/internal/workload"
 )
 
@@ -58,6 +59,18 @@ type Options struct {
 	// Cluster tunes the cluster experiment; nil means the golden
 	// 4-host configuration (see ClusterParams).
 	Cluster *ClusterParams
+
+	// Store, when non-nil, is applied to every cell whose Config does
+	// not set its own distribution-tier setup — the -store/-fetch-policy
+	// CLI flags route here. Cells that sweep tiers themselves (the
+	// locality experiment) set Config.Store explicitly and win.
+	Store *store.Setup
+
+	// StorePermute, when non-zero, seeds a metamorphic shuffle of every
+	// locality-cell manifest's chunk order. Chunk order carries no
+	// meaning, so any seed must leave the experiment's CSV
+	// byte-identical — a test knob.
+	StorePermute int64
 }
 
 func (o Options) functions() []workload.Function {

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+
+	"snapbpf/internal/faults"
+	"snapbpf/internal/store"
+)
+
+// LocalitySeed keys the locality experiment's fault plans, mirroring
+// ChaosSeed: the sweep is reproducible by construction.
+const LocalitySeed = 11
+
+// localityCombo is one (tier, policy) pair of the sweep. The local
+// tier has no fetch policy — the snapshot is already on the host SSD —
+// and is labeled "-".
+type localityCombo struct {
+	label string
+	setup store.Setup
+}
+
+func localityCombos() []localityCombo {
+	params := store.DefaultParams()
+	combo := func(t store.Tier, p store.Policy) localityCombo {
+		return localityCombo{
+			label: t.String(),
+			setup: store.Setup{Tier: t, Policy: p, Params: params},
+		}
+	}
+	return []localityCombo{
+		combo(store.TierLocal, store.PolicyDemand),
+		combo(store.TierWarm, store.PolicyDemand),
+		combo(store.TierWarm, store.PolicyFull),
+		combo(store.TierWarm, store.PolicyWSLazy),
+		combo(store.TierCold, store.PolicyDemand),
+		combo(store.TierCold, store.PolicyFull),
+		combo(store.TierCold, store.PolicyWSLazy),
+	}
+}
+
+func (c localityCombo) policyLabel() string {
+	if c.setup.Tier == store.TierLocal {
+		return "-"
+	}
+	return c.setup.Policy.String()
+}
+
+var localitySchemes = []Scheme{SchemeLinuxRA, SchemeSnapBPF}
+
+// Locality runs the snapshot-distribution sweep: each scheme restores
+// from a local SSD, a warm host chunk cache, and a cold remote store,
+// under each remote fetch policy (pure demand chunk fetch, full
+// download before restore, WS-guided lazy pull) and each fault level.
+// The point of the experiment is the cold column: SnapBPF's captured
+// offsets double as a chunk-priority plan, so WS-guided lazy pull
+// should beat both downloading the whole snapshot up front and paying
+// a remote round-trip per demand fault. Every cell pins its tier and
+// fault plan explicitly so CLI-wide -store/-faults settings cannot
+// leak into the baseline columns.
+func Locality(o Options) (*Table, error) {
+	t := &Table{
+		ID:    "locality",
+		Title: "E2E latency (s) by snapshot tier and fetch policy, 4 concurrent instances",
+		Note: fmt.Sprintf("seed=%d; fetch/MiB/hits/dedup are healthy-run chunk-cache traffic",
+			LocalitySeed),
+		Columns: []string{"Function", "Scheme", "Tier", "Policy",
+			"healthy", "light", "heavy", "fetch", "MiB", "hits", "dedup"},
+	}
+	fns := o.functions()
+	combos := localityCombos()
+	levels := []struct {
+		name string
+		plan faults.Plan
+	}{
+		{"healthy", faults.Plan{}},
+		{"light", faults.Light(LocalitySeed)},
+		{"heavy", faults.Heavy(LocalitySeed)},
+	}
+	var cells []Cell
+	for _, fn := range fns {
+		for _, s := range localitySchemes {
+			for _, cb := range combos {
+				for _, lv := range levels {
+					plan, setup := lv.plan, cb.setup
+					setup.PermuteChunks = o.StorePermute
+					cells = append(cells, Cell{Fn: fn, Scheme: s,
+						Cfg: Config{N: 4, Faults: &plan, Store: &setup}})
+				}
+			}
+		}
+	}
+	rs, err := RunCells(o, cells)
+	if err != nil {
+		return nil, err
+	}
+	for fi, fn := range fns {
+		for si, s := range localitySchemes {
+			for ci, cb := range combos {
+				base := ((fi*len(localitySchemes)+si)*len(combos) + ci) * len(levels)
+				healthy, light, heavy := rs[base], rs[base+1], rs[base+2]
+				var fetches, mib, hits, dedup string
+				if st := healthy.Store; st != nil {
+					fetches = fmt.Sprint(st.Fetches)
+					mib = fmt.Sprintf("%.1f", float64(st.FetchBytes)/(1<<20))
+					hits = fmt.Sprint(st.Hits)
+					dedup = fmt.Sprint(st.DedupHits)
+				} else {
+					fetches, mib, hits, dedup = "-", "-", "-", "-"
+				}
+				o.progress("locality %-10s %-8s %-5s %-6s healthy=%v heavy=%v fetch=%s",
+					fn.Name, s.Name, cb.label, cb.policyLabel(),
+					healthy.MeanE2E, heavy.MeanE2E, fetches)
+				t.AddRow(fn.Name, s.Name, cb.label, cb.policyLabel(),
+					secs(healthy.MeanE2E), secs(light.MeanE2E), secs(heavy.MeanE2E),
+					fetches, mib, hits, dedup)
+			}
+		}
+	}
+	return t, nil
+}

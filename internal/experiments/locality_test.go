@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"testing"
+
+	"snapbpf/internal/store"
+)
+
+// Golden pin for the locality experiment: json only (like fig3b), with
+// the invariant checker armed on every cell so the pin also proves zero
+// store violations across all three tiers and every fetch policy. The
+// serial and parallel CSVs must be byte-identical.
+
+const goldenLocalityCSV = `Function,Scheme,Tier,Policy,healthy,light,heavy,fetch,MiB,hits,dedup
+json,Linux-RA,local,-,0.204,0.244,0.799,-,-,-,-
+json,Linux-RA,warm,demand,0.204,0.244,0.799,256,256.0,326,0
+json,Linux-RA,warm,full,0.204,0.244,0.799,256,256.0,582,0
+json,Linux-RA,warm,wslazy,0.204,0.244,0.799,256,256.0,326,0
+json,Linux-RA,cold,demand,1.153,1.223,2.344,75,75.0,251,0
+json,Linux-RA,cold,full,0.383,0.423,0.978,256,256.0,326,0
+json,Linux-RA,cold,wslazy,1.153,1.223,2.344,75,75.0,251,0
+json,SnapBPF,local,-,0.116,0.158,0.289,-,-,-,-
+json,SnapBPF,warm,demand,0.116,0.158,0.289,256,256.0,6839,0
+json,SnapBPF,warm,full,0.116,0.158,0.289,256,256.0,7095,0
+json,SnapBPF,warm,wslazy,0.116,0.158,0.289,256,256.0,6902,0
+json,SnapBPF,cold,demand,0.123,0.164,0.315,126,126.0,6713,0
+json,SnapBPF,cold,full,0.294,0.337,0.468,319,319.0,6776,0
+json,SnapBPF,cold,wslazy,0.117,0.161,0.309,126,126.0,6776,0
+`
+
+func TestGoldenLocality(t *testing.T) {
+	if raceEnabled {
+		t.Skip("byte-pinning is value-level; the non-race suite covers it")
+	}
+	fns := goldenJSONOnly(t)
+	serial, err := Locality(Options{Functions: fns, Parallel: 1, Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := serial.CSV(); got != goldenLocalityCSV {
+		t.Errorf("locality CSV drifted:\n--- got ---\n%s--- want ---\n%s", got, goldenLocalityCSV)
+	}
+	parallel, err := Locality(Options{Functions: fns, Parallel: 3, Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := parallel.CSV(); got != serial.CSV() {
+		t.Errorf("locality parallel CSV differs from serial:\n--- parallel ---\n%s--- serial ---\n%s",
+			got, serial.CSV())
+	}
+}
+
+// TestLocalityOrdering asserts the experiment's headline claim on the
+// cold tier: SnapBPF's WS-guided lazy pull beats both downloading the
+// whole snapshot before restoring and paying a remote round trip per
+// demand fault.
+func TestLocalityOrdering(t *testing.T) {
+	fns := goldenJSONOnly(t)
+	params := store.DefaultParams()
+	cold := func(p store.Policy) *RunResult {
+		t.Helper()
+		r, err := Run(fns[0], SchemeSnapBPF,
+			Config{N: 4, Check: true,
+				Store: &store.Setup{Tier: store.TierCold, Policy: p, Params: params}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	demand := cold(store.PolicyDemand)
+	full := cold(store.PolicyFull)
+	lazy := cold(store.PolicyWSLazy)
+	if lazy.MeanE2E >= full.MeanE2E {
+		t.Errorf("cold tier: wslazy E2E %v not better than full download %v", lazy.MeanE2E, full.MeanE2E)
+	}
+	if lazy.MeanE2E >= demand.MeanE2E {
+		t.Errorf("cold tier: wslazy E2E %v not better than demand fetch %v", lazy.MeanE2E, demand.MeanE2E)
+	}
+}

@@ -65,8 +65,8 @@ func obsDocs(t *testing.T, parallel int) (traceDoc, metricsDoc, promDoc []byte) 
 // new values).
 const (
 	goldenObsTraceSHA   = "8d21eb06788133d401575502a6e18eea1afe4eeea142368727ab079be4e24716"
-	goldenObsMetricsSHA = "f600319fc38ed1baed170c927aac057f6469dd633c08ecc382c1217124d2e937"
-	goldenObsPromSHA    = "a81780fd5f9a556b44029ae53bbe6c38d7e374c901fd268fb9503a8e28d042fb"
+	goldenObsMetricsSHA = "77ba81b2cf91efd20453eb137c7be993d17abf5fa2cfb90bb341bdf3f263f8d1"
+	goldenObsPromSHA    = "e7b32b654de672f21a2fbb468d8cd54d6881375813e9790876fdd98741f3f056"
 )
 
 func sha(data []byte) string {

@@ -126,6 +126,9 @@ func RunCells(o Options, cells []Cell) ([]*RunResult, error) {
 		if cfg.Obs == nil {
 			cfg.Obs = o.Obs
 		}
+		if cfg.Store == nil {
+			cfg.Store = o.Store
+		}
 		r, err := Run(cells[i].Fn, cells[i].Scheme, cfg)
 		if err != nil {
 			return err

@@ -24,6 +24,7 @@ import (
 	"snapbpf/internal/prefetch/faast"
 	"snapbpf/internal/prefetch/reap"
 	"snapbpf/internal/sim"
+	"snapbpf/internal/store"
 	"snapbpf/internal/trace"
 	"snapbpf/internal/units"
 	"snapbpf/internal/vmm"
@@ -105,6 +106,12 @@ type RunResult struct {
 	// only when Config.Check was set. The conservation tests reconcile
 	// it against Obs metrics and the Faults report.
 	CheckCounts *check.Counts
+
+	// Store is the host chunk cache's traffic and StoreRemote the
+	// remote backend's, non-nil only when Config.Store selected a
+	// non-local tier.
+	Store       *store.CacheStats
+	StoreRemote *store.RemoteStats
 }
 
 // Config tunes a run.
@@ -152,6 +159,13 @@ type Config struct {
 	// Composes with Check — the recorder forwards every event to the
 	// checker, so both see the identical stream.
 	Obs *obs.Config
+
+	// Store, when non-nil with a non-local tier, places the snapshot
+	// in the simulated distribution tier (internal/store): chunks are
+	// pulled from the remote under Store.Policy, through a host chunk
+	// cache that starts warm or cold per Store.Tier. Nil or TierLocal
+	// reproduces the paper's local-SSD baseline exactly.
+	Store *store.Setup
 }
 
 // invokeTrace returns sandbox i's trace under the configured variance.
@@ -199,7 +213,7 @@ func Run(fn workload.Function, scheme Scheme, cfg Config) (*RunResult, error) {
 	if cfg.Obs.Enabled() {
 		var next obs.Chain
 		if chk != nil {
-			next = obs.Chain{Sim: chk, Dev: chk, Cache: chk, MM: chk, KVM: chk, Prefetch: chk}
+			next = obs.Chain{Sim: chk, Dev: chk, Cache: chk, MM: chk, KVM: chk, Prefetch: chk, Store: chk}
 		}
 		rec = obs.Attach(h, *cfg.Obs, next)
 	}
@@ -227,6 +241,40 @@ func Run(fn workload.Function, scheme Scheme, cfg Config) (*RunResult, error) {
 		env.Check = chk
 	}
 
+	// --- Distribution tier ---
+	// With a non-local tier the snapshot's chunks live in the remote
+	// store: device reads of the snapshot inode are staged behind the
+	// host chunk cache, and SnapBPF's captured offsets feed the
+	// chunk-priority plan. TierLocal leaves everything untouched.
+	var bind *store.Binding
+	var hcStore *store.HostCache
+	var remote *store.Remote
+	if sc := cfg.Store; sc != nil && sc.Tier != store.TierLocal {
+		remote = store.NewRemote(sc.Params)
+		hcStore = store.NewHostCache(h.Eng, remote, inj)
+		switch {
+		case rec != nil:
+			hcStore.SetObserver(rec) // forwards to chk when armed
+		case chk != nil:
+			hcStore.SetObserver(chk)
+		}
+		if chk != nil {
+			chk.AttachStore(hcStore)
+		}
+		man := store.BuildManifest(fn.Name, img.PageTags, remote.Params().ChunkPages)
+		if sc.SabotageChunk > 0 && sc.SabotageChunk <= len(man.Chunks) {
+			// Test knob: forge one manifest hash (stale manifest / corrupt
+			// chunk); the checker must flag the fetch.
+			man.Chunks[sc.SabotageChunk-1].ID ^= 0xdeadbeef
+		}
+		if sc.PermuteChunks != 0 {
+			store.PermuteChunks(man, sc.PermuteChunks)
+		}
+		bind = hcStore.Bind(man, sc.Policy, img.PageTags)
+		snapInode.SetStager(bind)
+		env.ChunkPlan = bind.Plan
+	}
+
 	// --- Record phase ---
 	var recErr error
 	h.Eng.Go("record", func(p *sim.Proc) {
@@ -239,6 +287,20 @@ func Run(fn workload.Function, scheme Scheme, cfg Config) (*RunResult, error) {
 	h.Cache.DropCaches()
 	h.Dev.ResetStats()
 	h.Cache.SetMemLimit(cfg.CacheLimitPages)
+	if bind != nil {
+		switch cfg.Store.Tier {
+		case store.TierCold:
+			// Cold remote: the measured phase starts with an empty
+			// chunk cache, as a host that never ran this function.
+			hcStore.Drop()
+		case store.TierWarm:
+			// Warm cache: a previous instance pulled every chunk.
+			// Preload through the normal fetch path, drained before
+			// the first measured restore.
+			h.Eng.Go("store-preload", func(p *sim.Proc) { bind.Preload(p) })
+			h.Eng.Run()
+		}
+	}
 
 	// --- Invocation phase: N concurrent sandboxes ---
 	res := &RunResult{Scheme: pf.Name(), Function: fn.Name, N: cfg.N,
@@ -266,6 +328,12 @@ func Run(fn workload.Function, scheme Scheme, cfg Config) (*RunResult, error) {
 				return
 			}
 			vms[i] = vm
+			if bind != nil {
+				// Full-download policy blocks restores until the whole
+				// snapshot is local; other policies return at once. The
+				// wait lands in E2E, like the real registry pull.
+				bind.BeginRestore(p)
+			}
 			if err := pf.PrepareVM(p, env, vm); err != nil {
 				fail(i, err)
 				return
@@ -336,6 +404,12 @@ func Run(fn workload.Function, scheme Scheme, cfg Config) (*RunResult, error) {
 	res.DeviceRequests = h.Dev.Stats().Requests
 	res.Evictions = h.Cache.Evictions()
 	res.Faults = inj.Report()
+	if hcStore != nil {
+		cs := hcStore.Stats()
+		res.Store = &cs
+		rs := remote.Stats()
+		res.StoreRemote = &rs
+	}
 
 	if s, ok := pf.(*core.SnapBPF); ok {
 		if len(s.OffsetLoads) > 0 {

@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"snapbpf/internal/faults"
+	"snapbpf/internal/obs"
+	"snapbpf/internal/store"
+	"snapbpf/internal/workload"
+)
+
+// storeCombos is every non-local (tier, policy) pair the distribution
+// tier can run under.
+func storeCombos() []store.Setup {
+	var out []store.Setup
+	for _, tier := range []store.Tier{store.TierWarm, store.TierCold} {
+		for _, pol := range []store.Policy{store.PolicyDemand, store.PolicyFull, store.PolicyWSLazy} {
+			out = append(out, store.Setup{Tier: tier, Policy: pol})
+		}
+	}
+	return out
+}
+
+// TestDifferentialStoreTiers extends the differential oracle across
+// the distribution tier: every scheme under every tier and fetch
+// policy, healthy or faulty, must leave the guest with memory
+// digest-identical to pure demand paging from the local SSD. Moving
+// the snapshot to a remote store changes *when* bytes arrive, never
+// *what* the guest reads.
+func TestDifferentialStoreTiers(t *testing.T) {
+	fn, err := workload.ByName("json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	light := faults.Light(3)
+	plans := map[string]*faults.Plan{"healthy": nil, "light": &light}
+	schemes := []Scheme{SchemeSnapBPF, SchemeREAP}
+	combos := storeCombos()
+	if raceEnabled {
+		// The race suite checks scheduling, not values: keep the
+		// extreme cells only.
+		plans = map[string]*faults.Plan{"light": &light}
+		schemes = []Scheme{SchemeSnapBPF}
+		combos = []store.Setup{
+			{Tier: store.TierCold, Policy: store.PolicyWSLazy},
+			{Tier: store.TierCold, Policy: store.PolicyFull},
+		}
+	}
+	for name, plan := range plans {
+		want := checkedDigest(t, fn, SchemeLinuxNoRA, Config{N: 2, Faults: plan})
+		for _, s := range schemes {
+			for _, setup := range combos {
+				setup := setup
+				got := checkedDigest(t, fn, s, Config{N: 2, Faults: plan, Store: &setup})
+				if got != want {
+					t.Errorf("%s/%s/%s/%s/%s: digest %016x, local demand paging %016x",
+						fn.Name, s.Name, setup.Tier, setup.Policy, name, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestStoreSabotageCaught is the sabotage satellite: a chunk whose
+// content no longer matches its manifest hash (a corrupt chunk or a
+// stale manifest) must be caught by the checker the moment it is
+// fetched.
+func TestStoreSabotageCaught(t *testing.T) {
+	fn, err := workload.ByName("json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full download touches every chunk, so the forged one is
+	// guaranteed to be fetched and verified.
+	_, err = Run(fn, SchemeSnapBPF, Config{
+		N:     1,
+		Check: true,
+		Store: &store.Setup{Tier: store.TierCold, Policy: store.PolicyFull, SabotageChunk: 1},
+	})
+	if err == nil {
+		t.Fatal("corrupted chunk with a stale manifest hash sailed through the checker")
+	}
+	if !strings.Contains(err.Error(), "store-chunk-digest") {
+		t.Fatalf("expected a store-chunk-digest violation, got: %v", err)
+	}
+	// The same run without the checker must not fail: verification is
+	// the harness's job, not a simulated data path.
+	if _, err := Run(fn, SchemeSnapBPF, Config{
+		N:     1,
+		Store: &store.Setup{Tier: store.TierCold, Policy: store.PolicyFull, SabotageChunk: 1},
+	}); err != nil {
+		t.Fatalf("uncheckered sabotage run failed: %v", err)
+	}
+}
+
+// TestStoreMetamorphicPermutation: manifest chunk order carries no
+// meaning — consumers index by extent — so shuffling every manifest
+// must leave the locality experiment's CSV byte-identical.
+func TestStoreMetamorphicPermutation(t *testing.T) {
+	if raceEnabled {
+		t.Skip("byte-pinning is value-level; the non-race suite covers it")
+	}
+	if testing.Short() {
+		t.Skip("two full locality sweeps; skipped in -short")
+	}
+	fns := goldenJSONOnly(t)
+	base, err := Locality(Options{Functions: fns, Parallel: 0, Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm, err := Locality(Options{Functions: fns, Parallel: 0, Check: true, StorePermute: 999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.CSV() != perm.CSV() {
+		t.Errorf("chunk-order permutation moved the CSV:\n--- base ---\n%s--- permuted ---\n%s",
+			base.CSV(), perm.CSV())
+	}
+}
+
+// TestStoreCacheMonotonicity: growing the host chunk cache can only
+// help. Demand fetch touches each working-set chunk once, so E2E must
+// be non-increasing in capacity; full download pushes the whole
+// snapshot through the cache, so a too-small cache thrashes — evicted
+// chunks get refetched at remote latency and E2E strictly degrades.
+func TestStoreCacheMonotonicity(t *testing.T) {
+	fn, err := workload.ByName("json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runAt := func(policy store.Policy, capacity int) *RunResult {
+		t.Helper()
+		params := store.DefaultParams()
+		params.CapacityChunks = capacity
+		r, err := Run(fn, SchemeSnapBPF, Config{
+			N:     2,
+			Check: true,
+			Store: &store.Setup{Tier: store.TierCold, Policy: policy, Params: params},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	tiny := runAt(store.PolicyDemand, 4)
+	mid := runAt(store.PolicyDemand, 64)
+	unbounded := runAt(store.PolicyDemand, 0)
+	if tiny.MeanE2E < mid.MeanE2E || mid.MeanE2E < unbounded.MeanE2E {
+		t.Errorf("E2E not monotone in cache size: tiny=%v mid=%v unbounded=%v",
+			tiny.MeanE2E, mid.MeanE2E, unbounded.MeanE2E)
+	}
+	fTiny := runAt(store.PolicyFull, 4)
+	fUnbounded := runAt(store.PolicyFull, 0)
+	if fTiny.Store.Fetches <= fUnbounded.Store.Fetches {
+		t.Errorf("thrashing full download fetched %d <= unbounded %d; evictions must force refetches",
+			fTiny.Store.Fetches, fUnbounded.Store.Fetches)
+	}
+	if fTiny.Store.Evictions <= fUnbounded.Store.Evictions {
+		t.Errorf("4-chunk cache evicted %d <= unbounded %d",
+			fTiny.Store.Evictions, fUnbounded.Store.Evictions)
+	}
+	if fTiny.MeanE2E <= fUnbounded.MeanE2E {
+		t.Errorf("thrashing full download E2E %v not strictly worse than unbounded %v",
+			fTiny.MeanE2E, fUnbounded.MeanE2E)
+	}
+}
+
+// TestStoreConservation reconciles the four observers of the store
+// event stream — the cache's own statistics (RunResult.Store), the
+// checker's shadow tally, the obs counters, and the fault injector's
+// report — and pins the structural identities: fetches == misses ==
+// remote requests, bytes fetched == the summed lengths of fetched
+// chunks, retries == injected store errors, and dedup hits never
+// refetch.
+func TestStoreConservation(t *testing.T) {
+	fn := tinyFn()
+	for _, setup := range storeCombos() {
+		setup := setup
+		t.Run(setup.Tier.String()+"/"+setup.Policy.String(), func(t *testing.T) {
+			plan := faults.Light(5)
+			res, err := Run(fn, SchemeSnapBPF, Config{
+				N:      2,
+				Check:  true,
+				Faults: &plan,
+				Obs:    &obs.Config{Metrics: true},
+				Store:  &setup,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Store == nil || res.StoreRemote == nil || res.CheckCounts == nil || res.Obs == nil {
+				t.Fatal("missing store stats, checker tally or obs report")
+			}
+			st, cc := res.Store, *res.CheckCounts
+			m := res.Obs.Metrics()
+			c := func(name string) int64 { return mustCounter(t, m, name) }
+			eq := func(label string, got, want int64) {
+				t.Helper()
+				if got != want {
+					t.Errorf("%s: %d != %d", label, got, want)
+				}
+			}
+			// Cache stats vs checker shadow.
+			eq("fetches vs shadow", st.Fetches, cc.StoreFetches)
+			eq("fetch bytes vs shadow", st.FetchBytes, cc.StoreFetchBytes)
+			eq("hits vs shadow", st.Hits, cc.StoreHits)
+			eq("dedup hits vs shadow", st.DedupHits, cc.StoreDedupHits)
+			eq("evictions vs shadow", st.Evictions, cc.StoreEvictions)
+			eq("manifests vs shadow", st.Manifests, cc.StoreManifests)
+			// Cache stats vs obs counters.
+			eq("fetches vs obs", st.Fetches, c("snapbpf_store_fetches_total"))
+			eq("fetch bytes vs obs", st.FetchBytes, c("snapbpf_store_fetch_bytes_total"))
+			eq("hits vs obs", st.Hits, c("snapbpf_store_hits_total"))
+			eq("dedup hits vs obs", st.DedupHits, c("snapbpf_store_dedup_hits_total"))
+			eq("evictions vs obs", st.Evictions, c("snapbpf_store_evictions_total"))
+			eq("manifests vs obs", st.Manifests, c("snapbpf_store_manifests_total"))
+			eq("retries vs obs", st.Retries, c("snapbpf_store_fetch_retries_total"))
+			eq("spikes vs obs", st.Spikes, c("snapbpf_store_fetch_spikes_total"))
+			// Fault injector's report.
+			eq("retries vs injected store errors", st.Retries, res.Faults.StoreErrors)
+			eq("spikes vs injected store spikes", st.Spikes, res.Faults.StoreSpikes)
+			// Remote accounting: every fetch is one priced GET, and a
+			// single-host run of one function can never hit the remote
+			// twice for a live chunk.
+			eq("fetches vs remote requests", st.Fetches, res.StoreRemote.Requests)
+			eq("fetch bytes vs remote bytes", st.FetchBytes, res.StoreRemote.Bytes)
+			eq("remote unique+dup", res.StoreRemote.Requests,
+				res.StoreRemote.UniqueChunks+res.StoreRemote.DupRequests)
+			if st.Evictions == 0 {
+				eq("no dup without evictions", res.StoreRemote.DupRequests, 0)
+			}
+		})
+	}
+}

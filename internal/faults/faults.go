@@ -76,12 +76,24 @@ type Plan struct {
 	// eBPF map/program load fails, forcing fallback from eBPF prefetch
 	// to demand paging.
 	MapLoadFailureRate float64
+
+	// StoreErrorRate is the probability a remote chunk fetch fails with
+	// a transient error (throttling, dropped connection) and must be
+	// re-issued after a backoff.
+	StoreErrorRate float64
+
+	// StoreSpikeRate is the probability a remote chunk fetch's
+	// first-byte latency is extended by StoreSpike (tail latency of the
+	// object store).
+	StoreSpikeRate float64
+	StoreSpike     time.Duration
 }
 
 // Enabled reports whether the plan injects anything at all.
 func (p Plan) Enabled() bool {
 	return p.ReadErrorRate > 0 || p.LatencySpikeRate > 0 || p.StuckSlotRate > 0 ||
-		p.ShortReadRate > 0 || p.ArtifactCorruptionRate > 0 || p.MapLoadFailureRate > 0
+		p.ShortReadRate > 0 || p.ArtifactCorruptionRate > 0 || p.MapLoadFailureRate > 0 ||
+		p.StoreErrorRate > 0 || p.StoreSpikeRate > 0
 }
 
 // Validate rejects out-of-range rates and missing durations.
@@ -96,6 +108,8 @@ func (p Plan) Validate() error {
 		{"ShortReadRate", p.ShortReadRate},
 		{"ArtifactCorruptionRate", p.ArtifactCorruptionRate},
 		{"MapLoadFailureRate", p.MapLoadFailureRate},
+		{"StoreErrorRate", p.StoreErrorRate},
+		{"StoreSpikeRate", p.StoreSpikeRate},
 	} {
 		if r.v < 0 || r.v > 1 {
 			return fmt.Errorf("faults: %s %v outside [0,1]", r.name, r.v)
@@ -106,6 +120,9 @@ func (p Plan) Validate() error {
 	}
 	if p.StuckSlotRate > 0 && p.StuckSlotDelay <= 0 {
 		return fmt.Errorf("faults: StuckSlotRate set but StuckSlotDelay is %v", p.StuckSlotDelay)
+	}
+	if p.StoreSpikeRate > 0 && p.StoreSpike <= 0 {
+		return fmt.Errorf("faults: StoreSpikeRate set but StoreSpike is %v", p.StoreSpike)
 	}
 	return nil
 }
@@ -123,6 +140,9 @@ func Light(seed int64) Plan {
 		ShortReadRate:          0.02,
 		ArtifactCorruptionRate: 0.05,
 		MapLoadFailureRate:     0.05,
+		StoreErrorRate:         0.01,
+		StoreSpikeRate:         0.05,
+		StoreSpike:             10 * time.Millisecond,
 	}
 }
 
@@ -139,6 +159,9 @@ func Heavy(seed int64) Plan {
 		ShortReadRate:          0.10,
 		ArtifactCorruptionRate: 0.25,
 		MapLoadFailureRate:     0.25,
+		StoreErrorRate:         0.05,
+		StoreSpikeRate:         0.20,
+		StoreSpike:             40 * time.Millisecond,
 	}
 }
 
@@ -152,6 +175,8 @@ type Report struct {
 	ShortReads          int64 // requests that transferred partially
 	ArtifactCorruptions int64 // working-set artifacts found unreadable
 	MapLoadFailures     int64 // eBPF map/program loads failed
+	StoreErrors         int64 // remote chunk fetches failed transiently
+	StoreSpikes         int64 // remote chunk fetches with extended first byte
 
 	Retries   int64 // read attempts re-issued after an error
 	Fallbacks int64 // sandboxes degraded to demand paging
@@ -160,7 +185,7 @@ type Report struct {
 // Injected returns the total number of injected fault events.
 func (r Report) Injected() int64 {
 	return r.IOErrors + r.LatencySpikes + r.StuckSlots + r.ShortReads +
-		r.ArtifactCorruptions + r.MapLoadFailures
+		r.ArtifactCorruptions + r.MapLoadFailures + r.StoreErrors + r.StoreSpikes
 }
 
 // Add accumulates other into r (aggregating across cells).
@@ -171,6 +196,8 @@ func (r *Report) Add(other Report) {
 	r.ShortReads += other.ShortReads
 	r.ArtifactCorruptions += other.ArtifactCorruptions
 	r.MapLoadFailures += other.MapLoadFailures
+	r.StoreErrors += other.StoreErrors
+	r.StoreSpikes += other.StoreSpikes
 	r.Retries += other.Retries
 	r.Fallbacks += other.Fallbacks
 }
@@ -183,6 +210,8 @@ const (
 	classShort
 	classArtifact
 	classMapLoad
+	classStoreError
+	classStoreSpike
 	nClasses
 )
 
@@ -304,6 +333,27 @@ func (in *Injector) MapLoadFails() bool {
 		return true
 	}
 	return false
+}
+
+// StoreOutcome draws the fault treatment for one remote chunk-fetch
+// attempt (0 for the first request). Like device read errors, store
+// errors are never injected at attempt >= MaxErrorAttempts, so the
+// fetch retry loop always terminates. Both store streams are drawn on
+// every call to keep them aligned regardless of outcome. Nil-safe.
+func (in *Injector) StoreOutcome(attempt int) (fail bool, spike time.Duration) {
+	if in == nil {
+		return false, 0
+	}
+	p := in.plan
+	if p.StoreErrorRate > 0 && attempt < MaxErrorAttempts && in.draw(classStoreError) < p.StoreErrorRate {
+		fail = true
+		in.report.StoreErrors++
+	}
+	if p.StoreSpikeRate > 0 && in.draw(classStoreSpike) < p.StoreSpikeRate {
+		spike = p.StoreSpike
+		in.report.StoreSpikes++
+	}
+	return fail, spike
 }
 
 // CountRetry records one re-issued read attempt. Nil-safe.

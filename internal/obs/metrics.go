@@ -57,6 +57,14 @@ const (
 	cSimScheduled
 	cSpacesCreated
 	cSpacesReleased
+	cStoreDedupHits
+	cStoreEvictions
+	cStoreFetchBytes
+	cStoreFetchRetries
+	cStoreFetchSpikes
+	cStoreFetches
+	cStoreHits
+	cStoreManifests
 	cTraceDropped
 	cVMPrepared
 
@@ -107,6 +115,14 @@ var counterNames = [nCounters]string{
 	cSimScheduled:       "snapbpf_sim_events_scheduled_total",
 	cSpacesCreated:      "snapbpf_spaces_created_total",
 	cSpacesReleased:     "snapbpf_spaces_released_total",
+	cStoreDedupHits:     "snapbpf_store_dedup_hits_total",
+	cStoreEvictions:     "snapbpf_store_evictions_total",
+	cStoreFetchBytes:    "snapbpf_store_fetch_bytes_total",
+	cStoreFetchRetries:  "snapbpf_store_fetch_retries_total",
+	cStoreFetchSpikes:   "snapbpf_store_fetch_spikes_total",
+	cStoreFetches:       "snapbpf_store_fetches_total",
+	cStoreHits:          "snapbpf_store_hits_total",
+	cStoreManifests:     "snapbpf_store_manifests_total",
 	cTraceDropped:       "snapbpf_trace_events_dropped_total",
 	cVMPrepared:         "snapbpf_vm_prepared_total",
 }

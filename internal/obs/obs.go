@@ -38,6 +38,7 @@ import (
 	"snapbpf/internal/pagecache"
 	"snapbpf/internal/prefetch"
 	"snapbpf/internal/sim"
+	"snapbpf/internal/store"
 	"snapbpf/internal/vmm"
 )
 
@@ -71,6 +72,7 @@ type Chain struct {
 	MM       hostmm.Observer
 	KVM      kvm.Observer
 	Prefetch prefetch.Observer
+	Store    store.Observer
 }
 
 // pageKey identifies one page-cache page for dedup accounting.

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"time"
+
+	"snapbpf/internal/sim"
+	"snapbpf/internal/store"
+)
+
+// This file implements store.Observer on the Recorder: counters for
+// the snapshot distribution tier plus a complete-span trace event per
+// remote chunk fetch. Every method forwards to the chained observer
+// (the checker) so arming observability never hides store events from
+// the harness.
+
+// StoreManifestRegistered implements store.Observer.
+func (r *Recorder) StoreManifestRegistered(fn string, m *store.Manifest) {
+	r.m.c[cStoreManifests]++
+	if r.cfg.Trace {
+		r.emit(Event{Name: "store-manifest", Cat: "store", Ph: 'i', Ts: r.eng.Now()},
+			argStr("fn", fn), argInt("chunks", int64(len(m.Chunks))),
+			argInt("bytes", m.TotalBytes()))
+	}
+	if r.next.Store != nil {
+		r.next.Store.StoreManifestRegistered(fn, m)
+	}
+}
+
+// StoreFetchBegin implements store.Observer.
+func (r *Recorder) StoreFetchBegin(p *sim.Proc, fn string, id uint64, bytes int64) {
+	r.m.c[cStoreFetches]++
+	r.m.c[cStoreFetchBytes] += bytes
+	if r.next.Store != nil {
+		r.next.Store.StoreFetchBegin(p, fn, id, bytes)
+	}
+}
+
+// StoreFetchEnd implements store.Observer.
+func (r *Recorder) StoreFetchEnd(p *sim.Proc, fn string, id uint64, bytes int64, retries, spikes int, took time.Duration) {
+	r.m.c[cStoreFetchRetries] += int64(retries)
+	r.m.c[cStoreFetchSpikes] += int64(spikes)
+	if r.cfg.Trace {
+		now := r.eng.Now()
+		r.emit(Event{Name: "store-fetch", Cat: "store", Ph: 'X',
+			Ts: now.Add(-took), Dur: sim.Duration(took), Tid: r.tid(p)},
+			argStr("fn", fn), argInt("chunk", int64(id)), argInt("bytes", bytes),
+			argInt("retries", int64(retries)))
+	}
+	if r.next.Store != nil {
+		r.next.Store.StoreFetchEnd(p, fn, id, bytes, retries, spikes, took)
+	}
+}
+
+// StoreChunkVerified implements store.Observer.
+func (r *Recorder) StoreChunkVerified(fn string, id uint64, ok bool) {
+	if r.next.Store != nil {
+		r.next.Store.StoreChunkVerified(fn, id, ok)
+	}
+}
+
+// StoreChunkHit implements store.Observer.
+func (r *Recorder) StoreChunkHit(p *sim.Proc, fn string, id uint64, dedup bool) {
+	r.m.c[cStoreHits]++
+	if dedup {
+		r.m.c[cStoreDedupHits]++
+	}
+	if r.next.Store != nil {
+		r.next.Store.StoreChunkHit(p, fn, id, dedup)
+	}
+}
+
+// StoreChunkEvicted implements store.Observer.
+func (r *Recorder) StoreChunkEvicted(id uint64) {
+	r.m.c[cStoreEvictions]++
+	if r.next.Store != nil {
+		r.next.Store.StoreChunkEvicted(id)
+	}
+}

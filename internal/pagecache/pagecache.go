@@ -209,7 +209,25 @@ type Inode struct {
 	// capture phase disables readahead on the snapshot inode so only
 	// true working-set pages are fetched and recorded (§3.1).
 	raPages int64
+
+	// stager, when non-nil, is blocked on before any device read of
+	// this inode is submitted — the snapshot distribution tier
+	// (internal/store) fetching cold chunks from the remote. Local
+	// files leave it nil and pay nothing.
+	stager Stager
 }
+
+// Stager gates device reads of an inode on data being locally
+// resident. Stage blocks until the byte range [off, off+length) can be
+// read from the local device. Implemented by internal/store's chunk
+// binding; defined here so the page cache does not depend on the
+// store.
+type Stager interface {
+	Stage(p *sim.Proc, off, length int64)
+}
+
+// SetStager installs the read-staging hook; nil removes it.
+func (i *Inode) SetStager(s Stager) { i.stager = s }
 
 // NewInode registers a file of nrPages pages with the cache.
 func (c *Cache) NewInode(name string, nrPages int64) *Inode {
@@ -327,7 +345,6 @@ func (i *Inode) submitRuns(p *sim.Proc, indices []int64, readahead bool) {
 		if readahead {
 			submit = i.c.dev.SubmitReadaheadIO
 		}
-		io := submit(off, length, 0)
 		// Relay device completion to the shared page waiter, retrying
 		// failed reads with backoff — the kernel's path re-issues a
 		// failed bio before declaring the folio in error, and injected
@@ -337,6 +354,27 @@ func (i *Inode) submitRuns(p *sim.Proc, indices []int64, readahead bool) {
 		// evictable, so an insertion burst can overshoot the limit
 		// until its reads land (as direct reclaim does while waiting
 		// out in-flight folios).
+		if st := i.stager; st != nil {
+			// Staged inode: the chunk must cross the remote link
+			// before the device read can be submitted, so submission
+			// moves inside the relay proc, after Stage returns.
+			i.c.eng.Go("io-complete", func(proc *sim.Proc) {
+				st.Stage(proc, off, length)
+				io := submit(off, length, 0)
+				proc.Wait(io.Done())
+				for attempt := 1; io.Err() != nil && attempt < faults.MaxRetryAttempts; attempt++ {
+					i.c.dev.Faults().CountRetry()
+					proc.Sleep(faults.Backoff(attempt - 1))
+					io = submit(off, length, attempt)
+					proc.Wait(io.Done())
+				}
+				done.Fire()
+				i.c.reclaim()
+			})
+			n = end
+			continue
+		}
+		io := submit(off, length, 0)
 		i.c.eng.Go("io-complete", func(proc *sim.Proc) {
 			proc.Wait(io.Done())
 			for attempt := 1; io.Err() != nil && attempt < faults.MaxRetryAttempts; attempt++ {
@@ -505,7 +543,12 @@ func (i *Inode) DirectRead(p *sim.Proc, startPage, nPages int64) error {
 func (i *Inode) DirectReadAttempt(p *sim.Proc, startPage, nPages int64, attempt int) error {
 	p.Sleep(i.c.cm.Syscall)
 	i.c.stats.DirectReads++
-	return i.c.dev.ReadAttempt(p, int64(units.PageIdx(startPage).ByteOff()), int64(units.PagesToBytes(nPages)), attempt)
+	off := int64(units.PageIdx(startPage).ByteOff())
+	length := int64(units.PagesToBytes(nPages))
+	if st := i.stager; st != nil {
+		st.Stage(p, off, length)
+	}
+	return i.c.dev.ReadAttempt(p, off, length, attempt)
 }
 
 // Mincore returns the residency bitmap for [start, start+n): true for

@@ -1,0 +1,124 @@
+package pagecache
+
+import (
+	"testing"
+	"time"
+
+	"snapbpf/internal/sim"
+	"snapbpf/internal/units"
+)
+
+// recordingStager notes every staged byte range and charges a fixed
+// delay, standing in for internal/store's chunk binding.
+type recordingStager struct {
+	delay  time.Duration
+	ranges [][2]int64
+}
+
+func (s *recordingStager) Stage(p *sim.Proc, off, length int64) {
+	s.ranges = append(s.ranges, [2]int64{off, length})
+	if s.delay > 0 {
+		p.Sleep(s.delay)
+	}
+}
+
+// TestStagerGatesFaultPath: a staged inode's demand fault must pass
+// through Stage with the exact byte range of the device read, and the
+// staging delay is paid before the device latency.
+func TestStagerGatesFaultPath(t *testing.T) {
+	eng, c, _ := newTestCache(0)
+	ino := c.NewInode("snap", 1024)
+	st := &recordingStager{delay: 3 * time.Millisecond}
+	ino.SetStager(st)
+	var plain, staged time.Duration
+	eng.Go("f", func(p *sim.Proc) {
+		t0 := p.Now()
+		ino.FaultPageUnpinned(p, 10)
+		staged = p.Now().Sub(t0)
+	})
+	eng.Run()
+	if len(st.ranges) != 1 {
+		t.Fatalf("stager saw %d ranges, want 1", len(st.ranges))
+	}
+	want := [2]int64{int64(units.PageIdx(10).ByteOff()), int64(units.PagesToBytes(1))}
+	if st.ranges[0] != want {
+		t.Fatalf("staged range %v, want %v", st.ranges[0], want)
+	}
+	// The same fault on an unstaged inode costs the device read alone.
+	eng2, c2, _ := newTestCache(0)
+	ino2 := c2.NewInode("snap", 1024)
+	eng2.Go("f", func(p *sim.Proc) {
+		t0 := p.Now()
+		ino2.FaultPageUnpinned(p, 10)
+		plain = p.Now().Sub(t0)
+	})
+	eng2.Run()
+	if staged != plain+st.delay {
+		t.Fatalf("staged fault took %v, want plain %v + stage delay %v", staged, plain, st.delay)
+	}
+	if !ino.Resident(10) {
+		t.Fatal("page not resident after staged fault")
+	}
+}
+
+// TestStagerGatesReadahead: readahead batches stage once per
+// contiguous device run, covering the whole window.
+func TestStagerGatesReadahead(t *testing.T) {
+	eng, c, _ := newTestCache(32)
+	ino := c.NewInode("snap", 1024)
+	st := &recordingStager{}
+	ino.SetStager(st)
+	eng.Go("f", func(p *sim.Proc) {
+		ino.FaultPageUnpinned(p, 0)
+		p.Sleep(10 * time.Millisecond) // let readahead I/O land
+	})
+	eng.Run()
+	if got := ino.ResidentPages(); got != 32 {
+		t.Fatalf("resident = %d, want 32 (readahead window)", got)
+	}
+	var bytes int64
+	for _, r := range st.ranges {
+		bytes += r[1]
+	}
+	if want := int64(units.PagesToBytes(32)); bytes != want {
+		t.Fatalf("stager covered %d bytes, want %d", bytes, want)
+	}
+}
+
+// TestStagerGatesDirectRead: the O_DIRECT path stages too — the
+// capture phase reads the snapshot file directly, and on a cold tier
+// those bytes also live behind the remote.
+func TestStagerGatesDirectRead(t *testing.T) {
+	eng, c, _ := newTestCache(0)
+	ino := c.NewInode("snap", 1024)
+	st := &recordingStager{}
+	ino.SetStager(st)
+	eng.Go("f", func(p *sim.Proc) {
+		if err := ino.DirectRead(p, 5, 3); err != nil {
+			t.Error(err)
+		}
+	})
+	eng.Run()
+	want := [2]int64{int64(units.PageIdx(5).ByteOff()), int64(units.PagesToBytes(3))}
+	if len(st.ranges) != 1 || st.ranges[0] != want {
+		t.Fatalf("stager saw %v, want [%v]", st.ranges, want)
+	}
+	if got := ino.ResidentPages(); got != 0 {
+		t.Fatalf("direct read populated %d pages", got)
+	}
+}
+
+// TestSetStagerNilRemoves: clearing the hook restores the local-file
+// path exactly.
+func TestSetStagerNilRemoves(t *testing.T) {
+	eng, c, _ := newTestCache(0)
+	ino := c.NewInode("snap", 1024)
+	st := &recordingStager{}
+	ino.SetStager(st)
+	ino.SetStager(nil)
+	eng.Go("f", func(p *sim.Proc) { ino.FaultPageUnpinned(p, 0) })
+	eng.Run()
+	if len(st.ranges) != 0 {
+		t.Fatalf("removed stager still saw %v", st.ranges)
+	}
+}

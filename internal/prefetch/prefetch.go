@@ -68,6 +68,21 @@ type Env struct {
 	// correctness harness (internal/check). Schemes report through the
 	// nil-safe Notify* helpers below.
 	Check Observer
+
+	// ChunkPlan, when non-nil, receives the captured working-set page
+	// order once a scheme has it — the snapshot distribution tier
+	// (internal/store) turns it into a chunk-priority fetch plan under
+	// the WS-guided lazy-pull policy. Schemes without offset metadata
+	// never call it and degrade to demand fetching naturally.
+	ChunkPlan func(p *sim.Proc, pages []int64)
+}
+
+// NotifyChunkPlan hands the working-set page order (first-access
+// sorted) to the distribution tier (nil-safe).
+func (env *Env) NotifyChunkPlan(p *sim.Proc, pages []int64) {
+	if env.ChunkPlan != nil {
+		env.ChunkPlan(p, pages)
+	}
 }
 
 // Observer receives scheme-level events for the correctness harness.

@@ -1,0 +1,313 @@
+package store
+
+import (
+	"testing"
+	"time"
+
+	"snapbpf/internal/faults"
+	"snapbpf/internal/sim"
+)
+
+// run executes body as a simulation proc and drains the engine.
+func run(t *testing.T, eng *sim.Engine, name string, body func(p *sim.Proc)) {
+	t.Helper()
+	eng.Go(name, body)
+	eng.Run()
+}
+
+func testParams() Params {
+	return Params{FirstByte: 10 * time.Millisecond, MiBps: 1024, ChunkPages: 4}
+}
+
+func newCache(params Params, inj *faults.Injector) (*sim.Engine, *Remote, *HostCache) {
+	eng := sim.NewEngine()
+	remote := NewRemote(params)
+	return eng, remote, NewHostCache(eng, remote, inj)
+}
+
+func TestTierPolicyStrings(t *testing.T) {
+	for _, tc := range []struct {
+		got, want string
+	}{
+		{TierLocal.String(), "local"},
+		{TierWarm.String(), "warm"},
+		{TierCold.String(), "cold"},
+		{PolicyDemand.String(), "demand"},
+		{PolicyFull.String(), "full"},
+		{PolicyWSLazy.String(), "wslazy"},
+	} {
+		if tc.got != tc.want {
+			t.Errorf("String() = %q, want %q", tc.got, tc.want)
+		}
+	}
+}
+
+func TestPreloadThenHits(t *testing.T) {
+	tags := testTags(16)
+	eng, remote, hc := newCache(testParams(), nil)
+	man := BuildManifest("a", tags, 4)
+	bind := hc.Bind(man, PolicyDemand, tags)
+	run(t, eng, "preload", bind.Preload)
+	st := hc.Stats()
+	if st.Fetches != 4 || st.Hits != 0 {
+		t.Fatalf("preload: %d fetches, %d hits; want 4, 0", st.Fetches, st.Hits)
+	}
+	if st.FetchBytes != 16*4096 {
+		t.Fatalf("preload moved %d bytes, want %d", st.FetchBytes, 16*4096)
+	}
+	// A second pass over the same chunks is all same-function hits.
+	run(t, eng, "again", bind.Preload)
+	st = hc.Stats()
+	if st.Fetches != 4 || st.Hits != 4 || st.DedupHits != 0 {
+		t.Fatalf("second pass: %+v", st)
+	}
+	if rs := remote.Stats(); rs.Requests != 4 || rs.DupRequests != 0 || rs.UniqueChunks != 4 {
+		t.Fatalf("remote: %+v", rs)
+	}
+	if ids := hc.CachedChunks(); len(ids) != 4 {
+		t.Fatalf("%d resident chunks, want 4", len(ids))
+	}
+}
+
+func TestCrossFunctionDedup(t *testing.T) {
+	tags := testTags(16)
+	eng, remote, hc := newCache(testParams(), nil)
+	// Two functions over identical content: same chunk IDs.
+	ba := hc.Bind(BuildManifest("a", tags, 4), PolicyDemand, tags)
+	bb := hc.Bind(BuildManifest("b", tags, 4), PolicyDemand, tags)
+	run(t, eng, "a", ba.Preload)
+	run(t, eng, "b", bb.Preload)
+	st := hc.Stats()
+	if st.Fetches != 4 {
+		t.Fatalf("%d fetches; the second function must not refetch shared chunks", st.Fetches)
+	}
+	if st.DedupHits != 4 {
+		t.Fatalf("%d dedup hits, want 4", st.DedupHits)
+	}
+	if rs := remote.Stats(); rs.Requests != 4 {
+		t.Fatalf("remote served %d requests, want 4", rs.Requests)
+	}
+	// Refcounts: each chunk referenced by both manifests.
+	for _, c := range ba.refs {
+		if got := hc.RefCount(c.ID); got != 2 {
+			t.Fatalf("chunk %016x refcount %d, want 2", c.ID, got)
+		}
+	}
+	if hc.Stats().Manifests != 2 {
+		t.Fatalf("manifest count %d, want 2", hc.Stats().Manifests)
+	}
+}
+
+func TestInflightCoalesce(t *testing.T) {
+	tags := testTags(4)
+	eng, remote, hc := newCache(testParams(), nil)
+	bind := hc.Bind(BuildManifest("a", tags, 4), PolicyDemand, tags)
+	// Two procs stage the same range concurrently: one fetch, the
+	// blocked proc re-classifies to a hit when the fetch lands.
+	eng.Go("p1", func(p *sim.Proc) { bind.Stage(p, 0, 16*1024) })
+	eng.Go("p2", func(p *sim.Proc) { bind.Stage(p, 0, 16*1024) })
+	eng.Run()
+	st := hc.Stats()
+	if st.Fetches != 1 {
+		t.Fatalf("%d fetches; concurrent misses must coalesce", st.Fetches)
+	}
+	if st.Hits != 1 {
+		t.Fatalf("%d hits, want 1 (the coalesced waiter)", st.Hits)
+	}
+	if rs := remote.Stats(); rs.Requests != 1 {
+		t.Fatalf("remote served %d requests, want 1", rs.Requests)
+	}
+}
+
+func TestStageRangeSelectsOverlappingChunks(t *testing.T) {
+	tags := testTags(16)
+	eng, _, hc := newCache(testParams(), nil)
+	bind := hc.Bind(BuildManifest("a", tags, 4), PolicyDemand, tags)
+	// Bytes [1 page, 5 pages) overlap chunks [0,4) and [4,8) only.
+	run(t, eng, "stage", func(p *sim.Proc) { bind.Stage(p, 4096, 4*4096) })
+	if st := hc.Stats(); st.Fetches != 2 {
+		t.Fatalf("%d fetches, want 2", st.Fetches)
+	}
+	// Zero-length stages are no-ops.
+	run(t, eng, "empty", func(p *sim.Proc) { bind.Stage(p, 0, 0) })
+	if st := hc.Stats(); st.Fetches != 2 {
+		t.Fatalf("zero-length stage fetched")
+	}
+}
+
+func TestLRUCapacityEviction(t *testing.T) {
+	tags := testTags(16)
+	params := testParams()
+	params.CapacityChunks = 2
+	eng, remote, hc := newCache(params, nil)
+	bind := hc.Bind(BuildManifest("a", tags, 4), PolicyDemand, tags)
+	run(t, eng, "fill", bind.Preload) // 4 chunks through a 2-chunk cache
+	st := hc.Stats()
+	if st.Evictions != 2 {
+		t.Fatalf("%d evictions, want 2", st.Evictions)
+	}
+	if ids := hc.CachedChunks(); len(ids) != 2 {
+		t.Fatalf("%d resident, want 2", len(ids))
+	}
+	// Re-staging the coldest (evicted) chunk refetches it.
+	run(t, eng, "refetch", func(p *sim.Proc) { bind.Stage(p, 0, 4*4096) })
+	if st := hc.Stats(); st.Fetches != 5 {
+		t.Fatalf("%d fetches after refetch, want 5", st.Fetches)
+	}
+	if rs := remote.Stats(); rs.DupRequests != 1 {
+		t.Fatalf("remote dup requests %d, want 1 (the refetch)", rs.DupRequests)
+	}
+}
+
+func TestDropEvictsEverything(t *testing.T) {
+	tags := testTags(16)
+	eng, _, hc := newCache(testParams(), nil)
+	bind := hc.Bind(BuildManifest("a", tags, 4), PolicyDemand, tags)
+	run(t, eng, "fill", bind.Preload)
+	hc.Drop()
+	if ids := hc.CachedChunks(); len(ids) != 0 {
+		t.Fatalf("%d chunks resident after Drop", len(ids))
+	}
+	if st := hc.Stats(); st.Evictions != 4 {
+		t.Fatalf("%d evictions, want 4", st.Evictions)
+	}
+	// Everything is refetchable afterwards.
+	run(t, eng, "refill", bind.Preload)
+	if st := hc.Stats(); st.Fetches != 8 {
+		t.Fatalf("%d fetches after refill, want 8", st.Fetches)
+	}
+}
+
+func TestFetchLatencyModel(t *testing.T) {
+	tags := testTags(4)
+	params := testParams() // 10ms first byte, 1024 MiB/s, 4-page chunks
+	eng, _, hc := newCache(params, nil)
+	bind := hc.Bind(BuildManifest("a", tags, 4), PolicyDemand, tags)
+	var took time.Duration
+	run(t, eng, "fetch", func(p *sim.Proc) {
+		start := p.Now()
+		bind.Stage(p, 0, 4*4096)
+		took = p.Now().Sub(start)
+	})
+	want := params.FirstByte + params.transfer(4*4096)
+	if took != want {
+		t.Fatalf("single fetch took %v, want %v", took, want)
+	}
+}
+
+func TestLinkSerializesTransfers(t *testing.T) {
+	tags := testTags(8)
+	params := testParams()
+	eng, _, hc := newCache(params, nil)
+	bind := hc.Bind(BuildManifest("a", tags, 4), PolicyDemand, tags)
+	ends := make([]sim.Time, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		eng.Go("fetch", func(p *sim.Proc) {
+			bind.Stage(p, int64(i)*4*4096, 4*4096)
+			ends[i] = p.Now()
+		})
+	}
+	eng.Run()
+	transfer := params.transfer(4 * 4096)
+	// Handshakes overlap; the two transfers serialize over one link.
+	if want := sim.Time(0).Add(params.FirstByte + transfer); ends[0] != want {
+		t.Fatalf("first fetch ended at %v, want %v", ends[0], want)
+	}
+	if want := sim.Time(0).Add(params.FirstByte + 2*transfer); ends[1] != want {
+		t.Fatalf("second fetch ended at %v, want %v", ends[1], want)
+	}
+}
+
+func TestStoreFaultRetriesAndSpikes(t *testing.T) {
+	plan := faults.Plan{Seed: 5, StoreErrorRate: 1.0, StoreSpikeRate: 1.0, StoreSpike: 3 * time.Millisecond}
+	inj := faults.NewInjector(plan)
+	tags := testTags(4)
+	eng, _, hc := newCache(testParams(), inj)
+	bind := hc.Bind(BuildManifest("a", tags, 4), PolicyDemand, tags)
+	var took time.Duration
+	run(t, eng, "fetch", func(p *sim.Proc) {
+		start := p.Now()
+		bind.Stage(p, 0, 4*4096)
+		took = p.Now().Sub(start)
+	})
+	st := hc.Stats()
+	// Rate 1.0 errors every attempt below MaxErrorAttempts, then the
+	// bound forces success: exactly MaxErrorAttempts retries.
+	if st.Retries != faults.MaxErrorAttempts {
+		t.Fatalf("%d retries, want %d", st.Retries, faults.MaxErrorAttempts)
+	}
+	if st.Spikes != faults.MaxErrorAttempts+1 {
+		t.Fatalf("%d spikes, want one per attempt = %d", st.Spikes, faults.MaxErrorAttempts+1)
+	}
+	rep := inj.Report()
+	if rep.StoreErrors != int64(faults.MaxErrorAttempts) || rep.StoreSpikes != int64(faults.MaxErrorAttempts)+1 {
+		t.Fatalf("report: %+v", rep)
+	}
+	// Latency must include every handshake, spike and backoff.
+	params := testParams()
+	want := params.transfer(4 * 4096)
+	for a := 0; a <= faults.MaxErrorAttempts; a++ {
+		want += params.FirstByte + plan.StoreSpike
+		if a < faults.MaxErrorAttempts {
+			want += faults.Backoff(a)
+		}
+	}
+	if took != want {
+		t.Fatalf("faulty fetch took %v, want %v", took, want)
+	}
+}
+
+func TestPlanOnlyUnderWSLazy(t *testing.T) {
+	tags := testTags(16)
+	for _, tc := range []struct {
+		policy      Policy
+		wantFetches int64
+	}{
+		{PolicyDemand, 0}, // plan ignored
+		{PolicyFull, 0},   // plan ignored
+		{PolicyWSLazy, 2}, // pages 5 and 9 -> chunks [4,8) and [8,12)
+	} {
+		eng, _, hc := newCache(testParams(), nil)
+		bind := hc.Bind(BuildManifest("a", tags, 4), tc.policy, tags)
+		run(t, eng, "plan", func(p *sim.Proc) { bind.Plan(p, []int64{5, 9, 5}) })
+		if st := hc.Stats(); st.Fetches != tc.wantFetches {
+			t.Errorf("%v: %d fetches, want %d", tc.policy, st.Fetches, tc.wantFetches)
+		}
+	}
+	// Second plan call is a no-op (first VM wins).
+	eng, _, hc := newCache(testParams(), nil)
+	bind := hc.Bind(BuildManifest("a", tags, 4), PolicyWSLazy, tags)
+	run(t, eng, "plan1", func(p *sim.Proc) { bind.Plan(p, []int64{0}) })
+	run(t, eng, "plan2", func(p *sim.Proc) { bind.Plan(p, []int64{12}) })
+	if st := hc.Stats(); st.Fetches != 1 {
+		t.Fatalf("replanned: %d fetches, want 1", st.Fetches)
+	}
+}
+
+func TestBeginRestoreFullDownload(t *testing.T) {
+	tags := testTags(16)
+	eng, _, hc := newCache(testParams(), nil)
+	bind := hc.Bind(BuildManifest("a", tags, 4), PolicyFull, tags)
+	// Two restores gate on the same download; both resume only when
+	// every chunk is resident.
+	for i := 0; i < 2; i++ {
+		eng.Go("restore", func(p *sim.Proc) {
+			bind.BeginRestore(p)
+			if got := len(hc.CachedChunks()); got != 4 {
+				t.Errorf("restore resumed with %d/4 chunks resident", got)
+			}
+		})
+	}
+	eng.Run()
+	if st := hc.Stats(); st.Fetches != 4 {
+		t.Fatalf("%d fetches, want 4", st.Fetches)
+	}
+	// Non-full policies return immediately without touching the remote.
+	eng2, _, hc2 := newCache(testParams(), nil)
+	b2 := hc2.Bind(BuildManifest("a", tags, 4), PolicyDemand, tags)
+	run(t, eng2, "noop", b2.BeginRestore)
+	if st := hc2.Stats(); st.Fetches != 0 {
+		t.Fatalf("demand BeginRestore fetched %d chunks", st.Fetches)
+	}
+}

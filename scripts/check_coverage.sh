@@ -20,11 +20,12 @@ declare -A floors=(
   [snapbpf/internal/prefetch/faasnap]=87.0
   [snapbpf/internal/prefetch/faast]=76.0
   [snapbpf/internal/prefetch/reap]=76.0
-  [snapbpf/internal/check]=58.0
+  [snapbpf/internal/check]=65.0
   [snapbpf/internal/cluster]=83.0
   [snapbpf/internal/workload]=90.0
   [snapbpf/internal/calib]=85.0
   [snapbpf/internal/obs]=64.0
+  [snapbpf/internal/store]=88.0
   [snapbpf/internal/analysis]=98.0
   [snapbpf/internal/analysis/passes/detnondet]=89.0
   [snapbpf/internal/analysis/passes/maporder]=95.0
